@@ -1,0 +1,39 @@
+//! Criterion bench regenerating the Figure 7 whole-program study on the 4-way
+//! machine: simulated speed-ups are printed once per application, and the
+//! timing-simulation wall-clock cost is what Criterion measures.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mom_apps::{build_app, AppKind, AppParams};
+use mom_bench::{simulate, Figure7Config};
+use mom_isa::trace::IsaKind;
+use mom_mem::MemModelKind;
+
+fn bench_applications(c: &mut Criterion) {
+    let params = AppParams { seed: 42, scale: 1 };
+    let mut group = c.benchmark_group("figure7_applications");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+
+    for app in AppKind::ALL {
+        let alpha = build_app(app, IsaKind::Alpha, &params).expect("alpha app builds");
+        let mom = build_app(app, IsaKind::Mom, &params).expect("mom app builds");
+        let baseline = simulate(&alpha.trace, 4, IsaKind::Alpha, MemModelKind::Conventional);
+        for config in [Figure7Config::MomMultiAddress, Figure7Config::MomVectorCache] {
+            let r = simulate(&mom.trace, 4, IsaKind::Mom, config.memory());
+            println!(
+                "{app} / {}: {} cycles, speed-up vs alpha conventional {:.2}",
+                config.label(),
+                r.cycles,
+                r.speedup_over(&baseline)
+            );
+        }
+        group.bench_with_input(BenchmarkId::new("mom_multi_address", app.to_string()), &mom.trace, |b, trace| {
+            b.iter(|| simulate(trace, 4, IsaKind::Mom, MemModelKind::MultiAddress));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_applications);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Criterion bench regenerating the Figure 5 kernel study: for every kernel
+//! and ISA, measure the wall-clock cost of the timing simulation and report
+//! the simulated speed-up relative to the 1-way Alpha machine through
+//! Criterion's output (the simulated numbers themselves go to stdout once per
+//! kernel at the start of the run).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mom_bench::{kernel_traces, simulate};
+use mom_isa::trace::IsaKind;
+use mom_kernels::{KernelKind, KernelParams};
+use mom_mem::MemModelKind;
+
+fn bench_kernels(c: &mut Criterion) {
+    let params = KernelParams { seed: 42, scale: 1 };
+    let mut group = c.benchmark_group("figure5_kernels");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+
+    for kernel in KernelKind::ALL {
+        let traces = kernel_traces(kernel, &params);
+        let alpha = traces.iter().find(|(isa, _)| *isa == IsaKind::Alpha).unwrap();
+        let baseline = simulate(&alpha.1, 1, IsaKind::Alpha, MemModelKind::Perfect { latency: 1 });
+        for (isa, trace) in &traces {
+            let r = simulate(trace, 4, *isa, MemModelKind::Perfect { latency: 1 });
+            println!(
+                "{kernel} {isa} 4-way: {} cycles, speed-up vs 1-way alpha {:.2}",
+                r.cycles,
+                r.speedup_over(&baseline)
+            );
+            group.bench_with_input(
+                BenchmarkId::new(kernel.to_string(), isa.to_string()),
+                trace,
+                |b, trace| {
+                    b.iter(|| simulate(trace, 4, *isa, MemModelKind::Perfect { latency: 1 }));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Regenerate Figure 5: kernel speed-ups of Alpha/MMX/MDMX/MOM on 1/2/4/8-way
+//! machines with a perfect (1-cycle) memory, relative to the 1-way Alpha run.
+//!
+//! Usage: `figure5 [scale]` (default scale 1).
+
+use mom_bench::{figure5, WIDTHS};
+use mom_kernels::KernelKind;
+
+fn main() {
+    let scale = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(1);
+    let points = figure5(&KernelKind::ALL, scale, 1);
+
+    println!("Figure 5: kernel speed-ups vs 1-way Alpha (perfect cache, scale {scale})");
+    for kernel in KernelKind::ALL {
+        println!("\n{kernel}");
+        println!("{:<8} {:>10} {:>10} {:>10} {:>10}", "isa", "1-way", "2-way", "4-way", "8-way");
+        for isa in ["alpha", "mmx", "mdmx", "mom"] {
+            let mut row = format!("{isa:<8}");
+            for way in WIDTHS {
+                let p = points
+                    .iter()
+                    .find(|p| p.kernel == kernel.to_string() && p.isa == isa && p.way == way)
+                    .expect("point computed");
+                row.push_str(&format!(" {:>10.2}", p.speedup_vs_1way_alpha));
+            }
+            println!("{row}");
+        }
+    }
+}

@@ -1,0 +1,29 @@
+//! Regenerate Figure 7: whole-program speed-ups on 4- and 8-way machines with
+//! realistic cache hierarchies, relative to the Alpha/conventional-cache
+//! configuration of the same width.
+//!
+//! Usage: `figure7 [scale]` (default scale 1).
+
+use mom_apps::AppKind;
+use mom_bench::{figure7, Figure7Config};
+
+fn main() {
+    let scale = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(1);
+    let points = figure7(&AppKind::ALL, scale, &[4, 8]);
+
+    println!("Figure 7: whole-program speed-ups vs same-width Alpha/conventional (scale {scale})");
+    for app in AppKind::ALL {
+        println!("\n{app}");
+        println!("{:<32} {:>8} {:>8}", "configuration", "4-way", "8-way");
+        for config in Figure7Config::ALL {
+            let get = |way: usize| {
+                points
+                    .iter()
+                    .find(|p| p.app == app.to_string() && p.config == config.label() && p.way == way)
+                    .map(|p| p.speedup_vs_alpha)
+                    .unwrap_or(f64::NAN)
+            };
+            println!("{:<32} {:>8.2} {:>8.2}", config.label(), get(4), get(8));
+        }
+    }
+}

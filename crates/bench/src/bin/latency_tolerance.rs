@@ -1,0 +1,44 @@
+//! Regenerate the Section 4.1 latency-tolerance study: slow-down of every
+//! kernel/ISA pair when memory latency grows from 1 to 50 cycles (4-way
+//! machine). The paper reports slow-down bands of 3-9x for Alpha, 4-8x for
+//! MMX/MDMX and only 2-4x for MOM.
+//!
+//! Usage: `latency_tolerance [scale]` (default scale 1).
+
+use mom_bench::latency_tolerance;
+use mom_kernels::KernelKind;
+
+fn main() {
+    let scale = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(1);
+    let points = latency_tolerance(&KernelKind::ALL, scale, 4);
+
+    println!("Latency tolerance: slow-down from 1-cycle to 50-cycle memory (4-way machine)");
+    println!("{:<16} {:>8} {:>8} {:>8} {:>8}", "kernel", "alpha", "mmx", "mdmx", "mom");
+    for kernel in KernelKind::ALL {
+        let slow = |isa: &str| {
+            points
+                .iter()
+                .find(|p| p.kernel == kernel.to_string() && p.isa == isa)
+                .map(|p| p.slowdown)
+                .unwrap_or(f64::NAN)
+        };
+        println!(
+            "{:<16} {:>8.2} {:>8.2} {:>8.2} {:>8.2}",
+            kernel.to_string(),
+            slow("alpha"),
+            slow("mmx"),
+            slow("mdmx"),
+            slow("mom"),
+        );
+    }
+
+    // Per-ISA bands across kernels.
+    println!("\nSlow-down bands across kernels:");
+    for isa in ["alpha", "mmx", "mdmx", "mom"] {
+        let values: Vec<f64> =
+            points.iter().filter(|p| p.isa == isa).map(|p| p.slowdown).collect();
+        let min = values.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = values.iter().cloned().fold(0.0, f64::max);
+        println!("  {isa:<6} {min:.1}x .. {max:.1}x");
+    }
+}

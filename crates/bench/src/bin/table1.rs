@@ -1,0 +1,24 @@
+//! Regenerate Table 1: processor configurations.
+
+fn main() {
+    println!("Table 1: Processor configurations");
+    println!(
+        "{:<8} {:>5} {:>5} {:>9} {:>6} {:>11} {:>11} {:>13} {:>10} {:>12}",
+        "config", "ROB", "LSQ", "bimodal", "BTB", "INT s/c", "FP s/c", "MED (lanes)", "mem ports", "INT log/phys"
+    );
+    for row in mom_bench::table1_rows() {
+        println!(
+            "{:<8} {:>5} {:>5} {:>9} {:>6} {:>11} {:>11} {:>13} {:>10} {:>12}",
+            format!("way-{}", row.way),
+            row.rob,
+            row.lsq,
+            row.bimodal,
+            row.btb,
+            format!("{}/{}", row.int_units.0, row.int_units.1),
+            format!("{}/{}", row.fp_units.0, row.fp_units.1),
+            format!("{} (x{})", row.media_units.0, row.media_units.1),
+            row.mem_ports,
+            format!("{}/{}", row.int_regs.0, row.int_regs.1),
+        );
+    }
+}

@@ -1,0 +1,23 @@
+//! Regenerate Table 2: multimedia register-file configurations and area cost.
+
+fn main() {
+    println!("Table 2: Multimedia register file configurations (4-way machine)");
+    println!(
+        "{:<6} {:>14} {:>12} {:>12} {:>10} {:>10} {:>16}",
+        "ISA", "media log/phys", "acc log/phys", "media rd/wr", "acc rd/wr", "size (KB)", "normalized area"
+    );
+    for row in mom_core::area::table2() {
+        println!(
+            "{:<6} {:>14} {:>12} {:>12} {:>10} {:>10.2} {:>16.2}",
+            row.isa,
+            format!("{}/{}", row.media_regs.0, row.media_regs.1),
+            format!("{}/{}", row.acc_regs.0, row.acc_regs.1),
+            format!("{}/{}", row.media_ports.0, row.media_ports.1),
+            format!("{}/{}", row.acc_ports.0, row.acc_ports.1),
+            row.size_kb,
+            row.normalized_area,
+        );
+    }
+    println!();
+    println!("Paper values: sizes 0.5 / 0.78 / 2.6 KB, normalized area 1 / 1.19 / 0.87.");
+}

@@ -1,0 +1,151 @@
+//! The unified instruction type covering every evaluated ISA.
+//!
+//! Kernel programs are sequences of [`Inst`] values. A given program normally
+//! sticks to one ISA "dialect" (plain scalar, scalar+MMX, scalar+MDMX or
+//! scalar+MOM), mirroring how the paper's emulation libraries added media
+//! opcodes on top of the Alpha baseline.
+
+use crate::ops::MomOp;
+use crate::state::Machine;
+use mom_isa::mdmx::MdmxOp;
+use mom_isa::mmx::MmxOp;
+use mom_isa::scalar::ScalarOp;
+use mom_isa::state::Outcome;
+use mom_isa::trace::{ArchReg, InstClass, IsaKind};
+
+/// One instruction of any of the evaluated ISAs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Inst {
+    /// A scalar baseline instruction.
+    Scalar(ScalarOp),
+    /// An MMX-like packed SIMD instruction.
+    Mmx(MmxOp),
+    /// An MDMX-like instruction (packed SIMD or accumulator form).
+    Mdmx(MdmxOp),
+    /// A MOM matrix instruction.
+    Mom(MomOp),
+}
+
+impl From<ScalarOp> for Inst {
+    fn from(op: ScalarOp) -> Self {
+        Inst::Scalar(op)
+    }
+}
+
+impl From<MmxOp> for Inst {
+    fn from(op: MmxOp) -> Self {
+        Inst::Mmx(op)
+    }
+}
+
+impl From<MdmxOp> for Inst {
+    fn from(op: MdmxOp) -> Self {
+        Inst::Mdmx(op)
+    }
+}
+
+impl From<MomOp> for Inst {
+    fn from(op: MomOp) -> Self {
+        Inst::Mom(op)
+    }
+}
+
+impl Inst {
+    /// Functional-unit class.
+    pub fn class(&self) -> InstClass {
+        match self {
+            Inst::Scalar(op) => op.class(),
+            Inst::Mmx(op) => op.class(),
+            Inst::Mdmx(op) => op.class(),
+            Inst::Mom(op) => op.class(),
+        }
+    }
+
+    /// Source architectural registers.
+    pub fn srcs(&self) -> Vec<ArchReg> {
+        match self {
+            Inst::Scalar(op) => op.srcs(),
+            Inst::Mmx(op) => op.srcs(),
+            Inst::Mdmx(op) => op.srcs(),
+            Inst::Mom(op) => op.srcs(),
+        }
+    }
+
+    /// Destination architectural registers.
+    pub fn dsts(&self) -> Vec<ArchReg> {
+        match self {
+            Inst::Scalar(op) => op.dsts(),
+            Inst::Mmx(op) => op.dsts(),
+            Inst::Mdmx(op) => op.dsts(),
+            Inst::Mom(op) => op.dsts(),
+        }
+    }
+
+    /// Which ISA dialect this instruction belongs to (scalar instructions are
+    /// part of every dialect and report [`IsaKind::Alpha`]).
+    pub fn isa(&self) -> IsaKind {
+        match self {
+            Inst::Scalar(_) => IsaKind::Alpha,
+            Inst::Mmx(_) => IsaKind::Mmx,
+            Inst::Mdmx(_) => IsaKind::Mdmx,
+            Inst::Mom(_) => IsaKind::Mom,
+        }
+    }
+
+    /// Whether the instruction is a vector (MOM) instruction whose execution
+    /// touches VL elements.
+    pub fn is_vector(&self) -> bool {
+        matches!(self, Inst::Mom(op) if op.is_vector())
+    }
+
+    /// Execute the instruction against the machine.
+    pub fn execute(&self, machine: &mut Machine) -> Outcome {
+        match self {
+            Inst::Scalar(op) => op.execute(&mut machine.core),
+            Inst::Mmx(op) => op.execute(&mut machine.core),
+            Inst::Mdmx(op) => op.execute(&mut machine.core),
+            Inst::Mom(op) => op.execute(machine),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::v;
+    use mom_isa::mem::MemImage;
+    use mom_isa::regs::{m, r};
+    use mom_isa::scalar::AluOp;
+
+    #[test]
+    fn conversions_and_dispatch() {
+        let scalar: Inst = ScalarOp::Li { rd: r(1), imm: 5 }.into();
+        assert_eq!(scalar.isa(), IsaKind::Alpha);
+        assert_eq!(scalar.class(), InstClass::IntSimple);
+        assert!(!scalar.is_vector());
+
+        let mmx: Inst = MmxOp::Ld { md: m(1), base: r(2), offset: 0 }.into();
+        assert_eq!(mmx.isa(), IsaKind::Mmx);
+        assert_eq!(mmx.class(), InstClass::Load);
+
+        let mdmx: Inst = MdmxOp::AccClear { acc: mom_isa::regs::a(0) }.into();
+        assert_eq!(mdmx.isa(), IsaKind::Mdmx);
+
+        let mom: Inst = MomOp::Ld { vd: v(0), base: r(1), stride: r(2) }.into();
+        assert_eq!(mom.isa(), IsaKind::Mom);
+        assert!(mom.is_vector());
+        assert!(!mom.srcs().is_empty());
+        assert!(!mom.dsts().is_empty());
+    }
+
+    #[test]
+    fn execute_dispatches_to_the_right_state() {
+        let mut machine = Machine::new(MemImage::new(0, 128));
+        Inst::from(ScalarOp::Li { rd: r(1), imm: 21 }).execute(&mut machine);
+        Inst::from(ScalarOp::Alu { op: AluOp::Add, rd: r(2), ra: r(1), rb: r(1) }).execute(&mut machine);
+        assert_eq!(machine.core.int.read(r(2)), 42);
+
+        Inst::from(MomOp::SetVlI { vl: 2 }).execute(&mut machine);
+        assert_eq!(machine.mom.vl(), 2);
+    }
+}

@@ -1,0 +1,109 @@
+//! MOM architectural state and the combined machine state.
+
+use crate::matrix::{MatrixRegFile, MAX_VL, NUM_MOM_ACCS};
+use mom_isa::accumulator::Accumulator;
+use mom_isa::mem::MemImage;
+use mom_isa::state::CoreState;
+
+/// Index of the integer register that shadows the MOM vector-length register.
+///
+/// The paper renames the VL register through the integer register pool; the
+/// functional model keeps the live VL value in [`MomState::vl`] but expresses
+/// the dependence through this architectural integer register so the timing
+/// simulator serialises MOM instructions behind `setvl` exactly as the real
+/// renamer would. Kernel builders must not use this register for other data.
+pub const VL_SHADOW_REG: u8 = 29;
+
+/// Architectural state added by the MOM extension.
+#[derive(Debug, Clone)]
+pub struct MomState {
+    /// The matrix register file (16 registers x 16 rows x 64 bits).
+    pub matrix: MatrixRegFile,
+    /// The MOM packed accumulators.
+    pub accs: [Accumulator; NUM_MOM_ACCS],
+    /// Current vector length (number of rows operated on), 0..=16.
+    vl: usize,
+}
+
+impl Default for MomState {
+    fn default() -> Self {
+        Self {
+            matrix: MatrixRegFile::new(),
+            accs: std::array::from_fn(|_| Accumulator::new()),
+            vl: MAX_VL,
+        }
+    }
+}
+
+impl MomState {
+    /// Fresh MOM state: zeroed registers, VL = 16.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current vector length.
+    pub fn vl(&self) -> usize {
+        self.vl
+    }
+
+    /// Set the vector length, clamping to the architectural maximum of 16.
+    pub fn set_vl(&mut self, vl: usize) {
+        self.vl = vl.min(MAX_VL);
+    }
+}
+
+/// The full architectural state of a machine implementing the scalar baseline,
+/// the MMX/MDMX extensions and the MOM matrix extension.
+#[derive(Debug, Clone)]
+pub struct Machine {
+    /// Scalar + media state shared with the other ISAs.
+    pub core: CoreState,
+    /// MOM-specific state.
+    pub mom: MomState,
+}
+
+impl Machine {
+    /// Create a machine around a memory image.
+    pub fn new(mem: MemImage) -> Self {
+        Self { core: CoreState::new(mem), mom: MomState::new() }
+    }
+
+    /// Convenience accessor for the memory image.
+    pub fn mem(&self) -> &MemImage {
+        &self.core.mem
+    }
+
+    /// Convenience mutable accessor for the memory image.
+    pub fn mem_mut(&mut self) -> &mut MemImage {
+        &mut self.core.mem
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_vl_is_max() {
+        let s = MomState::new();
+        assert_eq!(s.vl(), MAX_VL);
+    }
+
+    #[test]
+    fn set_vl_clamps() {
+        let mut s = MomState::new();
+        s.set_vl(5);
+        assert_eq!(s.vl(), 5);
+        s.set_vl(99);
+        assert_eq!(s.vl(), MAX_VL);
+        s.set_vl(0);
+        assert_eq!(s.vl(), 0);
+    }
+
+    #[test]
+    fn machine_wraps_memory() {
+        let mut m = Machine::new(MemImage::new(0x100, 64));
+        m.mem_mut().write_u32(0x104, 0xabcd);
+        assert_eq!(m.mem().read_u32(0x104), 0xabcd);
+    }
+}

@@ -1,0 +1,576 @@
+//! The out-of-order core timing model.
+//!
+//! [`OooCore::simulate`] replays a dynamic trace (produced by the functional
+//! interpreter in `mom-core`) through a first-order model of an R10000-style
+//! out-of-order pipeline: width-limited fetch with a bimodal predictor and
+//! BTB, a front-end of fixed depth, renaming limited by per-class physical
+//! register headroom, a reorder buffer and load/store queue of the configured
+//! sizes, functional-unit pools with per-class latencies (multimedia units may
+//! have multiple vector lanes), a memory system consulted for every load and
+//! store, and width-limited in-order commit.
+//!
+//! The model computes, for every dynamic instruction, the cycle at which it is
+//! fetched, dispatched, issued, completed and committed, honouring:
+//!
+//! * data dependences through architectural registers (including the MDMX
+//!   accumulator recurrence and the MOM vector-length register);
+//! * structural limits — ROB, LSQ, physical registers, functional units,
+//!   memory ports (delegated to the memory model);
+//! * control dependences — mispredicted branches redirect fetch after the
+//!   branch resolves; correctly-predicted taken branches still end the fetch
+//!   group (one taken branch fetched per cycle).
+
+use crate::config::CoreConfig;
+use crate::predictor::BranchPredictor;
+use mom_isa::trace::{ArchReg, InstClass, RegClass, Trace};
+use mom_mem::MemorySystem;
+
+/// Execution latencies per functional-unit class, in cycles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Latencies {
+    /// Simple integer operations.
+    pub int_simple: u64,
+    /// Integer multiply/divide.
+    pub int_complex: u64,
+    /// Simple floating-point operations.
+    pub fp_simple: u64,
+    /// Floating-point multiply/divide.
+    pub fp_complex: u64,
+    /// Simple packed multimedia operations.
+    pub media_simple: u64,
+    /// Packed multiplies and multiply-accumulates.
+    pub media_complex: u64,
+    /// Branch resolution.
+    pub branch: u64,
+}
+
+impl Default for Latencies {
+    fn default() -> Self {
+        Self {
+            int_simple: 1,
+            int_complex: 3,
+            fp_simple: 2,
+            fp_complex: 4,
+            media_simple: 1,
+            media_complex: 3,
+            branch: 1,
+        }
+    }
+}
+
+/// Summary of one simulation run.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SimResult {
+    /// Total cycles from first fetch to last commit.
+    pub cycles: u64,
+    /// Committed (graduated) instructions.
+    pub committed: u64,
+    /// Branches executed.
+    pub branches: u64,
+    /// Branch mispredictions.
+    pub mispredictions: u64,
+    /// Times a memory instruction had to retry for a free port.
+    pub mem_retries: u64,
+    /// Element-level memory accesses performed.
+    pub mem_accesses: u64,
+}
+
+impl SimResult {
+    /// Committed instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.committed as f64 / self.cycles as f64
+        }
+    }
+
+    /// Speed-up of this run relative to a baseline run of the *same work*
+    /// (cycles of the baseline divided by cycles of this run).
+    pub fn speedup_over(&self, baseline: &SimResult) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            baseline.cycles as f64 / self.cycles as f64
+        }
+    }
+}
+
+/// Pool of functional units of one kind: tracks when each unit is next free.
+#[derive(Debug, Clone)]
+struct UnitPool {
+    simple_free: Vec<u64>,
+    complex_free: Vec<u64>,
+    lanes: usize,
+}
+
+impl UnitPool {
+    fn new(simple: usize, complex: usize, lanes: usize) -> Self {
+        Self { simple_free: vec![0; simple], complex_free: vec![0; complex], lanes: lanes.max(1) }
+    }
+
+    /// Reserve a unit able to execute an operation of the given complexity,
+    /// starting no earlier than `earliest`, for `occupancy` cycles. Returns
+    /// the actual start cycle.
+    fn reserve(&mut self, earliest: u64, complex_op: bool, occupancy: u64) -> u64 {
+        // Complex ops may only use complex-capable units; simple ops prefer
+        // whichever unit frees first.
+        let candidates: Vec<(usize, bool)> = if complex_op {
+            (0..self.complex_free.len()).map(|i| (i, true)).collect()
+        } else {
+            (0..self.simple_free.len())
+                .map(|i| (i, false))
+                .chain((0..self.complex_free.len()).map(|i| (i, true)))
+                .collect()
+        };
+        let (idx, in_complex) = candidates
+            .into_iter()
+            .min_by_key(|&(i, c)| if c { self.complex_free[i] } else { self.simple_free[i] })
+            .expect("functional-unit pool must not be empty for issued class");
+        let free = if in_complex { self.complex_free[idx] } else { self.simple_free[idx] };
+        let start = earliest.max(free);
+        let until = start + occupancy;
+        if in_complex {
+            self.complex_free[idx] = until;
+        } else {
+            self.simple_free[idx] = until;
+        }
+        start
+    }
+}
+
+fn reg_slot(reg: ArchReg) -> usize {
+    let class = match reg.class {
+        RegClass::Int => 0,
+        RegClass::Fp => 1,
+        RegClass::Media => 2,
+        RegClass::Acc => 3,
+        RegClass::Mom => 4,
+        RegClass::MomAcc => 5,
+    };
+    class * 64 + (reg.index as usize % 64)
+}
+
+fn class_idx(class: RegClass) -> usize {
+    match class {
+        RegClass::Int => 0,
+        RegClass::Fp => 1,
+        RegClass::Media => 2,
+        RegClass::Acc => 3,
+        RegClass::Mom => 4,
+        RegClass::MomAcc => 5,
+    }
+}
+
+/// The out-of-order core model.
+#[derive(Debug, Clone)]
+pub struct OooCore {
+    config: CoreConfig,
+    latencies: Latencies,
+}
+
+impl OooCore {
+    /// Create a core with the given configuration and default latencies.
+    pub fn new(config: CoreConfig) -> Self {
+        Self { config, latencies: Latencies::default() }
+    }
+
+    /// Create a core with explicit execution latencies.
+    pub fn with_latencies(config: CoreConfig, latencies: Latencies) -> Self {
+        Self { config, latencies }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &CoreConfig {
+        &self.config
+    }
+
+    /// Replay `trace` against `memory` and return the timing summary.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the memory system refuses a request for an implausibly long
+    /// time (which would indicate a broken memory model, not a property of the
+    /// workload).
+    pub fn simulate(&self, trace: &Trace, memory: &mut dyn MemorySystem) -> SimResult {
+        let cfg = &self.config;
+        let lat = &self.latencies;
+        let n = trace.insts.len();
+        let mut result = SimResult::default();
+        if n == 0 {
+            return result;
+        }
+
+        let mut predictor = BranchPredictor::new(cfg.bimodal_entries, cfg.btb_entries);
+        let mut int_units = UnitPool::new(cfg.int_units.simple, cfg.int_units.complex, 1);
+        let mut fp_units = UnitPool::new(cfg.fp_units.simple, cfg.fp_units.complex, 1);
+        let mut media_units =
+            UnitPool::new(cfg.media_units.simple, cfg.media_units.complex, cfg.media_units.lanes);
+
+        // Producer availability per architectural register.
+        let mut reg_ready = [0u64; 6 * 64];
+        // Commit times: full history for ROB/LSQ/physical-register constraints.
+        let mut commit = vec![0u64; n];
+        let mut fetch = vec![0u64; n];
+        // Writers per register class (commit cycles), for renaming headroom.
+        let mut class_writers: [Vec<u64>; 6] = Default::default();
+        // Memory-operation commit cycles, for the LSQ constraint.
+        let mut mem_commits: Vec<u64> = Vec::new();
+
+        let mut redirect_floor = 0u64; // fetch may not start before this
+        let mut fetch_break_floor = 0u64; // floor for the next instruction only
+
+        for (i, inst) in trace.insts.iter().enumerate() {
+            // ---------------- Fetch ----------------
+            let mut f = redirect_floor.max(fetch_break_floor);
+            if i >= cfg.way {
+                f = f.max(fetch[i - cfg.way] + 1);
+            }
+            if i > 0 {
+                f = f.max(fetch[i - 1]); // program order within a fetch group
+            }
+            fetch[i] = f;
+            fetch_break_floor = 0;
+
+            // ---------------- Dispatch (rename + ROB/LSQ/phys-reg allocation) ----------------
+            let mut dispatch = f + cfg.frontend_depth;
+            if i >= cfg.rob_size {
+                dispatch = dispatch.max(commit[i - cfg.rob_size]);
+            }
+            let is_mem = inst.class.is_mem();
+            if is_mem && mem_commits.len() >= cfg.lsq_size {
+                dispatch = dispatch.max(mem_commits[mem_commits.len() - cfg.lsq_size]);
+            }
+            for d in inst.dests() {
+                let ci = class_idx(d.class);
+                let writers = &class_writers[ci];
+                let headroom = cfg.rename_headroom(d.class);
+                if writers.len() >= headroom {
+                    dispatch = dispatch.max(writers[writers.len() - headroom]);
+                }
+            }
+
+            // ---------------- Operand readiness ----------------
+            let mut ready = dispatch + 1;
+            for s in inst.sources() {
+                ready = ready.max(reg_ready[reg_slot(s)]);
+            }
+
+            // ---------------- Execute ----------------
+            let complete = match inst.class {
+                InstClass::Load | InstClass::Store => {
+                    result.mem_accesses += inst.mem.len() as u64;
+                    let vector = inst.elems > 1;
+                    let mut t = ready;
+                    let mut retries = 0u64;
+                    let done = loop {
+                        match memory.access(t, &inst.mem, vector) {
+                            Some(done) => break done,
+                            None => {
+                                retries += 1;
+                                t += 1;
+                                assert!(
+                                    retries < 100_000,
+                                    "memory system refused a request for 100k cycles at pc {}",
+                                    inst.pc
+                                );
+                            }
+                        }
+                    };
+                    result.mem_retries += retries;
+                    done
+                }
+                InstClass::Branch => {
+                    result.branches += 1;
+                    let start = int_units.reserve(ready, false, 1);
+                    let complete = start + lat.branch;
+                    if let Some(b) = inst.branch {
+                        let correct =
+                            predictor.predict_and_update(b.pc, b.conditional, b.taken, b.target);
+                        if correct {
+                            if b.taken {
+                                // A taken branch ends the fetch group.
+                                fetch_break_floor = fetch[i] + 1;
+                            }
+                        } else {
+                            result.mispredictions += 1;
+                            redirect_floor = redirect_floor.max(complete + cfg.mispredict_penalty);
+                        }
+                    }
+                    complete
+                }
+                InstClass::Nop => ready,
+                InstClass::IntSimple => int_units.reserve(ready, false, 1) + lat.int_simple,
+                InstClass::IntComplex => int_units.reserve(ready, true, 1) + lat.int_complex,
+                InstClass::FpSimple => fp_units.reserve(ready, false, 1) + lat.fp_simple,
+                InstClass::FpComplex => fp_units.reserve(ready, true, 1) + lat.fp_complex,
+                InstClass::MediaSimple | InstClass::MediaComplex => {
+                    let complex = inst.class == InstClass::MediaComplex;
+                    let occupancy =
+                        (inst.elems as u64).div_ceil(media_units.lanes as u64).max(1);
+                    let start = media_units.reserve(ready, complex, occupancy);
+                    let op_lat = if complex { lat.media_complex } else { lat.media_simple };
+                    start + occupancy - 1 + op_lat
+                }
+            };
+
+            // ---------------- Writeback ----------------
+            for d in inst.dests() {
+                reg_ready[reg_slot(d)] = complete;
+            }
+
+            // ---------------- Commit ----------------
+            let mut c = complete + 1;
+            if i > 0 {
+                c = c.max(commit[i - 1]);
+            }
+            if i >= cfg.way {
+                c = c.max(commit[i - cfg.way] + 1);
+            }
+            commit[i] = c;
+            for d in inst.dests() {
+                class_writers[class_idx(d.class)].push(c);
+            }
+            if is_mem {
+                mem_commits.push(c);
+            }
+        }
+
+        result.cycles = commit[n - 1];
+        result.committed = n as u64;
+        result.branches = predictor.predictions;
+        result.mispredictions = predictor.mispredictions;
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mom_isa::trace::{ArchReg, BranchInfo, DynInst, IsaKind, MemAccess, MemKind};
+    use mom_mem::{build_memory, MemModelKind};
+
+    fn alu(pc: u64, dst: u8, a: u8, b: u8) -> DynInst {
+        DynInst::new(InstClass::IntSimple, pc)
+            .with_src(ArchReg::int(a))
+            .with_src(ArchReg::int(b))
+            .with_dst(ArchReg::int(dst))
+    }
+
+    fn independent_trace(n: usize) -> Trace {
+        // Instruction i writes register (i % 8) + 8 reading constants r0/r1:
+        // effectively unlimited ILP.
+        (0..n).map(|i| alu(i as u64, 8 + (i % 8) as u8, 0, 1)).collect()
+    }
+
+    fn dependent_trace(n: usize) -> Trace {
+        // A serial chain: each instruction reads the previous one's result.
+        (0..n).map(|i| alu(i as u64, 5, 5, 5)).collect()
+    }
+
+    fn run(trace: &Trace, way: usize, isa: IsaKind) -> SimResult {
+        let core = OooCore::new(CoreConfig::for_width(way, isa));
+        let mut mem = build_memory(MemModelKind::Perfect { latency: 1 }, way);
+        core.simulate(trace, mem.as_mut())
+    }
+
+    #[test]
+    fn empty_trace_is_zero_cycles() {
+        let core = OooCore::new(CoreConfig::way4(IsaKind::Alpha));
+        let mut mem = build_memory(MemModelKind::Perfect { latency: 1 }, 4);
+        let r = core.simulate(&Trace::new(IsaKind::Alpha), mem.as_mut());
+        assert_eq!(r.cycles, 0);
+        assert_eq!(r.ipc(), 0.0);
+    }
+
+    #[test]
+    fn wider_machines_run_independent_code_faster() {
+        let t = independent_trace(2000);
+        let w1 = run(&t, 1, IsaKind::Alpha);
+        let w2 = run(&t, 2, IsaKind::Alpha);
+        let w4 = run(&t, 4, IsaKind::Alpha);
+        let w8 = run(&t, 8, IsaKind::Alpha);
+        assert!(w2.cycles < w1.cycles);
+        assert!(w4.cycles < w2.cycles);
+        assert!(w8.cycles <= w4.cycles);
+        // 1-way IPC is bounded by 1; the wide machines exceed it.
+        assert!(w1.ipc() <= 1.01, "1-way IPC {}", w1.ipc());
+        assert!(w4.ipc() > 1.5, "4-way IPC {}", w4.ipc());
+        assert_eq!(w4.committed, 2000);
+    }
+
+    #[test]
+    fn dependent_chain_is_serialised_regardless_of_width() {
+        let t = dependent_trace(1000);
+        let w1 = run(&t, 1, IsaKind::Alpha);
+        let w8 = run(&t, 8, IsaKind::Alpha);
+        // Both are limited by the dependence chain (about 1 cycle per
+        // instruction) — width does not help.
+        assert!(w8.cycles as f64 >= 0.9 * w1.cycles as f64);
+        assert!(w1.ipc() <= 1.05);
+    }
+
+    #[test]
+    fn speedup_over_baseline() {
+        let t = independent_trace(1000);
+        let w1 = run(&t, 1, IsaKind::Alpha);
+        let w4 = run(&t, 4, IsaKind::Alpha);
+        assert!(w4.speedup_over(&w1) > 1.5);
+        assert!((w1.speedup_over(&w1) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mispredicted_branches_cost_cycles() {
+        // Alternating taken/not-taken branches defeat the bimodal predictor.
+        let hard: Trace = (0..2000u64)
+            .map(|i| {
+                DynInst::new(InstClass::Branch, i % 7).with_branch(BranchInfo {
+                    taken: i % 2 == 0,
+                    conditional: true,
+                    pc: i % 7,
+                    target: 0,
+                })
+            })
+            .collect();
+        let easy: Trace = (0..2000u64)
+            .map(|i| {
+                DynInst::new(InstClass::Branch, i % 7).with_branch(BranchInfo {
+                    taken: false,
+                    conditional: true,
+                    pc: i % 7,
+                    target: 0,
+                })
+            })
+            .collect();
+        let hard_r = run(&hard, 4, IsaKind::Alpha);
+        let easy_r = run(&easy, 4, IsaKind::Alpha);
+        assert!(hard_r.mispredictions > easy_r.mispredictions * 5);
+        assert!(hard_r.cycles > easy_r.cycles);
+    }
+
+    #[test]
+    fn vector_media_instruction_occupies_unit_for_multiple_beats() {
+        // One MOM media op with 16 elements vs 16 scalar media ops: the MOM
+        // version should not be slower, and a dependent consumer must wait for
+        // the full occupancy.
+        let mom: Trace = vec![
+            DynInst::new(InstClass::MediaSimple, 0)
+                .with_dst(ArchReg::mom(1))
+                .with_elems(16),
+            DynInst::new(InstClass::MediaSimple, 1)
+                .with_src(ArchReg::mom(1))
+                .with_dst(ArchReg::mom(2))
+                .with_elems(16),
+        ]
+        .into_iter()
+        .collect();
+        let r = run(&mom, 4, IsaKind::Mom);
+        // Each op occupies the unit for 16 beats; the chain is ~32 cycles.
+        assert!(r.cycles >= 30, "cycles {}", r.cycles);
+        assert!(r.cycles <= 60, "cycles {}", r.cycles);
+    }
+
+    #[test]
+    fn mdmx_accumulator_recurrence_serialises() {
+        // 64 dependent accumulate ops (MediaComplex, acc as src+dst) vs 4 MOM
+        // matrix accumulates of 16 elements each: same work, and even though
+        // the MOM instruction occupies the unit for 16 beats, it avoids paying
+        // the multiply latency per element.
+        let mdmx: Trace = (0..64u64)
+            .map(|i| {
+                DynInst::new(InstClass::MediaComplex, i)
+                    .with_src(ArchReg::acc(0))
+                    .with_src(ArchReg::media(1))
+                    .with_dst(ArchReg::acc(0))
+            })
+            .collect();
+        let mom: Trace = (0..4u64)
+            .map(|i| {
+                DynInst::new(InstClass::MediaComplex, i)
+                    .with_src(ArchReg::mom_acc(0))
+                    .with_src(ArchReg::mom(1))
+                    .with_dst(ArchReg::mom_acc(0))
+                    .with_elems(16)
+            })
+            .collect();
+        let mdmx_r = run(&mdmx, 4, IsaKind::Mdmx);
+        let mom_r = run(&mom, 4, IsaKind::Mom);
+        assert!(
+            mom_r.cycles < mdmx_r.cycles,
+            "MOM accumulate ({}) should beat the MDMX recurrence ({})",
+            mom_r.cycles,
+            mdmx_r.cycles
+        );
+    }
+
+    #[test]
+    fn memory_latency_hurts_scalar_loads_more_than_vector_loads() {
+        // 64 dependent scalar loads vs 4 dependent vector loads of 16 elements:
+        // with 50-cycle latency the scalar version pays the latency per load.
+        let scalar: Trace = (0..64u64)
+            .map(|i| {
+                DynInst::new(InstClass::Load, i)
+                    .with_src(ArchReg::int(1))
+                    .with_dst(ArchReg::int(1))
+                    .with_mem(vec![MemAccess { addr: i * 8, size: 8, kind: MemKind::Load }])
+            })
+            .collect();
+        let vector: Trace = (0..4u64)
+            .map(|i| {
+                DynInst::new(InstClass::Load, i)
+                    .with_src(ArchReg::int(1))
+                    .with_dst(ArchReg::mom(0))
+                    .with_elems(16)
+                    .with_mem(
+                        (0..16)
+                            .map(|k| MemAccess { addr: i * 1024 + k * 8, size: 8, kind: MemKind::Load })
+                            .collect(),
+                    )
+            })
+            .collect();
+        let core = OooCore::new(CoreConfig::way4(IsaKind::Alpha));
+        let mut mem1 = build_memory(MemModelKind::Perfect { latency: 1 }, 4);
+        let mut mem50 = build_memory(MemModelKind::Perfect { latency: 50 }, 4);
+        let s1 = core.simulate(&scalar, mem1.as_mut());
+        let s50 = core.simulate(&scalar, mem50.as_mut());
+        let core_mom = OooCore::new(CoreConfig::way4(IsaKind::Mom));
+        let mut mem1v = build_memory(MemModelKind::Perfect { latency: 1 }, 4);
+        let mut mem50v = build_memory(MemModelKind::Perfect { latency: 50 }, 4);
+        let v1 = core_mom.simulate(&vector, mem1v.as_mut());
+        let v50 = core_mom.simulate(&vector, mem50v.as_mut());
+        let scalar_slowdown = s50.cycles as f64 / s1.cycles as f64;
+        let vector_slowdown = v50.cycles as f64 / v1.cycles as f64;
+        assert!(
+            vector_slowdown < scalar_slowdown,
+            "vector slowdown {vector_slowdown:.2} vs scalar {scalar_slowdown:.2}"
+        );
+    }
+
+    #[test]
+    fn rob_size_limits_memory_level_parallelism() {
+        // Independent loads with 50-cycle latency: the 8-way machine's larger
+        // ROB allows more overlap than the 1-way machine's 8-entry ROB.
+        let t: Trace = (0..256u64)
+            .map(|i| {
+                DynInst::new(InstClass::Load, i)
+                    .with_src(ArchReg::int(0))
+                    .with_dst(ArchReg::int(8 + (i % 8) as u8))
+                    .with_mem(vec![MemAccess { addr: i * 64, size: 8, kind: MemKind::Load }])
+            })
+            .collect();
+        let core1 = OooCore::new(CoreConfig::way1(IsaKind::Alpha));
+        let core8 = OooCore::new(CoreConfig::way8(IsaKind::Alpha));
+        let mut m1 = build_memory(MemModelKind::Perfect { latency: 50 }, 1);
+        let mut m8 = build_memory(MemModelKind::Perfect { latency: 50 }, 8);
+        let r1 = core1.simulate(&t, m1.as_mut());
+        let r8 = core8.simulate(&t, m8.as_mut());
+        assert!(r8.cycles * 2 < r1.cycles, "8-way {} vs 1-way {}", r8.cycles, r1.cycles);
+    }
+
+    #[test]
+    fn latencies_default_are_sane() {
+        let l = Latencies::default();
+        assert!(l.int_complex > l.int_simple);
+        assert!(l.media_complex > l.media_simple);
+    }
+}

@@ -1,0 +1,283 @@
+//! The MDMX-like multimedia extension: MMX-style packed SIMD plus packed
+//! accumulators.
+//!
+//! MDMX's distinguishing feature is the 192-bit *packed accumulator*: wide
+//! per-lane accumulation registers that make reductions (dot products, sums of
+//! absolute differences) possible without the pack/unpack data-promotion
+//! overhead MMX needs. The drawback the paper highlights is the architectural
+//! recurrence — every accumulate instruction reads the accumulator it writes —
+//! which limits ILP for long-latency operations; MOM removes that recurrence by
+//! streaming a whole matrix through a single accumulate instruction.
+//!
+//! All plain SIMD instructions are shared with the MMX model through
+//! [`MmxOp`]; this module adds only the accumulator forms.
+
+use crate::mmx::MmxOp;
+use crate::packed::{Lane, Saturation};
+use crate::regs::{AccReg, IntReg, MediaReg};
+use crate::state::{CoreState, Outcome};
+use crate::trace::{ArchReg, InstClass};
+
+/// Accumulating operations (`acc <op>= f(a, b)`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccOp {
+    /// `acc[i] += a[i] * b[i]` (MDMX `MULA`).
+    MulAdd,
+    /// `acc[i] -= a[i] * b[i]` (MDMX `MULS`).
+    MulSub,
+    /// `acc[i] += a[i]` (MDMX `ADDA`; the second operand is ignored).
+    Add,
+    /// `acc[i] -= a[i]` (MDMX `SUBA`; the second operand is ignored).
+    Sub,
+    /// `acc[i] += |a[i] - b[i]|` (sum of absolute differences).
+    AbsDiffAdd,
+    /// `acc[i] += (a[i] - b[i])^2` (sum of quadratic differences).
+    SqrDiffAdd,
+}
+
+impl AccOp {
+    /// Whether the operation needs the packed multiplier.
+    pub fn is_complex(self) -> bool {
+        matches!(self, AccOp::MulAdd | AccOp::MulSub | AccOp::SqrDiffAdd)
+    }
+
+    /// All accumulate operations (for the opcode inventory).
+    pub const ALL: [AccOp; 6] = [
+        AccOp::MulAdd,
+        AccOp::MulSub,
+        AccOp::Add,
+        AccOp::Sub,
+        AccOp::AbsDiffAdd,
+        AccOp::SqrDiffAdd,
+    ];
+
+    /// Apply the operation to one accumulator.
+    pub fn apply(
+        self,
+        acc: &mut crate::accumulator::Accumulator,
+        a: crate::packed::PackedWord,
+        b: crate::packed::PackedWord,
+        lane: Lane,
+    ) {
+        match self {
+            AccOp::MulAdd => acc.mul_add(a, b, lane),
+            AccOp::MulSub => acc.mul_sub(a, b, lane),
+            AccOp::Add => acc.add(a, lane),
+            AccOp::Sub => acc.sub(a, lane),
+            AccOp::AbsDiffAdd => acc.abs_diff_add(a, b, lane),
+            AccOp::SqrDiffAdd => acc.sqr_diff_add(a, b, lane),
+        }
+    }
+}
+
+/// MDMX-like instructions: every MMX instruction plus the accumulator forms.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MdmxOp {
+    /// A plain packed SIMD instruction shared with the MMX model.
+    Simd(MmxOp),
+    /// Clear an accumulator.
+    AccClear {
+        /// Accumulator to clear.
+        acc: AccReg,
+    },
+    /// Accumulate into `acc` from two media registers.
+    Acc {
+        /// Accumulating operation.
+        op: AccOp,
+        /// Destination (and implicit source) accumulator.
+        acc: AccReg,
+        /// First media source.
+        ma: MediaReg,
+        /// Second media source (ignored by `Add`/`Sub`).
+        mb: MediaReg,
+        /// Lane interpretation.
+        lane: Lane,
+    },
+    /// Read the accumulator back into a media register with shift, rounding
+    /// and saturation (the MDMX `RAC` family).
+    ReadAcc {
+        /// Destination media register.
+        md: MediaReg,
+        /// Source accumulator.
+        acc: AccReg,
+        /// Destination lane type.
+        lane: Lane,
+        /// Right shift (fractional bits discarded, with rounding).
+        shift: u8,
+        /// Saturation behaviour.
+        sat: Saturation,
+    },
+    /// Horizontal-sum the accumulator lanes into an integer register (the
+    /// final step of the reductions used by the kernels).
+    ReduceAcc {
+        /// Destination integer register.
+        rd: IntReg,
+        /// Source accumulator.
+        acc: AccReg,
+    },
+}
+
+impl MdmxOp {
+    /// Functional-unit class of this instruction.
+    pub fn class(&self) -> InstClass {
+        match self {
+            MdmxOp::Simd(op) => op.class(),
+            MdmxOp::AccClear { .. } => InstClass::MediaSimple,
+            MdmxOp::Acc { op, .. } if op.is_complex() => InstClass::MediaComplex,
+            MdmxOp::Acc { .. } => InstClass::MediaSimple,
+            MdmxOp::ReadAcc { .. } | MdmxOp::ReduceAcc { .. } => InstClass::MediaSimple,
+        }
+    }
+
+    /// Source registers read by this instruction.
+    ///
+    /// Accumulating forms list the accumulator as a source as well as a
+    /// destination: that is exactly the recurrence the paper criticises.
+    pub fn srcs(&self) -> Vec<ArchReg> {
+        let m = |r: &MediaReg| ArchReg::media(r.index() as u8);
+        let a = |r: &AccReg| ArchReg::acc(r.index() as u8);
+        match self {
+            MdmxOp::Simd(op) => op.srcs(),
+            MdmxOp::AccClear { .. } => vec![],
+            MdmxOp::Acc { acc, ma, mb, .. } => vec![a(acc), m(ma), m(mb)],
+            MdmxOp::ReadAcc { acc, .. } | MdmxOp::ReduceAcc { acc, .. } => vec![a(acc)],
+        }
+    }
+
+    /// Destination registers written by this instruction.
+    pub fn dsts(&self) -> Vec<ArchReg> {
+        let m = |r: &MediaReg| ArchReg::media(r.index() as u8);
+        let a = |r: &AccReg| ArchReg::acc(r.index() as u8);
+        let i = |r: &IntReg| ArchReg::int(r.index() as u8);
+        match self {
+            MdmxOp::Simd(op) => op.dsts(),
+            MdmxOp::AccClear { acc } | MdmxOp::Acc { acc, .. } => vec![a(acc)],
+            MdmxOp::ReadAcc { md, .. } => vec![m(md)],
+            MdmxOp::ReduceAcc { rd, .. } => vec![i(rd)],
+        }
+    }
+
+    /// Execute the instruction against the architectural state.
+    pub fn execute(&self, st: &mut CoreState) -> Outcome {
+        match self {
+            MdmxOp::Simd(op) => op.execute(st),
+            MdmxOp::AccClear { acc } => {
+                st.accs[acc.index()].clear();
+                Outcome::fall()
+            }
+            MdmxOp::Acc { op, acc, ma, mb, lane } => {
+                let a = st.media.read(*ma);
+                let b = st.media.read(*mb);
+                op.apply(&mut st.accs[acc.index()], a, b, *lane);
+                Outcome::fall()
+            }
+            MdmxOp::ReadAcc { md, acc, lane, shift, sat } => {
+                let v = st.accs[acc.index()].read_packed(*lane, *shift as u32, *sat);
+                st.media.write(*md, v);
+                Outcome::fall()
+            }
+            MdmxOp::ReduceAcc { rd, acc } => {
+                let v = st.accs[acc.index()].reduce_sum();
+                st.int.write(*rd, v);
+                Outcome::fall()
+            }
+        }
+    }
+}
+
+impl From<MmxOp> for MdmxOp {
+    fn from(op: MmxOp) -> Self {
+        MdmxOp::Simd(op)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mem::MemImage;
+    use crate::packed::PackedWord;
+    use crate::regs::{a, m, r};
+
+    fn state() -> CoreState {
+        CoreState::new(MemImage::new(0x1000, 256))
+    }
+
+    #[test]
+    fn accumulate_dot_product() {
+        let mut st = state();
+        st.media.write(m(1), PackedWord::from_i16_lanes([1, 2, 3, 4]));
+        st.media.write(m(2), PackedWord::from_i16_lanes([10, 20, 30, 40]));
+        MdmxOp::AccClear { acc: a(0) }.execute(&mut st);
+        MdmxOp::Acc { op: AccOp::MulAdd, acc: a(0), ma: m(1), mb: m(2), lane: Lane::I16 }.execute(&mut st);
+        MdmxOp::Acc { op: AccOp::MulAdd, acc: a(0), ma: m(1), mb: m(2), lane: Lane::I16 }.execute(&mut st);
+        MdmxOp::ReduceAcc { rd: r(3), acc: a(0) }.execute(&mut st);
+        assert_eq!(st.int.read(r(3)), 2 * (10 + 40 + 90 + 160));
+    }
+
+    #[test]
+    fn accumulate_sad_and_sqd() {
+        let mut st = state();
+        let x = PackedWord::from_u8_lanes([10, 20, 30, 40, 50, 60, 70, 80]);
+        let y = PackedWord::from_u8_lanes([12, 18, 35, 40, 52, 60, 70, 81]);
+        st.media.write(m(1), x);
+        st.media.write(m(2), y);
+        MdmxOp::Acc { op: AccOp::AbsDiffAdd, acc: a(1), ma: m(1), mb: m(2), lane: Lane::U8 }.execute(&mut st);
+        MdmxOp::ReduceAcc { rd: r(3), acc: a(1) }.execute(&mut st);
+        assert_eq!(st.int.read(r(3)), x.sad(y, Lane::U8));
+        MdmxOp::AccClear { acc: a(1) }.execute(&mut st);
+        MdmxOp::Acc { op: AccOp::SqrDiffAdd, acc: a(1), ma: m(1), mb: m(2), lane: Lane::U8 }.execute(&mut st);
+        MdmxOp::ReduceAcc { rd: r(4), acc: a(1) }.execute(&mut st);
+        assert_eq!(st.int.read(r(4)), x.sqd(y, Lane::U8));
+    }
+
+    #[test]
+    fn read_acc_applies_shift_and_saturation() {
+        let mut st = state();
+        st.media.write(m(1), PackedWord::from_i16_lanes([1000, -1000, 30000, 5]));
+        st.media.write(m(2), PackedWord::from_i16_lanes([4, 4, 4, 4]));
+        MdmxOp::Acc { op: AccOp::MulAdd, acc: a(0), ma: m(1), mb: m(2), lane: Lane::I16 }.execute(&mut st);
+        MdmxOp::ReadAcc { md: m(3), acc: a(0), lane: Lane::I16, shift: 2, sat: Saturation::Saturating }
+            .execute(&mut st);
+        assert_eq!(st.media.read(m(3)).to_i16_lanes(), [1000, -1000, 30000, 5]);
+        // Without the shift, 30000*4 saturates on read-back.
+        MdmxOp::ReadAcc { md: m(4), acc: a(0), lane: Lane::I16, shift: 0, sat: Saturation::Saturating }
+            .execute(&mut st);
+        assert_eq!(st.media.read(m(4)).to_i16_lanes()[2], 32767);
+    }
+
+    #[test]
+    fn simd_ops_pass_through() {
+        let mut st = state();
+        st.media.write(m(1), PackedWord::from_u8_lanes([1; 8]));
+        st.media.write(m(2), PackedWord::from_u8_lanes([2; 8]));
+        let op = MdmxOp::Simd(MmxOp::Packed {
+            op: crate::mmx::PackedBinOp::Add,
+            md: m(3),
+            ma: m(1),
+            mb: m(2),
+            lane: Lane::U8,
+            sat: Saturation::Wrapping,
+        });
+        op.execute(&mut st);
+        assert_eq!(st.media.read(m(3)).to_u8_lanes(), [3; 8]);
+        assert_eq!(op.class(), InstClass::MediaSimple);
+    }
+
+    #[test]
+    fn accumulator_recurrence_is_visible_in_metadata() {
+        let op = MdmxOp::Acc { op: AccOp::MulAdd, acc: a(2), ma: m(1), mb: m(2), lane: Lane::I16 };
+        // The accumulator appears both as a source and a destination: this is
+        // the recurrence that limits MDMX ILP in the paper's analysis.
+        assert!(op.srcs().contains(&ArchReg::acc(2)));
+        assert!(op.dsts().contains(&ArchReg::acc(2)));
+        assert_eq!(op.class(), InstClass::MediaComplex);
+        let adda = MdmxOp::Acc { op: AccOp::Add, acc: a(0), ma: m(1), mb: m(1), lane: Lane::U8 };
+        assert_eq!(adda.class(), InstClass::MediaSimple);
+    }
+
+    #[test]
+    fn from_mmx_conversion() {
+        let op: MdmxOp = MmxOp::Ld { md: m(1), base: r(2), offset: 8 }.into();
+        assert_eq!(op.class(), InstClass::Load);
+    }
+}

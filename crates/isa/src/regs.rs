@@ -1,0 +1,247 @@
+//! Architectural register names and register files.
+//!
+//! Every ISA modelled by the workspace addresses registers through small
+//! newtype indices so that kernels cannot accidentally mix an integer register
+//! with a media register or a MOM matrix register. The timing simulator
+//! receives the same information through [`crate::trace::ArchReg`], which is a
+//! class-tagged erased form of these newtypes.
+
+/// Number of architectural integer registers (Alpha-like baseline).
+pub const NUM_INT_REGS: usize = 32;
+/// Number of architectural floating-point registers.
+pub const NUM_FP_REGS: usize = 32;
+/// Number of architectural media (MMX/MDMX) registers modelled by the paper's
+/// emulation libraries (extended from the real 8 of MMX to 32).
+pub const NUM_MEDIA_REGS: usize = 32;
+/// Number of MDMX packed accumulators.
+pub const NUM_MDMX_ACCS: usize = 4;
+
+macro_rules! reg_newtype {
+    ($(#[$doc:meta])* $name:ident, $max:expr) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+        pub struct $name(u8);
+
+        impl $name {
+            /// Create a register name.
+            ///
+            /// # Panics
+            ///
+            /// Panics if `idx` is outside the architectural register file.
+            pub fn new(idx: usize) -> Self {
+                assert!(idx < $max, concat!(stringify!($name), " index {} out of range"), idx);
+                Self(idx as u8)
+            }
+
+            /// Architectural index of this register.
+            pub const fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl std::fmt::Display for $name {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                write!(f, "{}{}", stringify!($name), self.0)
+            }
+        }
+
+        impl From<$name> for usize {
+            fn from(r: $name) -> usize {
+                r.index()
+            }
+        }
+    };
+}
+
+reg_newtype!(
+    /// An integer (scalar) register, `R0`..`R31`. `R31` reads as zero by Alpha
+    /// convention and writes to it are discarded.
+    IntReg,
+    NUM_INT_REGS
+);
+reg_newtype!(
+    /// A floating-point register, `F0`..`F31`.
+    FpReg,
+    NUM_FP_REGS
+);
+reg_newtype!(
+    /// A 64-bit multimedia register (MMX/MDMX), `M0`..`M31`.
+    MediaReg,
+    NUM_MEDIA_REGS
+);
+reg_newtype!(
+    /// An MDMX packed accumulator, `A0`..`A3`.
+    AccReg,
+    NUM_MDMX_ACCS
+);
+
+/// Shorthand constructor for an integer register.
+pub fn r(idx: usize) -> IntReg {
+    IntReg::new(idx)
+}
+
+/// Shorthand constructor for a media register.
+pub fn m(idx: usize) -> MediaReg {
+    MediaReg::new(idx)
+}
+
+/// Shorthand constructor for an accumulator register.
+pub fn a(idx: usize) -> AccReg {
+    AccReg::new(idx)
+}
+
+/// The architectural zero register (`R31` in the Alpha convention).
+pub const ZERO_REG: IntReg = IntReg(31);
+
+/// Integer register file.
+///
+/// Register 31 is hard-wired to zero, matching the Alpha baseline the paper's
+/// emulation libraries extend.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IntRegFile {
+    regs: [i64; NUM_INT_REGS],
+}
+
+impl Default for IntRegFile {
+    fn default() -> Self {
+        Self { regs: [0; NUM_INT_REGS] }
+    }
+}
+
+impl IntRegFile {
+    /// A register file with every register zeroed.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Read a register (the zero register always reads 0).
+    pub fn read(&self, reg: IntReg) -> i64 {
+        if reg == ZERO_REG {
+            0
+        } else {
+            self.regs[reg.index()]
+        }
+    }
+
+    /// Write a register (writes to the zero register are ignored).
+    pub fn write(&mut self, reg: IntReg, value: i64) {
+        if reg != ZERO_REG {
+            self.regs[reg.index()] = value;
+        }
+    }
+}
+
+/// Floating-point register file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FpRegFile {
+    regs: [f64; NUM_FP_REGS],
+}
+
+impl Default for FpRegFile {
+    fn default() -> Self {
+        Self { regs: [0.0; NUM_FP_REGS] }
+    }
+}
+
+impl FpRegFile {
+    /// A register file with every register zeroed.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Read a register.
+    pub fn read(&self, reg: FpReg) -> f64 {
+        self.regs[reg.index()]
+    }
+
+    /// Write a register.
+    pub fn write(&mut self, reg: FpReg, value: f64) {
+        self.regs[reg.index()] = value;
+    }
+}
+
+/// 64-bit multimedia register file shared by the MMX- and MDMX-like models.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MediaRegFile {
+    regs: [crate::packed::PackedWord; NUM_MEDIA_REGS],
+}
+
+impl Default for MediaRegFile {
+    fn default() -> Self {
+        Self { regs: [crate::packed::PackedWord::ZERO; NUM_MEDIA_REGS] }
+    }
+}
+
+impl MediaRegFile {
+    /// A register file with every register zeroed.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Read a register.
+    pub fn read(&self, reg: MediaReg) -> crate::packed::PackedWord {
+        self.regs[reg.index()]
+    }
+
+    /// Write a register.
+    pub fn write(&mut self, reg: MediaReg, value: crate::packed::PackedWord) {
+        self.regs[reg.index()] = value;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packed::PackedWord;
+
+    #[test]
+    fn newtype_bounds_are_enforced() {
+        assert_eq!(IntReg::new(5).index(), 5);
+        assert_eq!(MediaReg::new(31).index(), 31);
+        assert_eq!(AccReg::new(3).index(), 3);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_int_reg_panics() {
+        let _ = IntReg::new(32);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_acc_panics() {
+        let _ = AccReg::new(4);
+    }
+
+    #[test]
+    fn zero_register_reads_zero_and_ignores_writes() {
+        let mut rf = IntRegFile::new();
+        rf.write(ZERO_REG, 42);
+        assert_eq!(rf.read(ZERO_REG), 0);
+        rf.write(r(3), -7);
+        assert_eq!(rf.read(r(3)), -7);
+    }
+
+    #[test]
+    fn fp_regfile_roundtrip() {
+        let mut rf = FpRegFile::new();
+        rf.write(FpReg::new(2), 3.25);
+        assert_eq!(rf.read(FpReg::new(2)), 3.25);
+        assert_eq!(rf.read(FpReg::new(3)), 0.0);
+    }
+
+    #[test]
+    fn media_regfile_roundtrip() {
+        let mut rf = MediaRegFile::new();
+        let w = PackedWord::from_u8_lanes([1, 2, 3, 4, 5, 6, 7, 8]);
+        rf.write(m(9), w);
+        assert_eq!(rf.read(m(9)), w);
+        assert_eq!(rf.read(m(10)), PackedWord::ZERO);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(format!("{}", r(4)), "IntReg4");
+        assert_eq!(format!("{}", m(2)), "MediaReg2");
+    }
+}

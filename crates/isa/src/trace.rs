@@ -1,0 +1,493 @@
+//! Dynamic instruction traces — the contract between the functional
+//! interpreters and the timing simulator.
+//!
+//! The original study instrumented Alpha binaries with ATOM and fed the
+//! resulting dynamic instruction stream to the Jinks out-of-order simulator.
+//! This workspace does the equivalent in-process: the functional interpreter
+//! (in `mom-core`) executes a kernel program and emits one [`DynInst`] per
+//! graduated instruction, carrying everything the timing model needs — the
+//! functional-unit class, the architectural registers read and written, the
+//! individual memory element accesses and the branch outcome.
+
+/// Which of the evaluated instruction-set architectures a program targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum IsaKind {
+    /// Plain scalar baseline (the paper's Alpha code).
+    Alpha,
+    /// MMX-like 64-bit sub-word SIMD extension.
+    Mmx,
+    /// MDMX-like extension: MMX-style SIMD plus packed accumulators.
+    Mdmx,
+    /// The MOM matrix extension (vector-of-SIMD with wide accumulators).
+    Mom,
+}
+
+impl IsaKind {
+    /// All evaluated ISAs in the order the paper's figures use.
+    pub const ALL: [IsaKind; 4] = [IsaKind::Alpha, IsaKind::Mmx, IsaKind::Mdmx, IsaKind::Mom];
+
+    /// Short lower-case label used in experiment output.
+    pub fn label(self) -> &'static str {
+        match self {
+            IsaKind::Alpha => "alpha",
+            IsaKind::Mmx => "mmx",
+            IsaKind::Mdmx => "mdmx",
+            IsaKind::Mom => "mom",
+        }
+    }
+}
+
+impl std::fmt::Display for IsaKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Architectural register class, used for renaming in the timing model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum RegClass {
+    /// Scalar integer registers (also hold the MOM vector-length register,
+    /// which the paper renames through the integer pool).
+    Int,
+    /// Scalar floating-point registers.
+    Fp,
+    /// 64-bit multimedia registers (MMX/MDMX).
+    Media,
+    /// MDMX packed accumulators.
+    Acc,
+    /// MOM matrix registers (16 x 64-bit words each).
+    Mom,
+    /// MOM packed accumulators.
+    MomAcc,
+}
+
+impl RegClass {
+    /// Every register class.
+    pub const ALL: [RegClass; 6] = [
+        RegClass::Int,
+        RegClass::Fp,
+        RegClass::Media,
+        RegClass::Acc,
+        RegClass::Mom,
+        RegClass::MomAcc,
+    ];
+}
+
+/// A class-tagged architectural register identifier as seen by the renamer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ArchReg {
+    /// Register class (selects the physical register pool).
+    pub class: RegClass,
+    /// Architectural index within the class.
+    pub index: u8,
+}
+
+impl ArchReg {
+    /// Construct a register identifier.
+    pub fn new(class: RegClass, index: u8) -> Self {
+        Self { class, index }
+    }
+
+    /// Integer register shorthand.
+    pub fn int(index: u8) -> Self {
+        Self::new(RegClass::Int, index)
+    }
+
+    /// Media register shorthand.
+    pub fn media(index: u8) -> Self {
+        Self::new(RegClass::Media, index)
+    }
+
+    /// MDMX accumulator shorthand.
+    pub fn acc(index: u8) -> Self {
+        Self::new(RegClass::Acc, index)
+    }
+
+    /// MOM matrix register shorthand.
+    pub fn mom(index: u8) -> Self {
+        Self::new(RegClass::Mom, index)
+    }
+
+    /// MOM accumulator shorthand.
+    pub fn mom_acc(index: u8) -> Self {
+        Self::new(RegClass::MomAcc, index)
+    }
+}
+
+impl std::fmt::Display for ArchReg {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let prefix = match self.class {
+            RegClass::Int => "r",
+            RegClass::Fp => "f",
+            RegClass::Media => "m",
+            RegClass::Acc => "a",
+            RegClass::Mom => "v",
+            RegClass::MomAcc => "va",
+        };
+        write!(f, "{prefix}{}", self.index)
+    }
+}
+
+/// Functional-unit / latency class of a dynamic instruction.
+///
+/// The classes mirror Table 1 of the paper: integer and floating-point units
+/// come in *simple* (logic, shift, add) and *complex* (multiply, divide)
+/// flavours, the multimedia unit likewise, and memory operations occupy the
+/// memory ports. MOM instructions use the same media/memory units but occupy
+/// them for multiple beats (see [`DynInst::elems`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum InstClass {
+    /// Integer add/sub/logic/shift/compare and control-register moves.
+    IntSimple,
+    /// Integer multiply and divide.
+    IntComplex,
+    /// Floating-point add/sub/convert.
+    FpSimple,
+    /// Floating-point multiply/divide.
+    FpComplex,
+    /// Multimedia packed add/sub/logic/shift/min/max/average/pack/unpack.
+    MediaSimple,
+    /// Multimedia packed multiply and multiply-accumulate.
+    MediaComplex,
+    /// A load from memory (scalar or one MOM vector load).
+    Load,
+    /// A store to memory (scalar or one MOM vector store).
+    Store,
+    /// A conditional or unconditional branch.
+    Branch,
+    /// An instruction with no functional unit requirement (e.g. `nop`,
+    /// vector-length set) — it still occupies a ROB slot and fetch bandwidth.
+    Nop,
+}
+
+impl InstClass {
+    /// Whether the instruction accesses memory.
+    pub fn is_mem(self) -> bool {
+        matches!(self, InstClass::Load | InstClass::Store)
+    }
+
+    /// Whether the instruction executes on the multimedia unit.
+    pub fn is_media(self) -> bool {
+        matches!(self, InstClass::MediaSimple | InstClass::MediaComplex)
+    }
+}
+
+/// Whether a memory access reads or writes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MemKind {
+    /// Read access.
+    Load,
+    /// Write access.
+    Store,
+}
+
+/// One element-level memory access.
+///
+/// A scalar load/store contributes exactly one; a MOM memory instruction with
+/// vector length `VL` contributes `VL` of them (one per 64-bit row).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MemAccess {
+    /// Virtual byte address.
+    pub addr: u64,
+    /// Access size in bytes.
+    pub size: u8,
+    /// Load or store.
+    pub kind: MemKind,
+}
+
+/// Branch outcome information attached to control-flow instructions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BranchInfo {
+    /// Whether the branch was taken in the dynamic execution.
+    pub taken: bool,
+    /// Whether the branch is conditional (unconditional jumps are always taken
+    /// and perfectly predictable by the BTB once seen).
+    pub conditional: bool,
+    /// Identifier of the static branch site, used to index the predictor
+    /// tables; kernel builders derive it from the static program counter.
+    pub pc: u64,
+    /// Target static program counter (index), for BTB modelling.
+    pub target: u64,
+}
+
+/// Maximum number of source registers a dynamic instruction can carry.
+pub const MAX_SRCS: usize = 4;
+/// Maximum number of destination registers a dynamic instruction can carry.
+pub const MAX_DSTS: usize = 2;
+
+/// One graduated dynamic instruction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DynInst {
+    /// Functional-unit class.
+    pub class: InstClass,
+    /// Source architectural registers (`None` entries are unused slots).
+    pub srcs: [Option<ArchReg>; MAX_SRCS],
+    /// Destination architectural registers (`None` entries are unused slots).
+    pub dsts: [Option<ArchReg>; MAX_DSTS],
+    /// Element memory accesses (empty for non-memory instructions).
+    pub mem: Vec<MemAccess>,
+    /// Branch outcome (only for [`InstClass::Branch`]).
+    pub branch: Option<BranchInfo>,
+    /// Number of vector elements processed (1 for scalar/MMX/MDMX
+    /// instructions, the vector length for MOM instructions). The timing model
+    /// uses it to compute functional-unit occupancy.
+    pub elems: u16,
+    /// Static program counter (instruction index within the program), used for
+    /// the fetch model and branch predictor indexing.
+    pub pc: u64,
+}
+
+impl DynInst {
+    /// Create a dynamic instruction with no register, memory or branch
+    /// information (a skeleton the builder methods then fill in).
+    pub fn new(class: InstClass, pc: u64) -> Self {
+        Self {
+            class,
+            srcs: [None; MAX_SRCS],
+            dsts: [None; MAX_DSTS],
+            mem: Vec::new(),
+            branch: None,
+            elems: 1,
+            pc,
+        }
+    }
+
+    /// Add a source register (ignored once all [`MAX_SRCS`] slots are full —
+    /// additional sources beyond the modelled read-port count do not create
+    /// extra dependences the timing model could track anyway).
+    pub fn with_src(mut self, reg: ArchReg) -> Self {
+        if let Some(slot) = self.srcs.iter_mut().find(|s| s.is_none()) {
+            *slot = Some(reg);
+        }
+        self
+    }
+
+    /// Add a destination register.
+    pub fn with_dst(mut self, reg: ArchReg) -> Self {
+        if let Some(slot) = self.dsts.iter_mut().find(|s| s.is_none()) {
+            *slot = Some(reg);
+        }
+        self
+    }
+
+    /// Set the vector element count.
+    pub fn with_elems(mut self, elems: u16) -> Self {
+        self.elems = elems.max(1);
+        self
+    }
+
+    /// Attach memory accesses.
+    pub fn with_mem(mut self, accesses: Vec<MemAccess>) -> Self {
+        self.mem = accesses;
+        self
+    }
+
+    /// Attach a branch outcome.
+    pub fn with_branch(mut self, branch: BranchInfo) -> Self {
+        self.branch = Some(branch);
+        self
+    }
+
+    /// Iterator over the populated source registers.
+    pub fn sources(&self) -> impl Iterator<Item = ArchReg> + '_ {
+        self.srcs.iter().flatten().copied()
+    }
+
+    /// Iterator over the populated destination registers.
+    pub fn dests(&self) -> impl Iterator<Item = ArchReg> + '_ {
+        self.dsts.iter().flatten().copied()
+    }
+}
+
+/// A complete dynamic trace plus summary statistics.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Trace {
+    /// Graduated dynamic instructions in program order.
+    pub insts: Vec<DynInst>,
+    /// ISA the trace was generated for (informational).
+    pub isa: Option<IsaKind>,
+}
+
+/// Instruction-mix statistics of a trace.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TraceStats {
+    /// Total dynamic instructions.
+    pub total: usize,
+    /// Loads (scalar or vector).
+    pub loads: usize,
+    /// Stores (scalar or vector).
+    pub stores: usize,
+    /// Branches.
+    pub branches: usize,
+    /// Instructions executing on the multimedia unit.
+    pub media: usize,
+    /// Total vector elements processed by MOM instructions (sum of `elems`
+    /// over instructions with `elems > 1`).
+    pub vector_elems: usize,
+    /// Total element-level memory accesses.
+    pub mem_accesses: usize,
+}
+
+impl Trace {
+    /// An empty trace for the given ISA.
+    pub fn new(isa: IsaKind) -> Self {
+        Self { insts: Vec::new(), isa: Some(isa) }
+    }
+
+    /// Number of dynamic instructions.
+    pub fn len(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.insts.is_empty()
+    }
+
+    /// Append an instruction.
+    pub fn push(&mut self, inst: DynInst) {
+        self.insts.push(inst);
+    }
+
+    /// Append all instructions of another trace (used to stitch application
+    /// phases together).
+    pub fn extend_from(&mut self, other: &Trace) {
+        self.insts.extend(other.insts.iter().cloned());
+    }
+
+    /// Compute instruction-mix statistics.
+    pub fn stats(&self) -> TraceStats {
+        let mut s = TraceStats { total: self.insts.len(), ..TraceStats::default() };
+        for i in &self.insts {
+            match i.class {
+                InstClass::Load => s.loads += 1,
+                InstClass::Store => s.stores += 1,
+                InstClass::Branch => s.branches += 1,
+                InstClass::MediaSimple | InstClass::MediaComplex => s.media += 1,
+                _ => {}
+            }
+            if i.elems > 1 {
+                s.vector_elems += i.elems as usize;
+            }
+            s.mem_accesses += i.mem.len();
+        }
+        s
+    }
+}
+
+impl std::iter::FromIterator<DynInst> for Trace {
+    fn from_iter<T: IntoIterator<Item = DynInst>>(iter: T) -> Self {
+        Trace { insts: iter.into_iter().collect(), isa: None }
+    }
+}
+
+impl Extend<DynInst> for Trace {
+    fn extend<T: IntoIterator<Item = DynInst>>(&mut self, iter: T) {
+        self.insts.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn isa_labels() {
+        assert_eq!(IsaKind::Alpha.label(), "alpha");
+        assert_eq!(IsaKind::Mom.to_string(), "mom");
+        assert_eq!(IsaKind::ALL.len(), 4);
+    }
+
+    #[test]
+    fn arch_reg_display() {
+        assert_eq!(ArchReg::int(3).to_string(), "r3");
+        assert_eq!(ArchReg::media(7).to_string(), "m7");
+        assert_eq!(ArchReg::mom(1).to_string(), "v1");
+        assert_eq!(ArchReg::mom_acc(0).to_string(), "va0");
+    }
+
+    #[test]
+    fn inst_class_queries() {
+        assert!(InstClass::Load.is_mem());
+        assert!(!InstClass::IntSimple.is_mem());
+        assert!(InstClass::MediaComplex.is_media());
+        assert!(!InstClass::Branch.is_media());
+    }
+
+    #[test]
+    fn dyn_inst_builder_fills_slots() {
+        let i = DynInst::new(InstClass::IntSimple, 4)
+            .with_src(ArchReg::int(1))
+            .with_src(ArchReg::int(2))
+            .with_dst(ArchReg::int(3))
+            .with_elems(0);
+        assert_eq!(i.sources().count(), 2);
+        assert_eq!(i.dests().count(), 1);
+        assert_eq!(i.elems, 1, "elems is clamped to at least 1");
+        assert_eq!(i.pc, 4);
+    }
+
+    #[test]
+    fn dyn_inst_extra_sources_are_dropped() {
+        let mut i = DynInst::new(InstClass::IntSimple, 0);
+        for n in 0..6 {
+            i = i.with_src(ArchReg::int(n));
+        }
+        assert_eq!(i.sources().count(), MAX_SRCS);
+    }
+
+    #[test]
+    fn trace_stats_count_classes() {
+        let mut t = Trace::new(IsaKind::Mom);
+        t.push(DynInst::new(InstClass::Load, 0).with_mem(vec![MemAccess {
+            addr: 0x10,
+            size: 8,
+            kind: MemKind::Load,
+        }]));
+        t.push(
+            DynInst::new(InstClass::Load, 1)
+                .with_elems(16)
+                .with_mem((0..16).map(|i| MemAccess { addr: 0x100 + i * 32, size: 8, kind: MemKind::Load }).collect()),
+        );
+        t.push(DynInst::new(InstClass::MediaSimple, 2).with_elems(16));
+        t.push(DynInst::new(InstClass::Branch, 3).with_branch(BranchInfo {
+            taken: true,
+            conditional: true,
+            pc: 3,
+            target: 0,
+        }));
+        t.push(DynInst::new(InstClass::Store, 4).with_mem(vec![MemAccess {
+            addr: 0x20,
+            size: 4,
+            kind: MemKind::Store,
+        }]));
+        let s = t.stats();
+        assert_eq!(s.total, 5);
+        assert_eq!(s.loads, 2);
+        assert_eq!(s.stores, 1);
+        assert_eq!(s.branches, 1);
+        assert_eq!(s.media, 1);
+        assert_eq!(s.vector_elems, 32);
+        assert_eq!(s.mem_accesses, 18);
+        assert_eq!(t.len(), 5);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn trace_extend_concatenates() {
+        let mut a = Trace::new(IsaKind::Alpha);
+        a.push(DynInst::new(InstClass::IntSimple, 0));
+        let mut b = Trace::new(IsaKind::Alpha);
+        b.push(DynInst::new(InstClass::IntSimple, 1));
+        b.push(DynInst::new(InstClass::IntSimple, 2));
+        a.extend_from(&b);
+        assert_eq!(a.len(), 3);
+    }
+
+    #[test]
+    fn trace_from_iterator() {
+        let t: Trace = (0..4).map(|pc| DynInst::new(InstClass::Nop, pc)).collect();
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.isa, None);
+    }
+}

@@ -1,0 +1,126 @@
+//! Property-based tests of the packed sub-word arithmetic and accumulators:
+//! lane isolation, saturation bounds, pack/unpack round trips and equivalence
+//! with wide scalar arithmetic.
+
+use mom_isa::accumulator::Accumulator;
+use mom_isa::packed::{Lane, PackedWord, Saturation};
+use proptest::prelude::*;
+
+fn lanes() -> impl Strategy<Value = Lane> {
+    prop_oneof![
+        Just(Lane::U8),
+        Just(Lane::I8),
+        Just(Lane::U16),
+        Just(Lane::I16),
+        Just(Lane::U32),
+        Just(Lane::I32)
+    ]
+}
+
+proptest! {
+    #[test]
+    fn lane_roundtrip(bits in any::<u64>(), lane in lanes()) {
+        let w = PackedWord::new(bits);
+        let rebuilt = PackedWord::from_lanes(lane, w.lanes(lane).into_iter());
+        prop_assert_eq!(rebuilt, w);
+    }
+
+    #[test]
+    fn saturating_results_stay_in_range(a in any::<u64>(), b in any::<u64>(), lane in lanes()) {
+        let x = PackedWord::new(a);
+        let y = PackedWord::new(b);
+        for op in [x.add(y, lane, Saturation::Saturating), x.sub(y, lane, Saturation::Saturating)] {
+            for i in 0..lane.count() {
+                let v = op.lane(lane, i);
+                prop_assert!(v >= lane.min_value() && v <= lane.max_value());
+            }
+        }
+    }
+
+    #[test]
+    fn wrapping_add_matches_scalar_wrapping(a in any::<u64>(), b in any::<u64>()) {
+        let x = PackedWord::new(a);
+        let y = PackedWord::new(b);
+        let sum = x.add(y, Lane::U8, Saturation::Wrapping);
+        for i in 0..8 {
+            let expect = (x.to_u8_lanes()[i]).wrapping_add(y.to_u8_lanes()[i]);
+            prop_assert_eq!(sum.to_u8_lanes()[i], expect);
+        }
+    }
+
+    #[test]
+    fn abs_diff_is_symmetric_and_bounded(a in any::<u64>(), b in any::<u64>()) {
+        let x = PackedWord::new(a);
+        let y = PackedWord::new(b);
+        prop_assert_eq!(x.abs_diff(y, Lane::U8), y.abs_diff(x, Lane::U8));
+        prop_assert_eq!(x.sad(y, Lane::U8), y.sad(x, Lane::U8));
+        prop_assert!(x.sad(y, Lane::U8) <= 8 * 255);
+        prop_assert_eq!(x.abs_diff(x, Lane::U8), PackedWord::ZERO);
+    }
+
+    #[test]
+    fn unpack_lo_hi_cover_all_lanes(a in any::<u64>(), b in any::<u64>()) {
+        let x = PackedWord::new(a);
+        let y = PackedWord::new(b);
+        let lo = x.unpack_lo(y, Lane::U8).to_u8_lanes();
+        let hi = x.unpack_hi(y, Lane::U8).to_u8_lanes();
+        let mut seen: Vec<u8> = lo.iter().chain(hi.iter()).copied().collect();
+        let mut expected: Vec<u8> = x.to_u8_lanes().iter().chain(y.to_u8_lanes().iter()).copied().collect();
+        seen.sort_unstable();
+        expected.sort_unstable();
+        prop_assert_eq!(seen, expected);
+    }
+
+    #[test]
+    fn pack_saturates_to_destination_range(a in any::<u64>(), b in any::<u64>()) {
+        let x = PackedWord::new(a);
+        let y = PackedWord::new(b);
+        let packed = x.pack(y, Lane::I16, false);
+        for i in 0..8 {
+            let v = packed.lane(Lane::U8, i);
+            prop_assert!((0..=255).contains(&v));
+        }
+        let source = if i32::from(x.to_i16_lanes()[0]) < 0 { 0 } else { x.to_i16_lanes()[0].min(255) as i64 };
+        prop_assert_eq!(packed.lane(Lane::U8, 0), source);
+    }
+
+    #[test]
+    fn select_picks_only_from_inputs(mask in any::<u64>(), a in any::<u64>(), b in any::<u64>()) {
+        let m = PackedWord::new(mask);
+        let x = PackedWord::new(a);
+        let y = PackedWord::new(b);
+        let sel = PackedWord::select(m, x, y, Lane::U8);
+        for i in 0..8 {
+            let v = sel.lane(Lane::U8, i);
+            prop_assert!(v == x.lane(Lane::U8, i) || v == y.lane(Lane::U8, i));
+        }
+    }
+
+    #[test]
+    fn accumulator_mul_add_matches_scalar(a in prop::collection::vec(-3000i64..3000, 4),
+                                          b in prop::collection::vec(-3000i64..3000, 4),
+                                          reps in 1usize..5) {
+        let x = PackedWord::from_lanes(Lane::I16, a.iter().copied());
+        let y = PackedWord::from_lanes(Lane::I16, b.iter().copied());
+        let mut acc = Accumulator::new();
+        for _ in 0..reps {
+            acc.mul_add(x, y, Lane::I16);
+        }
+        let expect: i64 = a.iter().zip(&b).map(|(p, q)| p * q).sum::<i64>() * reps as i64;
+        prop_assert_eq!(acc.reduce_sum(), expect);
+    }
+
+    #[test]
+    fn accumulator_read_back_is_saturated(values in prop::collection::vec(-(1i64<<40)..(1i64<<40), 4),
+                                          shift in 0u32..16) {
+        let mut acc = Accumulator::new();
+        for (i, v) in values.iter().enumerate() {
+            acc.set_lane(Lane::I16, i, *v);
+        }
+        let packed = acc.read_packed(Lane::I16, shift, Saturation::Saturating);
+        for i in 0..4 {
+            let v = packed.lane(Lane::I16, i);
+            prop_assert!((i16::MIN as i64..=i16::MAX as i64).contains(&v));
+        }
+    }
+}

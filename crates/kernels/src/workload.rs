@@ -1,0 +1,274 @@
+//! Synthetic workload generators.
+//!
+//! The original study used Mediabench inputs (the `mei16v2rec` MPEG-2 stream,
+//! `penguin.ppm`, `clinton.pcm`). Those files are not redistributable here, so
+//! the kernels and applications run on deterministic synthetic data that
+//! exercises the same access patterns and dynamic ranges:
+//!
+//! * [`VideoFrame`] — pseudo-natural luminance frames with smooth gradients,
+//!   texture noise and a translational shift between frames (so motion
+//!   estimation finds real displacements);
+//! * [`RgbImage`] — smooth-gradient-plus-noise planar RGB images;
+//! * [`PcmAudio`] — band-limited 16-bit audio with a long-term pitch period
+//!   (so the GSM long-term predictor has a correlation peak to find);
+//! * [`CoeffBlocks`] — 8×8 blocks of DCT-coefficient-like data (large DC,
+//!   decaying AC terms).
+//!
+//! All generators take an explicit seed; the same seed always produces the
+//! same bytes.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A luminance (8-bit) frame with an explicit row stride.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VideoFrame {
+    /// Frame width in pixels.
+    pub width: usize,
+    /// Frame height in pixels.
+    pub height: usize,
+    /// Row stride in bytes (equal to `width` here).
+    pub stride: usize,
+    /// Pixel data, row-major.
+    pub pixels: Vec<u8>,
+}
+
+impl VideoFrame {
+    /// Generate a pseudo-natural frame: a smooth 2-D gradient plus blobs of
+    /// texture and a little noise.
+    pub fn synthetic(width: usize, height: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut pixels = vec![0u8; width * height];
+        let blobs: Vec<(f64, f64, f64, f64)> = (0..6)
+            .map(|_| {
+                (
+                    rng.gen_range(0.0..width as f64),
+                    rng.gen_range(0.0..height as f64),
+                    rng.gen_range(8.0..32.0),
+                    rng.gen_range(20.0..80.0),
+                )
+            })
+            .collect();
+        for y in 0..height {
+            for x in 0..width {
+                let mut v = 60.0 + 60.0 * (x as f64 / width as f64) + 40.0 * (y as f64 / height as f64);
+                for &(bx, by, r, a) in &blobs {
+                    let d2 = (x as f64 - bx).powi(2) + (y as f64 - by).powi(2);
+                    v += a * (-d2 / (2.0 * r * r)).exp();
+                }
+                v += rng.gen_range(-4.0..4.0);
+                pixels[y * width + x] = v.clamp(0.0, 255.0) as u8;
+            }
+        }
+        Self { width, height, stride: width, pixels }
+    }
+
+    /// A copy of this frame translated by (`dx`, `dy`) pixels with a little
+    /// per-pixel noise — the "next frame" a motion estimator searches in.
+    pub fn shifted(&self, dx: isize, dy: isize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut pixels = vec![0u8; self.width * self.height];
+        for y in 0..self.height {
+            for x in 0..self.width {
+                let sx = (x as isize - dx).clamp(0, self.width as isize - 1) as usize;
+                let sy = (y as isize - dy).clamp(0, self.height as isize - 1) as usize;
+                let noise: i16 = rng.gen_range(-2..=2);
+                let v = self.pixels[sy * self.stride + sx] as i16 + noise;
+                pixels[y * self.width + x] = v.clamp(0, 255) as u8;
+            }
+        }
+        Self { width: self.width, height: self.height, stride: self.width, pixels }
+    }
+
+    /// Pixel accessor.
+    pub fn pixel(&self, x: usize, y: usize) -> u8 {
+        self.pixels[y * self.stride + x]
+    }
+}
+
+/// A planar RGB image (three `width*height` planes).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RgbImage {
+    /// Image width in pixels.
+    pub width: usize,
+    /// Image height in pixels.
+    pub height: usize,
+    /// Red plane.
+    pub r: Vec<u8>,
+    /// Green plane.
+    pub g: Vec<u8>,
+    /// Blue plane.
+    pub b: Vec<u8>,
+}
+
+impl RgbImage {
+    /// Generate a smooth-gradient-plus-noise image.
+    pub fn synthetic(width: usize, height: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = width * height;
+        let mut r = vec![0u8; n];
+        let mut g = vec![0u8; n];
+        let mut b = vec![0u8; n];
+        for y in 0..height {
+            for x in 0..width {
+                let i = y * width + x;
+                let fx = x as f64 / width as f64;
+                let fy = y as f64 / height as f64;
+                r[i] = ((200.0 * fx + 30.0 + rng.gen_range(-8.0..8.0)).clamp(0.0, 255.0)) as u8;
+                g[i] = ((180.0 * fy + 40.0 + rng.gen_range(-8.0..8.0)).clamp(0.0, 255.0)) as u8;
+                b[i] = ((120.0 * (1.0 - fx) + 100.0 * fy + rng.gen_range(-8.0..8.0)).clamp(0.0, 255.0)) as u8;
+            }
+        }
+        Self { width, height, r, g, b }
+    }
+
+    /// Number of pixels.
+    pub fn len(&self) -> usize {
+        self.width * self.height
+    }
+
+    /// Whether the image has no pixels.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// A block of band-limited 16-bit PCM audio with a dominant pitch period.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PcmAudio {
+    /// Samples.
+    pub samples: Vec<i16>,
+    /// The pitch period (in samples) planted in the signal.
+    pub pitch_period: usize,
+}
+
+impl PcmAudio {
+    /// Generate `len` samples with a pitch around `pitch_period` samples.
+    ///
+    /// Amplitudes are kept below ±2048 so 40-term cross-correlations fit
+    /// comfortably in 32 bits, which mirrors the scaling the real GSM encoder
+    /// applies before its long-term-predictor search.
+    pub fn synthetic(len: usize, pitch_period: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut samples = vec![0i16; len];
+        for (i, s) in samples.iter_mut().enumerate() {
+            let t = i as f64;
+            let fundamental = (2.0 * std::f64::consts::PI * t / pitch_period as f64).sin();
+            let overtone = 0.4 * (4.0 * std::f64::consts::PI * t / pitch_period as f64).sin();
+            let noise = rng.gen_range(-0.15..0.15);
+            *s = ((fundamental + overtone + noise) * 900.0) as i16;
+        }
+        Self { samples, pitch_period }
+    }
+}
+
+/// A batch of 8×8 blocks of DCT-coefficient-like 16-bit data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CoeffBlocks {
+    /// Number of blocks.
+    pub blocks: usize,
+    /// Coefficients, 64 per block, row-major within each block.
+    pub data: Vec<i16>,
+}
+
+impl CoeffBlocks {
+    /// Generate `blocks` blocks whose spectra look like quantised DCT data:
+    /// a large DC term and AC terms decaying with frequency, many of them zero.
+    pub fn synthetic(blocks: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut data = vec![0i16; blocks * 64];
+        for b in 0..blocks {
+            for v in 0..8 {
+                for u in 0..8 {
+                    let idx = b * 64 + v * 8 + u;
+                    if u == 0 && v == 0 {
+                        data[idx] = rng.gen_range(-800..800);
+                    } else {
+                        let decay = 1.0 / (1.0 + (u + v) as f64);
+                        if rng.gen_bool(0.4 * decay + 0.05) {
+                            data[idx] = (rng.gen_range(-300.0..300.0) * decay) as i16;
+                        }
+                    }
+                }
+            }
+        }
+        Self { blocks, data }
+    }
+
+    /// The 64 coefficients of one block.
+    pub fn block(&self, b: usize) -> &[i16] {
+        &self.data[b * 64..(b + 1) * 64]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_are_deterministic() {
+        let a = VideoFrame::synthetic(64, 48, 7);
+        let b = VideoFrame::synthetic(64, 48, 7);
+        let c = VideoFrame::synthetic(64, 48, 8);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.pixels.len(), 64 * 48);
+    }
+
+    #[test]
+    fn shifted_frame_moves_content() {
+        let a = VideoFrame::synthetic(64, 64, 3);
+        let s = a.shifted(5, 2, 4);
+        // A block well inside the frame should match its displaced source
+        // closely (only the small noise differs).
+        let mut sad_shifted = 0i64;
+        let mut sad_same = 0i64;
+        for y in 20..36 {
+            for x in 20..36 {
+                sad_shifted += (s.pixel(x, y) as i64 - a.pixel(x - 5, y - 2) as i64).abs();
+                sad_same += (s.pixel(x, y) as i64 - a.pixel(x, y) as i64).abs();
+            }
+        }
+        assert!(sad_shifted < sad_same, "shifted {sad_shifted} vs unshifted {sad_same}");
+    }
+
+    #[test]
+    fn rgb_image_has_three_planes() {
+        let img = RgbImage::synthetic(32, 16, 1);
+        assert_eq!(img.len(), 512);
+        assert!(!img.is_empty());
+        assert_eq!(img.r.len(), 512);
+        assert_eq!(img.g.len(), 512);
+        assert_eq!(img.b.len(), 512);
+        assert_ne!(img.r, img.b);
+    }
+
+    #[test]
+    fn pcm_amplitude_is_bounded() {
+        let audio = PcmAudio::synthetic(400, 55, 9);
+        assert_eq!(audio.samples.len(), 400);
+        assert!(audio.samples.iter().all(|&s| s.abs() < 2048));
+        assert_eq!(audio.pitch_period, 55);
+    }
+
+    #[test]
+    fn pcm_has_periodic_correlation() {
+        let audio = PcmAudio::synthetic(800, 60, 11);
+        // Correlation at the pitch lag should exceed correlation at an
+        // unrelated lag.
+        let corr = |lag: usize| -> i64 {
+            (400..440).map(|k| audio.samples[k] as i64 * audio.samples[k - lag] as i64).sum()
+        };
+        assert!(corr(60) > corr(37));
+    }
+
+    #[test]
+    fn coeff_blocks_look_like_dct_data() {
+        let c = CoeffBlocks::synthetic(10, 2);
+        assert_eq!(c.blocks, 10);
+        assert_eq!(c.data.len(), 640);
+        let zeros = c.data.iter().filter(|&&v| v == 0).count();
+        assert!(zeros > 200, "quantised DCT data is mostly zero ({zeros})");
+        assert_eq!(c.block(3).len(), 64);
+    }
+}

@@ -1,0 +1,145 @@
+//! Memory-system configurations (Table 3 of the paper).
+//!
+//! Two families of configurations are evaluated for whole programs:
+//!
+//! * **Conv / MA** — the conventional multi-banked L1 in front of the on-chip
+//!   L2; MOM memory instructions are decoupled across all L1 ports
+//!   ("multi-address cache").
+//! * **VC / COL** — MOM memory instructions bypass the (smaller-ported) L1 and
+//!   go to a vector cache or collapsing-buffer cache attached to the L2.
+
+/// Which memory organisation the machine uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MemModelKind {
+    /// Idealised memory with a fixed latency and unlimited bandwidth
+    /// (the kernel study of Figure 5 uses latency 1 and 50).
+    Perfect {
+        /// Fixed access latency in cycles.
+        latency: u64,
+    },
+    /// Conventional cache hierarchy; scalar and media accesses go through the
+    /// banked L1 (used for the Alpha and MMX configurations of Figure 7).
+    Conventional,
+    /// Conventional hierarchy where a MOM vector access is decoupled across
+    /// all L1 ports/banks.
+    MultiAddress,
+    /// MOM vector accesses bypass L1 and use the vector cache at the L2.
+    VectorCache,
+    /// MOM vector accesses bypass L1 and use the collapsing-buffer cache at
+    /// the L2.
+    CollapsingBuffer,
+}
+
+impl MemModelKind {
+    /// Short label used in experiment output.
+    pub fn label(self) -> &'static str {
+        match self {
+            MemModelKind::Perfect { .. } => "perfect",
+            MemModelKind::Conventional => "conventional",
+            MemModelKind::MultiAddress => "multi-address",
+            MemModelKind::VectorCache => "vector-cache",
+            MemModelKind::CollapsingBuffer => "collapsing-buffer",
+        }
+    }
+}
+
+impl std::fmt::Display for MemModelKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Port/bank/latency configuration of a realistic hierarchy (one column of
+/// Table 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PortConfig {
+    /// Number of L1 (scalar) ports.
+    pub l1_ports: usize,
+    /// Number of L1 banks.
+    pub l1_banks: usize,
+    /// L1 hit latency in cycles.
+    pub l1_latency: u64,
+    /// Number of vector-cache ports at the L2 (0 when there is no vector path).
+    pub l2_vector_ports: usize,
+    /// Elements transferred per vector-cache port per cycle.
+    pub l2_vector_width: usize,
+    /// Number of vector-cache banks.
+    pub l2_banks: usize,
+    /// L2 hit latency in cycles for the vector path.
+    pub l2_latency: u64,
+}
+
+impl PortConfig {
+    /// Conventional / multi-address configuration for a machine of the given
+    /// issue width (Table 3, "Conv/MA" columns; narrower machines use the
+    /// 4-way organisation scaled down).
+    pub fn conventional(way: usize) -> Self {
+        match way {
+            8 => Self { l1_ports: 4, l1_banks: 8, l1_latency: 2, l2_vector_ports: 0, l2_vector_width: 0, l2_banks: 1, l2_latency: 6 },
+            4 => Self { l1_ports: 2, l1_banks: 4, l1_latency: 1, l2_vector_ports: 0, l2_vector_width: 0, l2_banks: 1, l2_latency: 6 },
+            2 => Self { l1_ports: 1, l1_banks: 2, l1_latency: 1, l2_vector_ports: 0, l2_vector_width: 0, l2_banks: 1, l2_latency: 6 },
+            _ => Self { l1_ports: 1, l1_banks: 1, l1_latency: 1, l2_vector_ports: 0, l2_vector_width: 0, l2_banks: 1, l2_latency: 6 },
+        }
+    }
+
+    /// Vector-cache / collapsing-buffer configuration (Table 3, "VC/COL"
+    /// columns). `collapsing` selects the 10-cycle collapsing-buffer latency
+    /// instead of the 8-cycle vector-cache latency.
+    pub fn vector_cache(way: usize, collapsing: bool) -> Self {
+        let l2_latency = if collapsing { 10 } else { 8 };
+        match way {
+            8 => Self { l1_ports: 2, l1_banks: 2, l1_latency: 1, l2_vector_ports: 1, l2_vector_width: 4, l2_banks: 2, l2_latency },
+            _ => Self { l1_ports: 1, l1_banks: 1, l1_latency: 1, l2_vector_ports: 1, l2_vector_width: 2, l2_banks: 2, l2_latency },
+        }
+    }
+}
+
+/// One row of the reproduced Table 3 (for reporting).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table3Row {
+    /// Column label, e.g. "Conv/MA 4-way".
+    pub label: String,
+    /// The port configuration.
+    pub config: PortConfig,
+}
+
+/// Reproduce Table 3: the four port configurations evaluated by the paper.
+pub fn table3() -> Vec<Table3Row> {
+    vec![
+        Table3Row { label: "Conv/MA 4-way".to_string(), config: PortConfig::conventional(4) },
+        Table3Row { label: "Conv/MA 8-way".to_string(), config: PortConfig::conventional(8) },
+        Table3Row { label: "VC/COL 4-way".to_string(), config: PortConfig::vector_cache(4, false) },
+        Table3Row { label: "VC/COL 8-way".to_string(), config: PortConfig::vector_cache(8, false) },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels() {
+        assert_eq!(MemModelKind::Perfect { latency: 1 }.label(), "perfect");
+        assert_eq!(MemModelKind::VectorCache.to_string(), "vector-cache");
+    }
+
+    #[test]
+    fn table3_matches_paper_ports() {
+        let conv4 = PortConfig::conventional(4);
+        assert_eq!((conv4.l1_ports, conv4.l1_banks, conv4.l1_latency), (2, 4, 1));
+        let conv8 = PortConfig::conventional(8);
+        assert_eq!((conv8.l1_ports, conv8.l1_banks, conv8.l1_latency), (4, 8, 2));
+        let vc4 = PortConfig::vector_cache(4, false);
+        assert_eq!((vc4.l1_ports, vc4.l1_banks), (1, 1));
+        assert_eq!((vc4.l2_vector_ports, vc4.l2_vector_width, vc4.l2_latency), (1, 2, 8));
+        let col8 = PortConfig::vector_cache(8, true);
+        assert_eq!((col8.l2_vector_width, col8.l2_latency), (4, 10));
+        assert_eq!(table3().len(), 4);
+    }
+
+    #[test]
+    fn narrow_machines_have_reduced_ports() {
+        assert_eq!(PortConfig::conventional(1).l1_ports, 1);
+        assert_eq!(PortConfig::conventional(2).l1_banks, 2);
+    }
+}

@@ -1,0 +1,119 @@
+//! # mom-mem — memory hierarchies for the MOM reproduction
+//!
+//! This crate models every memory system evaluated in the paper:
+//!
+//! * [`perfect::PerfectMemory`] — the idealised fixed-latency memory of the
+//!   kernel study (1-cycle "perfect cache" and the 50-cycle latency-tolerance
+//!   experiment);
+//! * [`hierarchy::Hierarchy`] — the realistic two-level hierarchy (32 KB
+//!   write-through L1, 1 MB write-back L2, MSHRs, coalescing write buffer and
+//!   Direct Rambus DRAM) with the four front-ends of Figure 6/Table 3:
+//!   conventional, multi-address, vector cache and collapsing buffer;
+//! * [`cache`] / [`dram`] — the underlying tag-array, MSHR, write-buffer and
+//!   DRDRAM building blocks;
+//! * [`config`] — Table 3 port configurations and the
+//!   [`MemModelKind`] selector.
+//!
+//! The timing simulator in `mom-cpu` talks to all of them through the
+//! [`MemorySystem`] trait: it presents the element accesses of one memory
+//! instruction and receives either a completion cycle or a structural stall.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod cache;
+pub mod config;
+pub mod dram;
+pub mod hierarchy;
+pub mod perfect;
+
+pub use config::{MemModelKind, PortConfig};
+pub use hierarchy::Hierarchy;
+pub use perfect::PerfectMemory;
+
+use mom_isa::trace::MemAccess;
+
+/// Aggregate statistics of a memory system.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct MemSystemStats {
+    /// Memory instructions presented to the system.
+    pub requests: u64,
+    /// Element-level accesses (a MOM vector access counts its VL elements).
+    pub element_accesses: u64,
+    /// Requests rejected because no port was available.
+    pub port_stalls: u64,
+    /// Element accesses delayed by bank conflicts.
+    pub bank_conflicts: u64,
+    /// Requests delayed because every MSHR was in flight.
+    pub mshr_stalls: u64,
+    /// Line-pair transactions issued by the vector/collapsing-buffer path.
+    pub vector_transactions: u64,
+    /// L1 cache statistics.
+    pub l1: cache::CacheStats,
+    /// L2 cache statistics.
+    pub l2: cache::CacheStats,
+    /// DRAM channel statistics.
+    pub dram: dram::DramStats,
+}
+
+/// A memory system the timing simulator can issue memory instructions to.
+///
+/// Implementations own their port/bank/MSHR state; the caller retries a
+/// request on a later cycle when `access` returns `None` (a structural stall).
+pub trait MemorySystem: std::fmt::Debug {
+    /// Try to issue one memory instruction's element accesses at `cycle`.
+    ///
+    /// `vector` is true for MOM matrix loads/stores (more than one element
+    /// access from a single instruction). Returns the cycle at which the data
+    /// is available (loads) or the store is accepted, or `None` when no port
+    /// is available this cycle.
+    fn access(&mut self, cycle: u64, accesses: &[MemAccess], vector: bool) -> Option<u64>;
+
+    /// Which memory organisation this is.
+    fn kind(&self) -> MemModelKind;
+
+    /// Statistics accumulated so far.
+    fn stats(&self) -> MemSystemStats;
+}
+
+/// Construct the memory system named by `kind` for a machine of issue width
+/// `way`, with the port counts of Tables 1 and 3.
+pub fn build_memory(kind: MemModelKind, way: usize) -> Box<dyn MemorySystem> {
+    match kind {
+        MemModelKind::Perfect { latency } => {
+            // Table 1: 1/1/2/4 memory ports; the 8-way machine's ports move
+            // two vector elements per cycle.
+            let (ports, width) = match way {
+                8 => (2, 2),
+                4 => (2, 1),
+                _ => (1, 1),
+            };
+            Box::new(PerfectMemory::new(latency, ports, width))
+        }
+        other => Box::new(Hierarchy::new(other, way)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mom_isa::trace::MemKind;
+
+    #[test]
+    fn build_memory_selects_the_right_model() {
+        let p = build_memory(MemModelKind::Perfect { latency: 1 }, 4);
+        assert_eq!(p.kind(), MemModelKind::Perfect { latency: 1 });
+        let h = build_memory(MemModelKind::VectorCache, 8);
+        assert_eq!(h.kind(), MemModelKind::VectorCache);
+        let c = build_memory(MemModelKind::Conventional, 1);
+        assert_eq!(c.kind(), MemModelKind::Conventional);
+    }
+
+    #[test]
+    fn trait_object_access_works() {
+        let mut m = build_memory(MemModelKind::Perfect { latency: 1 }, 1);
+        let acc = [MemAccess { addr: 0x10, size: 8, kind: MemKind::Load }];
+        assert!(m.access(0, &acc, false).is_some());
+        assert_eq!(m.stats().requests, 1);
+    }
+}

@@ -1,0 +1,118 @@
+//! Idealised memory models used by the kernel-level study (Figure 5).
+//!
+//! The paper's kernel analysis assumes "an idealized memory system with no
+//! bandwidth constraints and a fixed memory latency" of 1 cycle (perfect
+//! cache) and repeats the experiment at 50 cycles to study latency tolerance.
+//! The only structural resource modelled here is the number of memory ports
+//! and, for MOM, the number of vector elements a port can deliver per cycle
+//! (2 for the 8-way machine of Table 1).
+
+use crate::{MemModelKind, MemSystemStats, MemorySystem};
+use mom_isa::trace::MemAccess;
+
+/// Fixed-latency memory with a configurable number of ports.
+#[derive(Debug, Clone)]
+pub struct PerfectMemory {
+    latency: u64,
+    ports: Vec<u64>,
+    elems_per_cycle: usize,
+    stats: MemSystemStats,
+}
+
+impl PerfectMemory {
+    /// Create a perfect memory with `ports` memory ports, each able to deliver
+    /// `elems_per_cycle` vector elements per cycle, and a fixed `latency`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ports` or `elems_per_cycle` is zero.
+    pub fn new(latency: u64, ports: usize, elems_per_cycle: usize) -> Self {
+        assert!(ports > 0, "at least one memory port is required");
+        assert!(elems_per_cycle > 0, "ports must deliver at least one element per cycle");
+        Self { latency, ports: vec![0; ports], elems_per_cycle, stats: MemSystemStats::default() }
+    }
+
+    /// The configured fixed latency.
+    pub fn latency(&self) -> u64 {
+        self.latency
+    }
+}
+
+impl MemorySystem for PerfectMemory {
+    fn access(&mut self, cycle: u64, accesses: &[MemAccess], _vector: bool) -> Option<u64> {
+        let n = accesses.len().max(1);
+        // Find a free port.
+        let port = match self.ports.iter_mut().find(|p| **p <= cycle) {
+            Some(p) => p,
+            None => {
+                self.stats.port_stalls += 1;
+                return None;
+            }
+        };
+        let occupancy = n.div_ceil(self.elems_per_cycle) as u64;
+        *port = cycle + occupancy;
+        self.stats.requests += 1;
+        self.stats.element_accesses += n as u64;
+        Some(cycle + occupancy - 1 + self.latency)
+    }
+
+    fn kind(&self) -> MemModelKind {
+        MemModelKind::Perfect { latency: self.latency }
+    }
+
+    fn stats(&self) -> MemSystemStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mom_isa::trace::MemKind;
+
+    fn acc(addr: u64) -> MemAccess {
+        MemAccess { addr, size: 8, kind: MemKind::Load }
+    }
+
+    #[test]
+    fn scalar_access_completes_after_latency() {
+        let mut m = PerfectMemory::new(1, 1, 1);
+        assert_eq!(m.access(10, &[acc(0)], false), Some(11));
+        assert_eq!(m.latency(), 1);
+        let mut m50 = PerfectMemory::new(50, 1, 1);
+        assert_eq!(m50.access(10, &[acc(0)], false), Some(60));
+    }
+
+    #[test]
+    fn port_is_busy_until_occupancy_ends() {
+        let mut m = PerfectMemory::new(1, 1, 1);
+        let elems: Vec<_> = (0..16).map(|i| acc(i * 32)).collect();
+        // 16 elements at 1 elem/cycle occupy the single port for 16 cycles.
+        assert_eq!(m.access(0, &elems, true), Some(16));
+        assert_eq!(m.access(1, &[acc(0)], false), None, "port still busy");
+        assert!(m.access(16, &[acc(0)], false).is_some());
+        assert_eq!(m.stats().port_stalls, 1);
+        assert_eq!(m.stats().element_accesses, 17);
+    }
+
+    #[test]
+    fn wide_ports_cut_occupancy() {
+        let mut m = PerfectMemory::new(1, 1, 2);
+        let elems: Vec<_> = (0..16).map(|i| acc(i * 32)).collect();
+        assert_eq!(m.access(0, &elems, true), Some(8));
+    }
+
+    #[test]
+    fn multiple_ports_serve_parallel_requests() {
+        let mut m = PerfectMemory::new(1, 2, 1);
+        assert!(m.access(0, &[acc(0)], false).is_some());
+        assert!(m.access(0, &[acc(8)], false).is_some());
+        assert!(m.access(0, &[acc(16)], false).is_none(), "only two ports");
+    }
+
+    #[test]
+    fn kind_reports_latency() {
+        let m = PerfectMemory::new(50, 1, 1);
+        assert_eq!(m.kind(), MemModelKind::Perfect { latency: 50 });
+    }
+}

@@ -1,0 +1,26 @@
+//! # momsim — reproduction of "Exploiting a New Level of DLP in Multimedia Applications"
+//!
+//! This facade crate re-exports the whole workspace so examples, integration
+//! tests and downstream users can depend on a single crate:
+//!
+//! * [`isa`] — packed sub-word arithmetic, scalar/MMX/MDMX instruction sets,
+//!   register files, memory images and dynamic traces;
+//! * [`core`] — the MOM matrix ISA, programs, the functional interpreter, the
+//!   register-file area model and opcode inventories;
+//! * [`cpu`] — the out-of-order superscalar timing simulator;
+//! * [`mem`] — perfect, conventional, multi-address, vector-cache and
+//!   collapsing-buffer memory systems;
+//! * [`kernels`] — the eight multimedia kernels in all four ISAs with golden
+//!   references and synthetic workloads;
+//! * [`apps`] — the five Mediabench-like applications.
+//!
+//! See the `examples/` directory for runnable end-to-end walkthroughs and the
+//! `mom-bench` crate for the binaries regenerating every table and figure of
+//! the paper.
+
+pub use mom_apps as apps;
+pub use mom_core as core;
+pub use mom_cpu as cpu;
+pub use mom_isa as isa;
+pub use mom_kernels as kernels;
+pub use mom_mem as mem;

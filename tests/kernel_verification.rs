@@ -1,0 +1,49 @@
+//! Cross-crate integration tests: every kernel, in every ISA dialect, produces
+//! output bit-identical to the golden reference on a seed different from the
+//! one the unit tests use.
+
+use momsim::isa::trace::IsaKind;
+use momsim::kernels::{build_kernel, KernelKind, KernelParams};
+
+#[test]
+fn all_kernels_verify_on_a_fresh_seed() {
+    let params = KernelParams { seed: 20_260_614, scale: 1 };
+    for kernel in KernelKind::ALL {
+        for isa in IsaKind::ALL {
+            let run = build_kernel(kernel, isa, &params)
+                .run_verified()
+                .unwrap_or_else(|e| panic!("{kernel} ({isa}) failed: {e}"));
+            assert!(run.output_matches, "{kernel} ({isa}) mismatch");
+            assert!(!run.trace.is_empty());
+        }
+    }
+}
+
+#[test]
+fn media_isas_never_shrink_below_mom() {
+    // For every kernel the dynamic instruction ordering must be
+    // Alpha > MMX >= MDMX-ish > MOM (MDMX may tie MMX where accumulators
+    // bring nothing).
+    let params = KernelParams { seed: 99, scale: 1 };
+    for kernel in KernelKind::ALL {
+        let count = |isa: IsaKind| {
+            build_kernel(kernel, isa, &params).run_verified().unwrap().trace.len()
+        };
+        let alpha = count(IsaKind::Alpha);
+        let mmx = count(IsaKind::Mmx);
+        let mdmx = count(IsaKind::Mdmx);
+        let mom = count(IsaKind::Mom);
+        assert!(mmx < alpha, "{kernel}: MMX {mmx} vs Alpha {alpha}");
+        assert!(mdmx <= mmx, "{kernel}: MDMX {mdmx} vs MMX {mmx}");
+        assert!(mom < mdmx, "{kernel}: MOM {mom} vs MDMX {mdmx}");
+    }
+}
+
+#[test]
+fn workload_scale_is_monotonic() {
+    for scale in [1usize, 2] {
+        let params = KernelParams { seed: 3, scale };
+        let run = build_kernel(KernelKind::AddBlock, IsaKind::Mom, &params).run_verified().unwrap();
+        assert!(run.trace.len() > 100 * scale);
+    }
+}
