@@ -1,17 +1,21 @@
 //! Regenerate Figure 5: kernel speed-ups of Alpha/MMX/MDMX/MOM on 1/2/4/8-way
 //! machines with a perfect (1-cycle) memory, relative to the 1-way Alpha run.
 //!
-//! Usage: `figure5 [scale]` (default scale 1).
+//! Usage: `figure5 [scale]` (default scale 1). Set `MOM_BENCH_FAST=1` to
+//! evaluate a reduced kernel subset for smoke testing.
 
-use mom_bench::{figure5, WIDTHS};
-use mom_kernels::KernelKind;
+use mom_bench::{fast_mode_marker, figure5, kernel_selection, WIDTHS};
 
 fn main() {
     let scale = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(1);
-    let points = figure5(&KernelKind::ALL, scale, 1);
+    let kernels = kernel_selection();
+    let points = figure5(&kernels, scale, 1);
 
-    println!("Figure 5: kernel speed-ups vs 1-way Alpha (perfect cache, scale {scale})");
-    for kernel in KernelKind::ALL {
+    println!(
+        "Figure 5: kernel speed-ups vs 1-way Alpha (perfect cache, scale {scale}){}",
+        fast_mode_marker()
+    );
+    for &kernel in &kernels {
         println!("\n{kernel}");
         println!("{:<8} {:>10} {:>10} {:>10} {:>10}", "isa", "1-way", "2-way", "4-way", "8-way");
         for isa in ["alpha", "mmx", "mdmx", "mom"] {

@@ -2,19 +2,29 @@
 //! realistic cache hierarchies, relative to the Alpha/conventional-cache
 //! configuration of the same width.
 //!
-//! Usage: `figure7 [scale]` (default scale 1).
+//! Usage: `figure7 [scale]` (default scale 1). Set `MOM_BENCH_FAST=1` to
+//! evaluate a reduced application subset (4-way machine only) for smoke
+//! testing.
 
-use mom_apps::AppKind;
-use mom_bench::{figure7, Figure7Config};
+use mom_bench::{app_selection, fast_mode, fast_mode_marker, figure7, Figure7Config};
 
 fn main() {
     let scale = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(1);
-    let points = figure7(&AppKind::ALL, scale, &[4, 8]);
+    let apps = app_selection();
+    let widths: &[usize] = if fast_mode() { &[4] } else { &[4, 8] };
+    let points = figure7(&apps, scale, widths);
 
-    println!("Figure 7: whole-program speed-ups vs same-width Alpha/conventional (scale {scale})");
-    for app in AppKind::ALL {
+    println!(
+        "Figure 7: whole-program speed-ups vs same-width Alpha/conventional (scale {scale}){}",
+        fast_mode_marker()
+    );
+    for &app in &apps {
         println!("\n{app}");
-        println!("{:<32} {:>8} {:>8}", "configuration", "4-way", "8-way");
+        let mut header = format!("{:<32}", "configuration");
+        for way in widths {
+            header.push_str(&format!(" {:>8}", format!("{way}-way")));
+        }
+        println!("{header}");
         for config in Figure7Config::ALL {
             let get = |way: usize| {
                 points
@@ -23,7 +33,11 @@ fn main() {
                     .map(|p| p.speedup_vs_alpha)
                     .unwrap_or(f64::NAN)
             };
-            println!("{:<32} {:>8.2} {:>8.2}", config.label(), get(4), get(8));
+            let mut row = format!("{:<32}", config.label());
+            for &way in widths {
+                row.push_str(&format!(" {:>8.2}", get(way)));
+            }
+            println!("{row}");
         }
     }
 }

@@ -3,18 +3,22 @@
 //! machine). The paper reports slow-down bands of 3-9x for Alpha, 4-8x for
 //! MMX/MDMX and only 2-4x for MOM.
 //!
-//! Usage: `latency_tolerance [scale]` (default scale 1).
+//! Usage: `latency_tolerance [scale]` (default scale 1). Set
+//! `MOM_BENCH_FAST=1` to evaluate a reduced kernel subset for smoke testing.
 
-use mom_bench::latency_tolerance;
-use mom_kernels::KernelKind;
+use mom_bench::{fast_mode_marker, kernel_selection, latency_tolerance};
 
 fn main() {
     let scale = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(1);
-    let points = latency_tolerance(&KernelKind::ALL, scale, 4);
+    let kernels = kernel_selection();
+    let points = latency_tolerance(&kernels, scale, 4);
 
-    println!("Latency tolerance: slow-down from 1-cycle to 50-cycle memory (4-way machine)");
+    println!(
+        "Latency tolerance: slow-down from 1-cycle to 50-cycle memory (4-way machine){}",
+        fast_mode_marker()
+    );
     println!("{:<16} {:>8} {:>8} {:>8} {:>8}", "kernel", "alpha", "mmx", "mdmx", "mom");
-    for kernel in KernelKind::ALL {
+    for &kernel in &kernels {
         let slow = |isa: &str| {
             points
                 .iter()

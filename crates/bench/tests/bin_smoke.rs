@@ -1,0 +1,135 @@
+//! Smoke tests: every experiment binary runs to completion in reduced
+//! (`MOM_BENCH_FAST=1`) mode and prints non-empty, well-formed output.
+//!
+//! Cargo builds the binaries of the package under test before running its
+//! integration tests and exposes their paths through `CARGO_BIN_EXE_<name>`.
+
+use std::process::Command;
+
+/// Run one binary with `MOM_BENCH_FAST=1` and return its stdout.
+fn run_fast(exe: &str, args: &[&str]) -> String {
+    let output = Command::new(exe)
+        .args(args)
+        .env("MOM_BENCH_FAST", "1")
+        .output()
+        .unwrap_or_else(|e| panic!("failed to spawn {exe}: {e}"));
+    assert!(
+        output.status.success(),
+        "{exe} exited with {:?}; stderr:\n{}",
+        output.status.code(),
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let stdout = String::from_utf8(output.stdout).expect("binary output is UTF-8");
+    assert!(!stdout.trim().is_empty(), "{exe} printed nothing");
+    stdout
+}
+
+/// Every table section whose header row *starts with* `header_first_col`
+/// (figure5/figure7 print one per kernel/app) must be rectangular: each data
+/// row (up to the next blank line) carries the same, non-zero number of
+/// numeric fields. A dropped or extra cell in any row of any section breaks
+/// the count and fails here.
+fn assert_rectangular(stdout: &str, header_first_col: &str) {
+    let numeric_fields = |row: &str| -> usize {
+        row.split_whitespace().filter(|tok| tok.parse::<f64>().is_ok()).count()
+    };
+    let lines: Vec<&str> = stdout.lines().collect();
+    let mut sections = 0;
+    for (header_idx, _) in lines
+        .iter()
+        .enumerate()
+        .filter(|(_, l)| l.split_whitespace().next() == Some(header_first_col))
+    {
+        sections += 1;
+        let data: Vec<&str> = lines[header_idx + 1..]
+            .iter()
+            .copied()
+            .take_while(|l| !l.trim().is_empty())
+            .collect();
+        assert!(!data.is_empty(), "no data rows after header {header_idx} in:\n{stdout}");
+        let first = numeric_fields(data[0]);
+        assert!(first > 0, "first data row has no numeric fields: {:?}", data[0]);
+        for row in &data {
+            assert_eq!(
+                numeric_fields(row),
+                first,
+                "ragged table: {row:?} does not match the first row's {first} numeric fields in:\n{stdout}"
+            );
+        }
+    }
+    assert!(sections > 0, "header starting with {header_first_col:?} not found in:\n{stdout}");
+}
+
+#[test]
+fn table1_prints_all_four_widths() {
+    let out = run_fast(env!("CARGO_BIN_EXE_table1"), &[]);
+    assert!(out.contains("Table 1"));
+    for way in [1, 2, 4, 8] {
+        assert!(out.contains(&format!("way-{way}")), "missing way-{way} row:\n{out}");
+    }
+    assert_rectangular(&out, "config");
+}
+
+#[test]
+fn table2_prints_all_three_media_isas() {
+    let out = run_fast(env!("CARGO_BIN_EXE_table2"), &[]);
+    assert!(out.contains("Table 2"));
+    for isa in ["MMX", "MDMX", "MOM"] {
+        assert!(out.contains(isa), "missing {isa} row:\n{out}");
+    }
+    assert_rectangular(&out, "ISA");
+}
+
+#[test]
+fn table3_prints_memory_models() {
+    let out = run_fast(env!("CARGO_BIN_EXE_table3"), &[]);
+    assert!(out.contains("Table 3"));
+    assert_rectangular(&out, "model");
+}
+
+#[test]
+fn isa_inventory_prints_counts() {
+    let out = run_fast(env!("CARGO_BIN_EXE_isa_inventory"), &[]);
+    assert!(out.contains("inventories"), "unexpected header:\n{out}");
+    for isa in ["mmx", "mdmx"] {
+        assert!(out.contains(isa), "missing {isa} row:\n{out}");
+    }
+    assert_rectangular(&out, "ISA");
+}
+
+#[test]
+fn figure5_prints_speedups_for_each_selected_kernel() {
+    let out = run_fast(env!("CARGO_BIN_EXE_figure5"), &["1"]);
+    assert!(out.contains("Figure 5"));
+    assert!(out.contains("[fast mode: reduced subset]"), "reduced run must be marked:\n{out}");
+    // Fast mode evaluates the compensation and addblock kernels.
+    for kernel in ["compensation", "addblock"] {
+        assert!(out.contains(kernel), "missing {kernel} section:\n{out}");
+    }
+    for isa in ["alpha", "mmx", "mdmx", "mom"] {
+        assert!(out.contains(isa), "missing {isa} rows:\n{out}");
+    }
+    assert_rectangular(&out, "isa");
+}
+
+#[test]
+fn figure7_prints_speedups_for_each_selected_app() {
+    let out = run_fast(env!("CARGO_BIN_EXE_figure7"), &["1"]);
+    assert!(out.contains("Figure 7"));
+    assert!(out.contains("[fast mode: reduced subset]"), "reduced run must be marked:\n{out}");
+    for app in ["jpeg decode", "gsm encode"] {
+        assert!(out.contains(app), "missing {app} section:\n{out}");
+    }
+    assert!(out.contains("MOM multi-address cache"), "missing config rows:\n{out}");
+    assert!(!out.contains("NaN"), "figure7 printed NaN speed-ups:\n{out}");
+    assert_rectangular(&out, "configuration");
+}
+
+#[test]
+fn latency_tolerance_prints_bands() {
+    let out = run_fast(env!("CARGO_BIN_EXE_latency_tolerance"), &["1"]);
+    assert!(out.contains("Latency tolerance"));
+    assert!(out.contains("[fast mode: reduced subset]"), "reduced run must be marked:\n{out}");
+    assert!(out.contains("Slow-down bands"), "missing band summary:\n{out}");
+    assert_rectangular(&out, "kernel");
+}

@@ -188,9 +188,9 @@ mod tests {
         let mmx = opcode_count(IsaKind::Mmx);
         let mdmx = opcode_count(IsaKind::Mdmx);
         let mom = opcode_count(IsaKind::Mom);
-        assert!(mmx >= 55 && mmx <= 85, "MMX inventory {mmx}");
-        assert!(mdmx >= 75 && mdmx <= 105, "MDMX inventory {mdmx}");
-        assert!(mom >= 95 && mom <= 145, "MOM inventory {mom}");
+        assert!((55..=85).contains(&mmx), "MMX inventory {mmx}");
+        assert!((75..=105).contains(&mdmx), "MDMX inventory {mdmx}");
+        assert!((95..=145).contains(&mom), "MOM inventory {mom}");
         assert!(mmx < mdmx && mdmx < mom);
         assert_eq!(opcode_count(IsaKind::Alpha), 0);
     }

@@ -22,6 +22,10 @@ fn matrix_strategy() -> impl Strategy<Value = MatrixValue> {
 }
 
 proptest! {
+    // Each case builds and interprets a full MOM program, so the case count
+    // is kept low enough for CI. `PROPTEST_CASES` overrides it.
+    #![proptest_config(Config::with_cases(64))]
+
     #[test]
     fn square_transpose_is_involutive(m in matrix_strategy()) {
         prop_assert_eq!(m.transpose(Lane::U8).transpose(Lane::U8), m);

@@ -161,7 +161,7 @@ impl Accumulator {
 
     /// Horizontal sum of every active lane — the final step of a reduction.
     pub fn reduce_sum(&self) -> i64 {
-        let n = self.lane_count().max(0);
+        let n = self.lane_count();
         self.lanes[..n].iter().sum()
     }
 

@@ -302,7 +302,7 @@ impl PackedWord {
 
     /// Replicate `value` into every lane (a "splat"/broadcast).
     pub fn splat(lane: Lane, value: i64) -> PackedWord {
-        PackedWord::from_lanes(lane, std::iter::repeat(value).take(lane.count()))
+        PackedWord::from_lanes(lane, std::iter::repeat_n(value, lane.count()))
     }
 
     // ------------------------------------------------------------------
@@ -730,6 +730,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::identity_op)] // spell out every product
     fn mul_add_pairs_matches_manual() {
         let a = PackedWord::from_i16_lanes([1, 2, 3, -4]);
         let b = PackedWord::from_i16_lanes([10, 20, 30, 40]);
@@ -738,6 +739,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::identity_op)] // spell out every per-lane difference
     fn sad_and_sqd_reduce() {
         let a = PackedWord::from_u8_lanes([10, 20, 30, 40, 50, 60, 70, 80]);
         let b = PackedWord::from_u8_lanes([11, 18, 30, 44, 45, 60, 71, 70]);

@@ -18,6 +18,10 @@ fn lanes() -> impl Strategy<Value = Lane> {
 }
 
 proptest! {
+    // Packed-word ops are cheap; 256 cases still finish in well under a
+    // second. `PROPTEST_CASES` overrides this for deeper local runs.
+    #![proptest_config(Config::with_cases(256))]
+
     #[test]
     fn lane_roundtrip(bits in any::<u64>(), lane in lanes()) {
         let w = PackedWord::new(bits);

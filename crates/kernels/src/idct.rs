@@ -71,6 +71,7 @@ fn layout(s: &mut Scaffold, params: &KernelParams) -> Layout {
     // Column vectors of W for MMX/MDMX pass 2: for each k, the lo word holds
     // (W[0][k], .., W[3][k]) and the hi word (W[4][k], .., W[7][k]).
     let mut wcol = Vec::with_capacity(16);
+    #[allow(clippy::needless_range_loop)] // k indexes columns across all 8 rows of w
     for k in 0..8 {
         wcol.push(
             PackedWord::from_i16_lanes([w[0][k] as i16, w[1][k] as i16, w[2][k] as i16, w[3][k] as i16])
@@ -145,6 +146,7 @@ fn build_alpha(params: &KernelParams) -> BuiltKernel {
         for row in 0..8usize {
             for col in 0..8usize {
                 s.li(r(10), 0);
+                #[allow(clippy::needless_range_loop)] // k addresses both memory offsets and w
                 for k in 0..8usize {
                     // Pass 1 walks input columns (element [k][col]); pass 2
                     // walks scratch rows (element [row][k]) against W[col][k].

@@ -298,8 +298,8 @@ mod tests {
     fn idct_weights_have_expected_structure() {
         let w = idct_weights();
         // DC basis: constant 128·0.5/√2 ≈ 45 for every x.
-        for x in 0..8 {
-            assert_eq!(w[x][0], 45);
+        for row in &w {
+            assert_eq!(row[0], 45);
         }
         // Odd symmetry of the u=4 basis.
         assert_eq!(w[0][4], -w[1][4]);
@@ -324,7 +324,7 @@ mod tests {
             *v = i as i16;
         }
         assert_eq!(transpose8(&transpose8(&b)), b);
-        assert_eq!(transpose8(&b)[1 * 8 + 7], b[7 * 8 + 1]);
+        assert_eq!(transpose8(&b)[8 + 7], b[7 * 8 + 1]);
     }
 
     #[test]

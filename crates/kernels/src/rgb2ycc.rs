@@ -44,7 +44,7 @@ fn layout(s: &mut Scaffold, params: &KernelParams) -> Layout {
     planes.extend_from_slice(&img.r);
     planes.extend_from_slice(&img.g);
     planes.extend_from_slice(&img.b);
-    planes.extend(std::iter::repeat(1u8).take(plane)); // constant plane for the offset term
+    planes.extend(std::iter::repeat_n(1u8, plane)); // constant plane for the offset term
     let rgb_addr = s.alloc_bytes(&planes, 64);
     let out_addr = s.alloc_zeroed(plane * 3, 64);
 
@@ -128,11 +128,13 @@ fn build_alpha(params: &KernelParams) -> BuiltKernel {
 /// `bias[comp]`.
 fn preload_media_constants(s: &mut Scaffold) -> ([[MediaReg; 3]; 3], [MediaReg; 3]) {
     let mut words = Vec::new();
+    #[allow(clippy::needless_range_loop)] // comp/ch mirror the [component][channel] table layout
     for comp in 0..3 {
         for ch in 0..3 {
             words.push(splat16(RGB2YCC_COEFFS[comp][ch] as i64));
         }
     }
+    #[allow(clippy::needless_range_loop)]
     for comp in 0..3 {
         words.push(splat16(32 + 64 * RGB2YCC_OFFSET[comp] as i64));
     }
@@ -283,6 +285,7 @@ fn build_mom(params: &KernelParams) -> BuiltKernel {
     // the constant "ones" plane). The +32 rounding term is supplied by the
     // accumulator read-back itself.
     let mut words = Vec::new();
+    #[allow(clippy::needless_range_loop)] // ch mirrors the [component][channel] table layout
     for comp in 0..3 {
         for ch in 0..3 {
             words.push(splat16(RGB2YCC_COEFFS[comp][ch] as i64));

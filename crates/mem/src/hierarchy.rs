@@ -146,7 +146,7 @@ impl Hierarchy {
 
         // Unaligned accesses are split into two aligned accesses (paper
         // Section 4.2.1); model the extra occupancy as one extra cycle.
-        let unaligned = acc.size > 1 && acc.addr % acc.size as u64 != 0;
+        let unaligned = acc.size > 1 && !acc.addr.is_multiple_of(acc.size as u64);
         let align_penalty = if unaligned { 1 } else { 0 };
 
         match acc.kind {

@@ -6,6 +6,10 @@ use mom_mem::{build_memory, MemModelKind};
 use proptest::prelude::*;
 
 proptest! {
+    // Cases replay up-to-300-access streams through the cache models; 64
+    // cases keep `cargo test -q` CI-friendly. `PROPTEST_CASES` overrides it.
+    #![proptest_config(Config::with_cases(64))]
+
     #[test]
     fn a_line_just_accessed_is_always_resident(addrs in prop::collection::vec(0u64..1_000_000, 1..200)) {
         let mut cache = Cache::new(CacheConfig::paper_l1(1));

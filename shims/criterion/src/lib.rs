@@ -1,0 +1,132 @@
+//! Offline stand-in for the subset of the `criterion` API this workspace uses.
+//!
+//! The build environment has no crates.io access, so this crate provides a
+//! wall-clock micro-harness with the same call surface: `Criterion`,
+//! `benchmark_group` with `sample_size` / `warm_up_time` / `measurement_time`
+//! / `bench_with_input` / `finish`, `BenchmarkId`, a `Bencher` with `iter`,
+//! and the `criterion_group!` / `criterion_main!` macros. Each benchmark runs
+//! `sample_size` timed iterations and prints mean wall-clock time per
+//! iteration. Passing `--test` (as `cargo test --benches` does) runs every
+//! closure exactly once with no timing.
+
+use std::time::{Duration, Instant};
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Self { test_mode }
+    }
+}
+
+impl Criterion {
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into(), sample_size: 10 }
+    }
+}
+
+/// A named group of benchmarks sharing sampling settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed iterations per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Accepted for API compatibility; this harness has no warm-up phase.
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; sampling is controlled by
+    /// [`Self::sample_size`] alone.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Run one benchmark over `input`.
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher =
+            Bencher { iters: if self.criterion.test_mode { 1 } else { self.sample_size }, total: Duration::ZERO };
+        f(&mut bencher, input);
+        if self.criterion.test_mode {
+            println!("{}/{} ... ok (test mode)", self.name, id.label);
+        } else {
+            let per_iter = bencher.total.as_nanos() as f64 / bencher.iters.max(1) as f64;
+            println!("{}/{}: {:.1} ns/iter ({} samples)", self.name, id.label, per_iter, bencher.iters);
+        }
+        self
+    }
+
+    /// End the group (no-op; exists for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// Identifies one benchmark within a group.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// A two-part id, rendered `function/parameter`.
+    pub fn new(function: impl ToString, parameter: impl ToString) -> Self {
+        Self { label: format!("{}/{}", function.to_string(), parameter.to_string()) }
+    }
+}
+
+/// Timing handle passed to benchmark closures.
+pub struct Bencher {
+    iters: usize,
+    total: Duration,
+}
+
+impl Bencher {
+    /// Time `routine` over this bencher's iteration budget.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(routine());
+        }
+        self.total = start.elapsed();
+    }
+}
+
+/// Prevent the compiler from optimising a value away.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Bundle benchmark functions into one runner, mirroring upstream.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generate `main` from one or more `criterion_group!`s.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

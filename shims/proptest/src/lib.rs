@@ -1,0 +1,216 @@
+//! Offline stand-in for the subset of the `proptest` API this workspace uses.
+//!
+//! The build environment has no crates.io access. This crate provides the
+//! `proptest!` / `prop_assert*!` / `prop_oneof!` macros, `any`, `Just`,
+//! `Strategy` (with `prop_map`), tuple and range strategies,
+//! `prop::collection::vec`, and `Config::with_cases`. Unlike upstream there is
+//! no shrinking: a failing case panics immediately with the case number and
+//! the per-test seed so the failure can be replayed deterministically.
+//!
+//! Case counts resolve as: `PROPTEST_CASES` env var > `Config::with_cases` >
+//! a default of 64.
+
+pub mod strategy;
+pub mod test_runner;
+
+/// `prop::collection` mirror.
+pub mod collection {
+    use crate::strategy::Strategy;
+    use rand::{Rng, StdRng};
+    use std::ops::Range;
+
+    /// Number-of-elements specification: a fixed size or a range.
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // exclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            Self { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            Self { lo: r.start, hi: r.end }
+        }
+    }
+
+    /// Strategy producing a `Vec` whose elements come from `element`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `prop::collection::vec` — a vector of values from `element` with a
+    /// length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut StdRng) -> Self::Value {
+            let len = if self.size.hi - self.size.lo <= 1 {
+                self.size.lo
+            } else {
+                rng.gen_range(self.size.lo..self.size.hi)
+            };
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Everything a test file needs, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::strategy::{any, Just, Strategy, Union};
+    pub use crate::test_runner::Config;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+    /// `proptest::prelude::prop` module mirror.
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Run all test cases for one `proptest!` entry. Called by the macro.
+pub fn run_cases(test_name: &str, config: &test_runner::Config, mut case: impl FnMut(&mut rand::StdRng)) {
+    use rand::SeedableRng;
+    let cases = test_runner::resolve_cases(config.cases);
+    let seed = test_runner::base_seed(test_name);
+    for i in 0..cases {
+        let mut rng = rand::StdRng::seed_from_u64(seed.wrapping_add(i as u64));
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| case(&mut rng)));
+        if let Err(payload) = result {
+            let msg = payload
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| payload.downcast_ref::<&str>().copied())
+                .unwrap_or("<non-string panic>");
+            panic!(
+                "proptest case {i}/{cases} of `{test_name}` failed (base seed {seed:#x}): {msg}"
+            );
+        }
+    }
+}
+
+/// The body of a `proptest!` test: declares generated bindings and runs the
+/// block across `Config`-many cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::test_runner::Config::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($config:expr)
+      $( $(#[$meta:meta])* fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config = $config;
+                $crate::run_cases(stringify!($name), &config, |__rng| {
+                    $( let $arg = $crate::strategy::Strategy::generate(&($strat), __rng); )+
+                    $body
+                });
+            }
+        )*
+    };
+}
+
+/// Assert within a proptest body (panics on failure; no shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+/// Assert equality within a proptest body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+/// Assert inequality within a proptest body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_ne!($a, $b, $($fmt)*) };
+}
+
+/// Uniform choice between strategies of the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {{
+        let options: Vec<Box<dyn $crate::strategy::Strategy<Value = _>>> =
+            vec![$( ::std::boxed::Box::new($s) ),+];
+        $crate::strategy::Union::new(options)
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(Config::with_cases(50))]
+
+        #[test]
+        fn addition_commutes(a in any::<u64>(), b in any::<u64>()) {
+            prop_assert_eq!(a.wrapping_add(b), b.wrapping_add(a));
+        }
+
+        #[test]
+        fn ranges_oneofs_maps_and_vecs_generate_in_bounds(
+            x in -3000i64..3000,
+            y in 0usize..=16,
+            z in prop_oneof![Just(1u8), Just(2u8)],
+            v in prop::collection::vec((0u64..64, 1u64..100), 1..20),
+            m in (0u32..10).prop_map(|n| n * 2),
+        ) {
+            prop_assert!((-3000..3000).contains(&x));
+            prop_assert!(y <= 16);
+            prop_assert!(z == 1 || z == 2);
+            prop_assert!(!v.is_empty() && v.len() < 20);
+            for (a, b) in v {
+                prop_assert!(a < 64 && (1..100).contains(&b));
+            }
+            prop_assert!(m % 2 == 0 && m < 20);
+        }
+    }
+
+    #[test]
+    fn failing_property_reports_case_and_seed() {
+        let caught = std::panic::catch_unwind(|| {
+            crate::run_cases("always_fails", &Config::with_cases(3), |_rng| {
+                panic!("deliberate failure");
+            });
+        });
+        let payload = caught.expect_err("failing property must panic");
+        let msg = payload.downcast_ref::<String>().expect("formatted message");
+        assert!(msg.contains("always_fails") && msg.contains("deliberate failure"), "got: {msg}");
+    }
+
+    #[test]
+    fn generation_is_deterministic_across_runs() {
+        use crate::strategy::{any, Strategy};
+        use rand::SeedableRng;
+        let strat = crate::collection::vec(any::<u64>(), 8);
+        let a = strat.generate(&mut rand::StdRng::seed_from_u64(5));
+        let b = strat.generate(&mut rand::StdRng::seed_from_u64(5));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,51 @@
+//! Test-run configuration: case counts and deterministic per-test seeds.
+
+/// How many cases to run per property (subset of upstream's `Config`).
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Requested number of cases; the `PROPTEST_CASES` env var overrides it.
+    pub cases: u32,
+}
+
+impl Config {
+    /// A config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Self { cases: 64 }
+    }
+}
+
+/// Final case count: `PROPTEST_CASES` env var wins over the config.
+/// `PROPTEST_CASES=0` means "unset" (falls back to the configured count) so
+/// properties can never pass vacuously by running zero cases.
+pub fn resolve_cases(configured: u32) -> u32 {
+    assert!(configured > 0, "proptest Config::with_cases requires at least one case");
+    match std::env::var("PROPTEST_CASES") {
+        Ok(v) => {
+            let cases: u32 = v
+                .parse()
+                .unwrap_or_else(|_| panic!("PROPTEST_CASES must be an integer, got {v:?}"));
+            if cases == 0 {
+                configured
+            } else {
+                cases
+            }
+        }
+        Err(_) => configured,
+    }
+}
+
+/// Deterministic per-test seed (FNV-1a over the test name).
+pub fn base_seed(test_name: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}

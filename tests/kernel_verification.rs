@@ -1,20 +1,106 @@
 //! Cross-crate integration tests: every kernel, in every ISA dialect, produces
-//! output bit-identical to the golden reference on a seed different from the
-//! one the unit tests use.
+//! output bit-identical to the golden reference in
+//! `crates/kernels/src/reference.rs` on a seed different from the one the unit
+//! tests use.
+//!
+//! Each kernel×ISA pair gets its own `#[test]` (via `verify_pair_tests!`) so a
+//! regression in one implementation is reported by name instead of aborting a
+//! shared loop; the full 8-kernel × 4-ISA matrix is 32 tests.
 
 use momsim::isa::trace::IsaKind;
 use momsim::kernels::{build_kernel, KernelKind, KernelParams};
 
+/// Seed distinct from the unit tests' (42) and the benches' workloads.
+const FRESH_SEED: u64 = 20_260_614;
+
+/// Build and run one kernel×ISA pair, asserting bit-exact agreement with the
+/// golden reference (`run_verified` turns any mismatch into an error) and a
+/// non-empty dynamic trace.
+fn verify_pair(kernel: KernelKind, isa: IsaKind) {
+    let params = KernelParams { seed: FRESH_SEED, scale: 1 };
+    let run = build_kernel(kernel, isa, &params)
+        .run_verified()
+        .unwrap_or_else(|e| panic!("{kernel} ({isa}) failed: {e}"));
+    assert!(!run.trace.is_empty(), "{kernel} ({isa}) produced an empty trace");
+}
+
+macro_rules! verify_pair_tests {
+    ($($name:ident => ($kernel:ident, $isa:ident);)*) => {
+        $(
+            #[test]
+            fn $name() {
+                verify_pair(KernelKind::$kernel, IsaKind::$isa);
+            }
+        )*
+
+        /// One entry per generated pair test (duplicate pairs would collide
+        /// as duplicate `fn` names and fail to compile).
+        const PAIR_TESTS: &[(KernelKind, IsaKind)] =
+            &[$((KernelKind::$kernel, IsaKind::$isa)),*];
+    };
+}
+
+verify_pair_tests! {
+    idct_alpha => (Idct, Alpha);
+    idct_mmx => (Idct, Mmx);
+    idct_mdmx => (Idct, Mdmx);
+    idct_mom => (Idct, Mom);
+    motion1_alpha => (Motion1, Alpha);
+    motion1_mmx => (Motion1, Mmx);
+    motion1_mdmx => (Motion1, Mdmx);
+    motion1_mom => (Motion1, Mom);
+    motion2_alpha => (Motion2, Alpha);
+    motion2_mmx => (Motion2, Mmx);
+    motion2_mdmx => (Motion2, Mdmx);
+    motion2_mom => (Motion2, Mom);
+    rgb2ycc_alpha => (Rgb2Ycc, Alpha);
+    rgb2ycc_mmx => (Rgb2Ycc, Mmx);
+    rgb2ycc_mdmx => (Rgb2Ycc, Mdmx);
+    rgb2ycc_mom => (Rgb2Ycc, Mom);
+    ltp_parameters_alpha => (LtpParameters, Alpha);
+    ltp_parameters_mmx => (LtpParameters, Mmx);
+    ltp_parameters_mdmx => (LtpParameters, Mdmx);
+    ltp_parameters_mom => (LtpParameters, Mom);
+    addblock_alpha => (AddBlock, Alpha);
+    addblock_mmx => (AddBlock, Mmx);
+    addblock_mdmx => (AddBlock, Mdmx);
+    addblock_mom => (AddBlock, Mom);
+    compensation_alpha => (Compensation, Alpha);
+    compensation_mmx => (Compensation, Mmx);
+    compensation_mdmx => (Compensation, Mdmx);
+    compensation_mom => (Compensation, Mom);
+    h2v2_upsample_alpha => (H2v2Upsample, Alpha);
+    h2v2_upsample_mmx => (H2v2Upsample, Mmx);
+    h2v2_upsample_mdmx => (H2v2Upsample, Mdmx);
+    h2v2_upsample_mom => (H2v2Upsample, Mom);
+}
+
 #[test]
-fn all_kernels_verify_on_a_fresh_seed() {
-    let params = KernelParams { seed: 20_260_614, scale: 1 };
+fn pair_tests_cover_the_whole_matrix() {
+    // Every (kernel, isa) combination must appear in the macro invocation
+    // above; if either enum grows (or a row is deleted), this fails until the
+    // matrix is extended.
     for kernel in KernelKind::ALL {
         for isa in IsaKind::ALL {
-            let run = build_kernel(kernel, isa, &params)
+            assert!(
+                PAIR_TESTS.contains(&(kernel, isa)),
+                "no pair test generated for {kernel} ({isa})"
+            );
+        }
+    }
+    assert_eq!(PAIR_TESTS.len(), KernelKind::ALL.len() * IsaKind::ALL.len());
+}
+
+#[test]
+fn every_pair_also_verifies_at_scale_2() {
+    // The per-pair tests above pin scale 1; larger workloads exercise the
+    // loop bounds and address arithmetic the scale factor drives.
+    let params = KernelParams { seed: FRESH_SEED + 1, scale: 2 };
+    for kernel in KernelKind::ALL {
+        for isa in IsaKind::ALL {
+            build_kernel(kernel, isa, &params)
                 .run_verified()
-                .unwrap_or_else(|e| panic!("{kernel} ({isa}) failed: {e}"));
-            assert!(run.output_matches, "{kernel} ({isa}) mismatch");
-            assert!(!run.trace.is_empty());
+                .unwrap_or_else(|e| panic!("{kernel} ({isa}) failed at scale 2: {e}"));
         }
     }
 }
