@@ -83,6 +83,23 @@ impl std::fmt::Display for AppKind {
     }
 }
 
+impl std::str::FromStr for AppKind {
+    type Err = String;
+
+    /// Parse the [`AppKind::label`] form. Matching is case-insensitive and
+    /// ignores ` `/`-`/`_` separators (so `jpeg-encode`, `jpeg_encode` and
+    /// `jpeg encode` all parse), guaranteeing `kind.label().parse() == Ok(kind)`.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let normalize =
+            |s: &str| s.chars().filter(|c| !matches!(c, '-' | '_' | ' ')).collect::<String>().to_ascii_lowercase();
+        let needle = normalize(s.trim());
+        AppKind::ALL.iter().copied().find(|k| normalize(k.label()) == needle).ok_or_else(|| {
+            let all: Vec<&str> = AppKind::ALL.iter().map(|k| k.label()).collect();
+            format!("unknown application {s:?} (expected one of: {})", all.join(", "))
+        })
+    }
+}
+
 /// Application workload parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct AppParams {
@@ -240,6 +257,20 @@ mod tests {
         assert_eq!(AppKind::ALL.len(), 5);
         assert_eq!(AppKind::Mpeg2Encode.to_string(), "mpeg2 encode");
         assert_eq!(AppParams::default().scale, 1);
+    }
+
+    #[test]
+    fn app_from_str_round_trips_every_variant() {
+        for kind in AppKind::ALL {
+            assert_eq!(kind.label().parse::<AppKind>(), Ok(kind));
+            assert_eq!(kind.to_string().parse::<AppKind>(), Ok(kind));
+            assert_eq!(kind.label().to_uppercase().parse::<AppKind>(), Ok(kind));
+        }
+        assert_eq!("jpeg-encode".parse::<AppKind>(), Ok(AppKind::JpegEncode));
+        assert_eq!("mpeg2_decode".parse::<AppKind>(), Ok(AppKind::Mpeg2Decode));
+        assert_eq!("GsmEncode".parse::<AppKind>(), Ok(AppKind::GsmEncode));
+        assert!("h264 encode".parse::<AppKind>().is_err());
+        assert!("".parse::<AppKind>().is_err());
     }
 
     #[test]

@@ -3,31 +3,15 @@
 //!
 //! Usage: `figure5 [scale]` (default scale 1). Set `MOM_BENCH_FAST=1` to
 //! evaluate a reduced kernel subset for smoke testing.
+//!
+//! Thin wrapper over the `mom-lab` experiment engine: the text below is
+//! rendered from the same structured results `momlab run figure5` writes to
+//! `BENCH_figure5.json`.
 
-use mom_bench::{fast_mode_marker, figure5, kernel_selection, WIDTHS};
+use mom_lab::spec::ExperimentSpec;
 
 fn main() {
     let scale = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(1);
-    let kernels = kernel_selection();
-    let points = figure5(&kernels, scale, 1);
-
-    println!(
-        "Figure 5: kernel speed-ups vs 1-way Alpha (perfect cache, scale {scale}){}",
-        fast_mode_marker()
-    );
-    for &kernel in &kernels {
-        println!("\n{kernel}");
-        println!("{:<8} {:>10} {:>10} {:>10} {:>10}", "isa", "1-way", "2-way", "4-way", "8-way");
-        for isa in ["alpha", "mmx", "mdmx", "mom"] {
-            let mut row = format!("{isa:<8}");
-            for way in WIDTHS {
-                let p = points
-                    .iter()
-                    .find(|p| p.kernel == kernel.to_string() && p.isa == isa && p.way == way)
-                    .expect("point computed");
-                row.push_str(&format!(" {:>10.2}", p.speedup_vs_1way_alpha));
-            }
-            println!("{row}");
-        }
-    }
+    let spec = ExperimentSpec::builtin("figure5", scale, mom_lab::fast_mode()).expect("built-in spec");
+    print!("{}", mom_lab::report::render(&mom_lab::run(&spec)));
 }

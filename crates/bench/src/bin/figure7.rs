@@ -5,39 +5,15 @@
 //! Usage: `figure7 [scale]` (default scale 1). Set `MOM_BENCH_FAST=1` to
 //! evaluate a reduced application subset (4-way machine only) for smoke
 //! testing.
+//!
+//! Thin wrapper over the `mom-lab` experiment engine: the text below is
+//! rendered from the same structured results `momlab run figure7` writes to
+//! `BENCH_figure7.json`.
 
-use mom_bench::{app_selection, fast_mode, fast_mode_marker, figure7, Figure7Config};
+use mom_lab::spec::ExperimentSpec;
 
 fn main() {
     let scale = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(1);
-    let apps = app_selection();
-    let widths: &[usize] = if fast_mode() { &[4] } else { &[4, 8] };
-    let points = figure7(&apps, scale, widths);
-
-    println!(
-        "Figure 7: whole-program speed-ups vs same-width Alpha/conventional (scale {scale}){}",
-        fast_mode_marker()
-    );
-    for &app in &apps {
-        println!("\n{app}");
-        let mut header = format!("{:<32}", "configuration");
-        for way in widths {
-            header.push_str(&format!(" {:>8}", format!("{way}-way")));
-        }
-        println!("{header}");
-        for config in Figure7Config::ALL {
-            let get = |way: usize| {
-                points
-                    .iter()
-                    .find(|p| p.app == app.to_string() && p.config == config.label() && p.way == way)
-                    .map(|p| p.speedup_vs_alpha)
-                    .unwrap_or(f64::NAN)
-            };
-            let mut row = format!("{:<32}", config.label());
-            for &way in widths {
-                row.push_str(&format!(" {:>8.2}", get(way)));
-            }
-            println!("{row}");
-        }
-    }
+    let spec = ExperimentSpec::builtin("figure7", scale, mom_lab::fast_mode()).expect("built-in spec");
+    print!("{}", mom_lab::report::render(&mom_lab::run(&spec)));
 }

@@ -1,23 +1,14 @@
 //! Report the opcode inventories of the three emulated media ISAs
 //! (Section 3.1 of the paper: 67 MMX / 88 MDMX / 121 MOM instructions).
+//!
+//! Thin wrapper over the `mom-lab` experiment engine: the text below is
+//! rendered from the same structured rows `momlab run isa_inventory` writes
+//! to `BENCH_isa_inventory.json`.
 
-use mom_core::inventory::{opcode_count, paper_opcode_count};
-use mom_isa::trace::IsaKind;
+use mom_lab::spec::ExperimentSpec;
 
 fn main() {
-    println!("Opcode inventories of the emulation libraries");
-    println!("{:<8} {:>10} {:>10}", "ISA", "modelled", "paper");
-    for isa in [IsaKind::Mmx, IsaKind::Mdmx, IsaKind::Mom] {
-        println!(
-            "{:<8} {:>10} {:>10}",
-            isa.to_string(),
-            opcode_count(isa),
-            paper_opcode_count(isa).map(|c| c.to_string()).unwrap_or_else(|| "-".into()),
-        );
-    }
-    println!();
-    println!("Register file summary (Table 2 logical registers):");
-    println!("  MMX  : 32 media registers");
-    println!("  MDMX : 32 media registers + 4 packed accumulators");
-    println!("  MOM  : 16 matrix registers (16 x 64-bit words) + 2 accumulators + VL register");
+    let spec =
+        ExperimentSpec::builtin("isa_inventory", 1, mom_lab::fast_mode()).expect("built-in spec");
+    print!("{}", mom_lab::report::render(&mom_lab::run(&spec)));
 }

@@ -5,44 +5,16 @@
 //!
 //! Usage: `latency_tolerance [scale]` (default scale 1). Set
 //! `MOM_BENCH_FAST=1` to evaluate a reduced kernel subset for smoke testing.
+//!
+//! Thin wrapper over the `mom-lab` experiment engine: the text below is
+//! rendered from the same structured results `momlab run latency_tolerance`
+//! writes to `BENCH_latency_tolerance.json`.
 
-use mom_bench::{fast_mode_marker, kernel_selection, latency_tolerance};
+use mom_lab::spec::ExperimentSpec;
 
 fn main() {
     let scale = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(1);
-    let kernels = kernel_selection();
-    let points = latency_tolerance(&kernels, scale, 4);
-
-    println!(
-        "Latency tolerance: slow-down from 1-cycle to 50-cycle memory (4-way machine){}",
-        fast_mode_marker()
-    );
-    println!("{:<16} {:>8} {:>8} {:>8} {:>8}", "kernel", "alpha", "mmx", "mdmx", "mom");
-    for &kernel in &kernels {
-        let slow = |isa: &str| {
-            points
-                .iter()
-                .find(|p| p.kernel == kernel.to_string() && p.isa == isa)
-                .map(|p| p.slowdown)
-                .unwrap_or(f64::NAN)
-        };
-        println!(
-            "{:<16} {:>8.2} {:>8.2} {:>8.2} {:>8.2}",
-            kernel.to_string(),
-            slow("alpha"),
-            slow("mmx"),
-            slow("mdmx"),
-            slow("mom"),
-        );
-    }
-
-    // Per-ISA bands across kernels.
-    println!("\nSlow-down bands across kernels:");
-    for isa in ["alpha", "mmx", "mdmx", "mom"] {
-        let values: Vec<f64> =
-            points.iter().filter(|p| p.isa == isa).map(|p| p.slowdown).collect();
-        let min = values.iter().cloned().fold(f64::INFINITY, f64::min);
-        let max = values.iter().cloned().fold(0.0, f64::max);
-        println!("  {isa:<6} {min:.1}x .. {max:.1}x");
-    }
+    let spec = ExperimentSpec::builtin("latency_tolerance", scale, mom_lab::fast_mode())
+        .expect("built-in spec");
+    print!("{}", mom_lab::report::render(&mom_lab::run(&spec)));
 }

@@ -1,24 +1,12 @@
 //! Regenerate Table 1: processor configurations.
+//!
+//! Thin wrapper over the `mom-lab` experiment engine: the text below is
+//! rendered from the same structured rows `momlab run table1` writes to
+//! `BENCH_table1.json`.
+
+use mom_lab::spec::ExperimentSpec;
 
 fn main() {
-    println!("Table 1: Processor configurations");
-    println!(
-        "{:<8} {:>5} {:>5} {:>9} {:>6} {:>11} {:>11} {:>13} {:>10} {:>12}",
-        "config", "ROB", "LSQ", "bimodal", "BTB", "INT s/c", "FP s/c", "MED (lanes)", "mem ports", "INT log/phys"
-    );
-    for row in mom_bench::table1_rows() {
-        println!(
-            "{:<8} {:>5} {:>5} {:>9} {:>6} {:>11} {:>11} {:>13} {:>10} {:>12}",
-            format!("way-{}", row.way),
-            row.rob,
-            row.lsq,
-            row.bimodal,
-            row.btb,
-            format!("{}/{}", row.int_units.0, row.int_units.1),
-            format!("{}/{}", row.fp_units.0, row.fp_units.1),
-            format!("{} (x{})", row.media_units.0, row.media_units.1),
-            row.mem_ports,
-            format!("{}/{}", row.int_regs.0, row.int_regs.1),
-        );
-    }
+    let spec = ExperimentSpec::builtin("table1", 1, mom_lab::fast_mode()).expect("built-in spec");
+    print!("{}", mom_lab::report::render(&mom_lab::run(&spec)));
 }

@@ -1,23 +1,12 @@
 //! Regenerate Table 2: multimedia register-file configurations and area cost.
+//!
+//! Thin wrapper over the `mom-lab` experiment engine: the text below is
+//! rendered from the same structured rows `momlab run table2` writes to
+//! `BENCH_table2.json`.
+
+use mom_lab::spec::ExperimentSpec;
 
 fn main() {
-    println!("Table 2: Multimedia register file configurations (4-way machine)");
-    println!(
-        "{:<6} {:>14} {:>12} {:>12} {:>10} {:>10} {:>16}",
-        "ISA", "media log/phys", "acc log/phys", "media rd/wr", "acc rd/wr", "size (KB)", "normalized area"
-    );
-    for row in mom_core::area::table2() {
-        println!(
-            "{:<6} {:>14} {:>12} {:>12} {:>10} {:>10.2} {:>16.2}",
-            row.isa,
-            format!("{}/{}", row.media_regs.0, row.media_regs.1),
-            format!("{}/{}", row.acc_regs.0, row.acc_regs.1),
-            format!("{}/{}", row.media_ports.0, row.media_ports.1),
-            format!("{}/{}", row.acc_ports.0, row.acc_ports.1),
-            row.size_kb,
-            row.normalized_area,
-        );
-    }
-    println!();
-    println!("Paper values: sizes 0.5 / 0.78 / 2.6 KB, normalized area 1 / 1.19 / 0.87.");
+    let spec = ExperimentSpec::builtin("table2", 1, mom_lab::fast_mode()).expect("built-in spec");
+    print!("{}", mom_lab::report::render(&mom_lab::run(&spec)));
 }

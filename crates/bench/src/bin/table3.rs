@@ -1,26 +1,12 @@
 //! Regenerate Table 3: port configuration of the memory models.
+//!
+//! Thin wrapper over the `mom-lab` experiment engine: the text below is
+//! rendered from the same structured rows `momlab run table3` writes to
+//! `BENCH_table3.json`.
+
+use mom_lab::spec::ExperimentSpec;
 
 fn main() {
-    println!("Table 3: Port configuration of the memory models");
-    println!(
-        "{:<16} {:>9} {:>9} {:>11} {:>15} {:>9} {:>11}",
-        "model", "L1 ports", "L1 banks", "L1 latency", "L2 vec ports", "L2 banks", "L2 latency"
-    );
-    for row in mom_mem::config::table3() {
-        let c = row.config;
-        println!(
-            "{:<16} {:>9} {:>9} {:>11} {:>15} {:>9} {:>11}",
-            row.label,
-            c.l1_ports,
-            c.l1_banks,
-            c.l1_latency,
-            if c.l2_vector_ports == 0 {
-                "-".to_string()
-            } else {
-                format!("{}x{}", c.l2_vector_ports, c.l2_vector_width)
-            },
-            c.l2_banks,
-            c.l2_latency,
-        );
-    }
+    let spec = ExperimentSpec::builtin("table3", 1, mom_lab::fast_mode()).expect("built-in spec");
+    print!("{}", mom_lab::report::render(&mom_lab::run(&spec)));
 }

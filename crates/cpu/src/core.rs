@@ -59,7 +59,7 @@ impl Default for Latencies {
 }
 
 /// Summary of one simulation run.
-#[derive(Debug, Clone, Copy, Default, PartialEq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
 pub struct SimResult {
     /// Total cycles from first fetch to last commit.
     pub cycles: u64,

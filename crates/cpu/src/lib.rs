@@ -58,6 +58,16 @@ mod tests {
     use mom_isa::trace::{ArchReg, DynInst, InstClass};
 
     #[test]
+    fn simulation_types_are_send() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        // The parallel experiment runner simulates grid cells on scoped worker
+        // threads and sends `SimResult`s back; cores are built per-thread.
+        assert_send_sync::<SimResult>();
+        assert_send_sync::<CoreConfig>();
+        assert_send_sync::<OooCore>();
+    }
+
+    #[test]
     fn simulate_helper_runs() {
         let trace: Trace = (0..100u64)
             .map(|i| DynInst::new(InstClass::IntSimple, i).with_dst(ArchReg::int(1 + (i % 4) as u8)))

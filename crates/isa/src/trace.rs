@@ -43,6 +43,21 @@ impl std::fmt::Display for IsaKind {
     }
 }
 
+impl std::str::FromStr for IsaKind {
+    type Err = String;
+
+    /// Parse the [`IsaKind::label`] form (case-insensitive), so CLI filters
+    /// round-trip: `kind.label().parse() == Ok(kind)`.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let needle = s.trim().to_ascii_lowercase();
+        IsaKind::ALL
+            .iter()
+            .copied()
+            .find(|k| k.label() == needle)
+            .ok_or_else(|| format!("unknown ISA {s:?} (expected one of: alpha, mmx, mdmx, mom)"))
+    }
+}
+
 /// Architectural register class, used for renaming in the timing model.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum RegClass {
@@ -396,6 +411,28 @@ mod tests {
         assert_eq!(IsaKind::Alpha.label(), "alpha");
         assert_eq!(IsaKind::Mom.to_string(), "mom");
         assert_eq!(IsaKind::ALL.len(), 4);
+    }
+
+    #[test]
+    fn isa_from_str_round_trips_every_variant() {
+        for kind in IsaKind::ALL {
+            assert_eq!(kind.label().parse::<IsaKind>(), Ok(kind));
+            assert_eq!(kind.to_string().parse::<IsaKind>(), Ok(kind));
+            assert_eq!(kind.label().to_uppercase().parse::<IsaKind>(), Ok(kind));
+        }
+        assert!(" mom ".parse::<IsaKind>().is_ok(), "surrounding whitespace is tolerated");
+        assert!("vax".parse::<IsaKind>().is_err());
+        assert!("".parse::<IsaKind>().is_err());
+    }
+
+    #[test]
+    fn traces_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        // The parallel experiment runner in `mom-lab` shares pre-built traces
+        // across scoped worker threads; these bounds are part of the contract.
+        assert_send_sync::<Trace>();
+        assert_send_sync::<DynInst>();
+        assert_send_sync::<IsaKind>();
     }
 
     #[test]

@@ -115,6 +115,23 @@ impl std::fmt::Display for KernelKind {
     }
 }
 
+impl std::str::FromStr for KernelKind {
+    type Err = String;
+
+    /// Parse the [`KernelKind::label`] form. Matching is case-insensitive and
+    /// ignores `-`/`_` separators (so `ltp-parameters` and `LtpParameters`
+    /// both parse), guaranteeing `kind.label().parse() == Ok(kind)`.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let normalize =
+            |s: &str| s.chars().filter(|c| !matches!(c, '-' | '_' | ' ')).collect::<String>().to_ascii_lowercase();
+        let needle = normalize(s.trim());
+        KernelKind::ALL.iter().copied().find(|k| normalize(k.label()) == needle).ok_or_else(|| {
+            let all: Vec<&str> = KernelKind::ALL.iter().map(|k| k.label()).collect();
+            format!("unknown kernel {s:?} (expected one of: {})", all.join(", "))
+        })
+    }
+}
+
 /// Workload parameters shared by every kernel.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct KernelParams {
@@ -269,6 +286,20 @@ mod tests {
         assert_eq!(KernelKind::Idct.to_string(), "idct");
         assert_eq!(KernelKind::LtpParameters.label(), "ltpparameters");
         assert_eq!(KernelKind::H2v2Upsample.label(), "h2v2upsample");
+    }
+
+    #[test]
+    fn kernel_from_str_round_trips_every_variant() {
+        for kind in KernelKind::ALL {
+            assert_eq!(kind.label().parse::<KernelKind>(), Ok(kind));
+            assert_eq!(kind.to_string().parse::<KernelKind>(), Ok(kind));
+            assert_eq!(kind.label().to_uppercase().parse::<KernelKind>(), Ok(kind));
+        }
+        assert_eq!("ltp-parameters".parse::<KernelKind>(), Ok(KernelKind::LtpParameters));
+        assert_eq!("LtpParameters".parse::<KernelKind>(), Ok(KernelKind::LtpParameters));
+        assert_eq!(" idct ".parse::<KernelKind>(), Ok(KernelKind::Idct));
+        assert!("dct".parse::<KernelKind>().is_err());
+        assert!("".parse::<KernelKind>().is_err());
     }
 
     #[test]

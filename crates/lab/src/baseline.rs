@@ -1,0 +1,230 @@
+//! Diffing a fresh `BENCH_*.json` result against a saved baseline.
+//!
+//! Cells are matched by `(workload, config, way)` — the identity key of the
+//! schema — and compared on simulated cycles. A cell is a **regression** when
+//! its cycle count grew by more than the relative tolerance, an
+//! **improvement** when it shrank by more than the tolerance. Config drift
+//! (different hash, fast flag or scale) is surfaced as warnings since cycle
+//! comparisons across different grids are meaningless.
+
+use crate::json::Value;
+
+/// Default relative cycle tolerance: 2%.
+pub const DEFAULT_TOLERANCE: f64 = 0.02;
+
+/// The outcome of comparing one result document against a baseline.
+#[derive(Debug, Clone, Default)]
+pub struct Diff {
+    /// Context mismatches (config hash, fast flag, scale, experiment name).
+    pub warnings: Vec<String>,
+    /// Cells whose cycles grew beyond the tolerance.
+    pub regressions: Vec<String>,
+    /// Cells whose cycles shrank beyond the tolerance.
+    pub improvements: Vec<String>,
+    /// Cells present in the baseline but absent from the new result.
+    pub missing: Vec<String>,
+    /// Cells present in the new result but absent from the baseline.
+    pub added: Vec<String>,
+    /// Cells within tolerance.
+    pub unchanged: usize,
+}
+
+impl Diff {
+    /// Whether the new result regressed relative to the baseline.
+    pub fn has_regressions(&self) -> bool {
+        !self.regressions.is_empty()
+    }
+}
+
+impl std::fmt::Display for Diff {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for w in &self.warnings {
+            writeln!(f, "warning: {w}")?;
+        }
+        for r in &self.regressions {
+            writeln!(f, "REGRESSION: {r}")?;
+        }
+        for i in &self.improvements {
+            writeln!(f, "improvement: {i}")?;
+        }
+        for m in &self.missing {
+            writeln!(f, "missing cell: {m}")?;
+        }
+        for a in &self.added {
+            writeln!(f, "new cell: {a}")?;
+        }
+        writeln!(
+            f,
+            "{} regression(s), {} improvement(s), {} unchanged cell(s)",
+            self.regressions.len(),
+            self.improvements.len(),
+            self.unchanged
+        )
+    }
+}
+
+fn cell_key(cell: &Value) -> String {
+    let field = |k: &str| cell.get(k).and_then(Value::as_str).unwrap_or("?").to_string();
+    let way = cell.get("way").and_then(Value::as_i64).unwrap_or(-1);
+    format!("{} / {} / {}-way", field("workload"), field("config"), way)
+}
+
+/// Compare two `momlab/v1` documents.
+///
+/// # Errors
+///
+/// Returns an error when either document is not a grid result (static tables
+/// have nothing to regress) or when the two documents describe different
+/// experiments.
+pub fn diff_documents(new: &Value, baseline: &Value, tolerance: f64) -> Result<Diff, String> {
+    let kind = |doc: &Value| doc.get("kind").and_then(Value::as_str).map(str::to_string);
+    let name = |doc: &Value| doc.get("experiment").and_then(Value::as_str).map(str::to_string);
+    let (new_name, base_name) = (name(new), name(baseline));
+    if new_name.is_none() || base_name.is_none() {
+        return Err("not a momlab result document (missing \"experiment\")".into());
+    }
+    if new_name != base_name {
+        return Err(format!(
+            "experiment mismatch: new is {:?}, baseline is {:?}",
+            new_name.unwrap(),
+            base_name.unwrap()
+        ));
+    }
+    if kind(new).as_deref() != Some("grid") || kind(baseline).as_deref() != Some("grid") {
+        return Err("baseline diffing applies to grid experiments only".into());
+    }
+
+    let mut diff = Diff::default();
+    for field in ["config_hash", "fast", "scale"] {
+        let (a, b) = (new.get(field), baseline.get(field));
+        if a != b {
+            diff.warnings.push(format!(
+                "{field} differs (new: {}, baseline: {}) — cycle comparisons may be meaningless",
+                a.map(Value::to_compact).unwrap_or_else(|| "absent".into()),
+                b.map(Value::to_compact).unwrap_or_else(|| "absent".into()),
+            ));
+        }
+    }
+
+    let cells = |doc: &Value| -> Vec<Value> {
+        doc.get("cells").and_then(Value::as_array).map(<[Value]>::to_vec).unwrap_or_default()
+    };
+    let new_cells = cells(new);
+    let base_cells = cells(baseline);
+
+    for base_cell in &base_cells {
+        let key = cell_key(base_cell);
+        let Some(new_cell) = new_cells.iter().find(|c| cell_key(c) == key) else {
+            diff.missing.push(key);
+            continue;
+        };
+        let old_cycles = base_cell.get("cycles").and_then(Value::as_f64).unwrap_or(f64::NAN);
+        let new_cycles = new_cell.get("cycles").and_then(Value::as_f64).unwrap_or(f64::NAN);
+        if !old_cycles.is_finite() || !new_cycles.is_finite() || old_cycles <= 0.0 {
+            diff.warnings.push(format!("{key}: unreadable cycle counts"));
+            continue;
+        }
+        let ratio = new_cycles / old_cycles;
+        if ratio > 1.0 + tolerance {
+            diff.regressions.push(format!(
+                "{key}: cycles {old_cycles:.0} -> {new_cycles:.0} (+{:.1}%)",
+                (ratio - 1.0) * 100.0
+            ));
+        } else if ratio < 1.0 - tolerance {
+            diff.improvements.push(format!(
+                "{key}: cycles {old_cycles:.0} -> {new_cycles:.0} ({:.1}%)",
+                (ratio - 1.0) * 100.0
+            ));
+        } else {
+            diff.unchanged += 1;
+        }
+    }
+    for new_cell in &new_cells {
+        let key = cell_key(new_cell);
+        if !base_cells.iter().any(|c| cell_key(c) == key) {
+            diff.added.push(key);
+        }
+    }
+    Ok(diff)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc(cycles: i64, hash: &str) -> Value {
+        Value::object(vec![
+            ("experiment", Value::Str("figure5".into())),
+            ("config_hash", Value::Str(hash.into())),
+            ("fast", Value::Bool(false)),
+            ("scale", Value::Int(1)),
+            ("kind", Value::Str("grid".into())),
+            (
+                "cells",
+                Value::Array(vec![Value::object(vec![
+                    ("workload", Value::Str("idct".into())),
+                    ("config", Value::Str("mom".into())),
+                    ("way", Value::Int(4)),
+                    ("cycles", Value::Int(cycles)),
+                ])]),
+            ),
+        ])
+    }
+
+    #[test]
+    fn identical_documents_have_no_findings() {
+        let d = diff_documents(&doc(1000, "h"), &doc(1000, "h"), DEFAULT_TOLERANCE).unwrap();
+        assert!(!d.has_regressions());
+        assert!(d.improvements.is_empty() && d.warnings.is_empty());
+        assert_eq!(d.unchanged, 1);
+    }
+
+    #[test]
+    fn cycle_growth_beyond_tolerance_is_a_regression() {
+        let d = diff_documents(&doc(1100, "h"), &doc(1000, "h"), 0.02).unwrap();
+        assert!(d.has_regressions());
+        assert!(d.regressions[0].contains("idct / mom / 4-way"), "{:?}", d.regressions);
+        // Within tolerance: no finding.
+        let d = diff_documents(&doc(1010, "h"), &doc(1000, "h"), 0.02).unwrap();
+        assert!(!d.has_regressions());
+        // Shrinkage: improvement.
+        let d = diff_documents(&doc(900, "h"), &doc(1000, "h"), 0.02).unwrap();
+        assert!(!d.has_regressions());
+        assert_eq!(d.improvements.len(), 1);
+    }
+
+    #[test]
+    fn config_drift_warns() {
+        let d = diff_documents(&doc(1000, "a"), &doc(1000, "b"), 0.02).unwrap();
+        assert!(d.warnings.iter().any(|w| w.contains("config_hash")), "{:?}", d.warnings);
+    }
+
+    #[test]
+    fn mismatched_experiments_are_an_error() {
+        let mut other = doc(1000, "h");
+        if let Value::Object(members) = &mut other {
+            members[0].1 = Value::Str("figure7".into());
+        }
+        assert!(diff_documents(&other, &doc(1000, "h"), 0.02).is_err());
+        assert!(diff_documents(&Value::Null, &doc(1000, "h"), 0.02).is_err());
+    }
+
+    #[test]
+    fn added_and_missing_cells_are_reported() {
+        let mut bigger = doc(1000, "h");
+        if let Value::Object(members) = &mut bigger {
+            if let Some((_, Value::Array(cells))) = members.iter_mut().find(|(k, _)| k == "cells") {
+                cells.push(Value::object(vec![
+                    ("workload", Value::Str("addblock".into())),
+                    ("config", Value::Str("mom".into())),
+                    ("way", Value::Int(8)),
+                    ("cycles", Value::Int(5)),
+                ]));
+            }
+        }
+        let d = diff_documents(&bigger, &doc(1000, "h"), 0.02).unwrap();
+        assert_eq!(d.added.len(), 1);
+        let d = diff_documents(&doc(1000, "h"), &bigger, 0.02).unwrap();
+        assert_eq!(d.missing.len(), 1);
+    }
+}

@@ -1,0 +1,294 @@
+//! `momlab` — the experiment-orchestration CLI.
+//!
+//! ```text
+//! momlab list [--experiment NAME]...
+//! momlab run <NAME>... | --all [options]
+//! momlab --all                      # shorthand for `momlab run --all`
+//! momlab diff <NEW.json> --baseline <OLD.json> [--tolerance F]
+//! ```
+//!
+//! Run options:
+//!
+//! * `--experiment NAME` — with `--all`, restrict which experiments run
+//! * `--kernel K` / `--app A` / `--isa I` — restrict grid experiments
+//!   (repeatable)
+//! * `--scale N` — workload scale (default 1)
+//! * `--workers N` — worker threads (default: min(cpus, 8); 1 = serial)
+//! * `--json FILE` — result file path (single experiment only)
+//! * `--out-dir DIR` — directory for `BENCH_<name>.json` files (default `.`)
+//! * `--no-json` — skip writing result files
+//! * `--quiet` — suppress the text tables
+//! * `--baseline FILE` — diff the result against a saved JSON document;
+//!   exit code 2 when a regression is found
+//! * `--tolerance F` — relative cycle tolerance for `--baseline` (default 0.02)
+//!
+//! `MOM_BENCH_FAST=1` selects the same reduced workload subsets as the legacy
+//! experiment binaries.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+use std::str::FromStr;
+
+use mom_apps::AppKind;
+use mom_isa::trace::IsaKind;
+use mom_kernels::KernelKind;
+use mom_lab::baseline::{diff_documents, DEFAULT_TOLERANCE};
+use mom_lab::json::Value;
+use mom_lab::spec::{ExperimentKind, ExperimentSpec, BUILTIN_EXPERIMENTS};
+use mom_lab::{report, runner};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run_cli(&args) {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!();
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+Usage:
+  momlab list [--experiment NAME]...
+  momlab run <NAME>... | --all [--experiment NAME]... [--kernel K]... [--app A]...
+             [--isa I]... [--scale N] [--workers N] [--json FILE] [--out-dir DIR]
+             [--no-json] [--quiet] [--baseline FILE] [--tolerance F]
+  momlab --all
+  momlab diff <NEW.json> --baseline <OLD.json> [--tolerance F]
+
+Built-in experiments: table1 table2 table3 isa_inventory figure5
+                      latency_tolerance figure7
+
+MOM_BENCH_FAST=1 selects the reduced fast-mode workload subsets.";
+
+/// Everything `momlab run` / `momlab list` / `momlab diff` accept.
+#[derive(Debug, Default)]
+struct Options {
+    all: bool,
+    names: Vec<String>,
+    experiments: Vec<String>,
+    kernels: Vec<KernelKind>,
+    isas: Vec<IsaKind>,
+    apps: Vec<AppKind>,
+    scale: usize,
+    workers: Option<usize>,
+    json: Option<PathBuf>,
+    out_dir: PathBuf,
+    no_json: bool,
+    quiet: bool,
+    baseline: Option<PathBuf>,
+    tolerance: f64,
+}
+
+fn parse_options(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        scale: 1,
+        out_dir: PathBuf::from("."),
+        tolerance: DEFAULT_TOLERANCE,
+        ..Options::default()
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| {
+            it.next().map(String::as_str).ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match arg.as_str() {
+            "--all" => opts.all = true,
+            "--experiment" => opts.experiments.push(value("--experiment")?.to_string()),
+            "--kernel" => opts.kernels.push(KernelKind::from_str(value("--kernel")?)?),
+            "--isa" => opts.isas.push(IsaKind::from_str(value("--isa")?)?),
+            "--app" => opts.apps.push(AppKind::from_str(value("--app")?)?),
+            "--scale" => {
+                opts.scale = value("--scale")?
+                    .parse()
+                    .map_err(|e| format!("--scale: {e}"))
+                    .and_then(|s| if s == 0 { Err("--scale must be >= 1".into()) } else { Ok(s) })?
+            }
+            "--workers" => {
+                opts.workers = Some(
+                    value("--workers")?
+                        .parse()
+                        .map_err(|e| format!("--workers: {e}"))
+                        .and_then(|w| {
+                            if w == 0 {
+                                Err("--workers must be >= 1".to_string())
+                            } else {
+                                Ok(w)
+                            }
+                        })?,
+                )
+            }
+            "--json" => opts.json = Some(PathBuf::from(value("--json")?)),
+            "--out-dir" => opts.out_dir = PathBuf::from(value("--out-dir")?),
+            "--no-json" => opts.no_json = true,
+            "--quiet" => opts.quiet = true,
+            "--baseline" => opts.baseline = Some(PathBuf::from(value("--baseline")?)),
+            "--tolerance" => {
+                opts.tolerance = value("--tolerance")?
+                    .parse()
+                    .map_err(|e| format!("--tolerance: {e}"))
+                    .and_then(|t: f64| {
+                        if t.is_finite() && t >= 0.0 {
+                            Ok(t)
+                        } else {
+                            Err("--tolerance must be a finite value >= 0".to_string())
+                        }
+                    })?
+            }
+            flag if flag.starts_with("--") => return Err(format!("unknown flag {flag}")),
+            name => opts.names.push(name.to_string()),
+        }
+    }
+    Ok(opts)
+}
+
+fn run_cli(args: &[String]) -> Result<ExitCode, String> {
+    // `--help`/`-h` anywhere (including after a subcommand) prints usage and
+    // succeeds.
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!("{USAGE}");
+        return Ok(ExitCode::SUCCESS);
+    }
+    match args.first().map(String::as_str) {
+        None => {
+            println!("{USAGE}");
+            Ok(ExitCode::SUCCESS)
+        }
+        Some("list") => cmd_list(&parse_options(&args[1..])?),
+        Some("run") => cmd_run(&parse_options(&args[1..])?),
+        Some("diff") => cmd_diff(&parse_options(&args[1..])?),
+        // `momlab --all` is a shorthand for `momlab run --all`.
+        Some(_) => cmd_run(&parse_options(args)?),
+    }
+}
+
+/// Which experiments the name/--experiment/--all selection resolves to.
+fn selected_specs(opts: &Options) -> Result<Vec<ExperimentSpec>, String> {
+    let fast = mom_lab::fast_mode();
+    // Validate --experiment names up front: with --all a misspelled filter
+    // would otherwise silently select nothing and exit 0.
+    for name in &opts.experiments {
+        if !BUILTIN_EXPERIMENTS.contains(&name.as_str()) {
+            return Err(format!(
+                "unknown experiment {name:?} (try: {})",
+                BUILTIN_EXPERIMENTS.join(", ")
+            ));
+        }
+    }
+    let mut names: Vec<String> = opts.names.clone();
+    names.extend(opts.experiments.iter().cloned());
+    if opts.all || names.is_empty() {
+        names = BUILTIN_EXPERIMENTS.iter().map(|&n| n.to_string()).collect();
+        if !opts.experiments.is_empty() {
+            names.retain(|n| opts.experiments.contains(n));
+        }
+    }
+    let mut specs = Vec::new();
+    for name in &names {
+        let mut spec = ExperimentSpec::builtin(name, opts.scale, fast).ok_or_else(|| {
+            format!("unknown experiment {name:?} (try: {})", BUILTIN_EXPERIMENTS.join(", "))
+        })?;
+        if let ExperimentKind::Grid(grid) = &mut spec.kind {
+            if !opts.kernels.is_empty() {
+                grid.retain_kernels(&opts.kernels);
+            }
+            if !opts.apps.is_empty() {
+                grid.retain_apps(&opts.apps);
+            }
+            if !opts.isas.is_empty() {
+                grid.retain_isas(&opts.isas);
+            }
+            if grid.workloads.is_empty() || grid.configs.is_empty() {
+                return Err(format!(
+                    "the --kernel/--app/--isa filters leave {name} with an empty grid"
+                ));
+            }
+        }
+        specs.push(spec);
+    }
+    Ok(specs)
+}
+
+fn cmd_list(opts: &Options) -> Result<ExitCode, String> {
+    let specs = selected_specs(opts)?;
+    println!("{:<20} {:<6} {:>6} title", "experiment", "kind", "cells");
+    for spec in &specs {
+        let (kind, cells) = match spec.grid() {
+            Some(grid) => ("grid", grid.cells().len().to_string()),
+            None => ("static", "-".to_string()),
+        };
+        println!("{:<20} {:<6} {:>6} {}", spec.name, kind, cells, spec.title);
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn read_document(path: &Path) -> Result<Value, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    Value::parse(&text).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+fn cmd_run(opts: &Options) -> Result<ExitCode, String> {
+    let specs = selected_specs(opts)?;
+    if opts.json.is_some() && specs.len() != 1 {
+        return Err("--json FILE applies to a single experiment; use --out-dir for several".into());
+    }
+    if opts.baseline.is_some() && specs.len() != 1 {
+        return Err("--baseline applies to a single experiment; use `momlab diff` per file".into());
+    }
+    let workers = opts.workers.unwrap_or_else(runner::default_workers);
+
+    let mut exit = ExitCode::SUCCESS;
+    for (i, spec) in specs.iter().enumerate() {
+        let result = runner::run_with(spec, workers);
+        if !opts.quiet {
+            if i > 0 {
+                println!();
+            }
+            print!("{}", report::render(&result));
+        }
+        if !opts.no_json {
+            let path = match &opts.json {
+                Some(path) => path.clone(),
+                None => opts.out_dir.join(format!("BENCH_{}.json", spec.name)),
+            };
+            if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+                std::fs::create_dir_all(dir)
+                    .map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+            }
+            std::fs::write(&path, result.document_json().to_pretty())
+                .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+            eprintln!(
+                "wrote {} ({} workers, {} ms)",
+                path.display(),
+                result.workers,
+                result.wall_ms
+            );
+        }
+        if let Some(baseline_path) = &opts.baseline {
+            let baseline = read_document(baseline_path)?;
+            let diff = diff_documents(&result.document_json(), &baseline, opts.tolerance)?;
+            eprint!("{diff}");
+            if diff.has_regressions() {
+                exit = ExitCode::from(2);
+            }
+        }
+    }
+    Ok(exit)
+}
+
+fn cmd_diff(opts: &Options) -> Result<ExitCode, String> {
+    let [new_path] = opts.names.as_slice() else {
+        return Err("diff takes exactly one result file plus --baseline <file>".into());
+    };
+    let baseline_path =
+        opts.baseline.as_ref().ok_or_else(|| "diff needs --baseline <file>".to_string())?;
+    let new_doc = read_document(Path::new(new_path))?;
+    let baseline = read_document(baseline_path)?;
+    let diff = diff_documents(&new_doc, &baseline, opts.tolerance)?;
+    print!("{diff}");
+    Ok(if diff.has_regressions() { ExitCode::from(2) } else { ExitCode::SUCCESS })
+}

@@ -1,0 +1,85 @@
+//! # mom-lab — the parallel experiment-orchestration engine
+//!
+//! The paper's evaluation is a grid of (workload x ISA x issue-width x
+//! memory-model) simulations. This crate turns that grid into data:
+//!
+//! * [`spec`] — declarative [`ExperimentSpec`]s describing a simulation grid;
+//!   every table and figure of the paper is a named built-in spec
+//!   ([`ExperimentSpec::builtin`]);
+//! * [`runner`] — a multi-threaded runner (scoped threads, work-stealing
+//!   cursor) with a determinism guarantee: parallel and serial runs produce
+//!   bit-identical results;
+//! * [`json`] — a dependency-free JSON writer/parser behind the
+//!   `BENCH_<experiment>.json` result files;
+//! * [`report`] — text renderers reproducing the legacy `mom-bench` binary
+//!   output byte-for-byte from the structured results;
+//! * [`tables`] — the config-derived static experiments (Tables 1-3, opcode
+//!   inventories);
+//! * [`baseline`] — regression diffing of result files.
+//!
+//! The `momlab` binary is the CLI: `momlab list`, `momlab run figure5 --json
+//! out.json`, `momlab run --all`, `momlab diff new.json --baseline old.json`.
+//! See `EXPERIMENTS.md` at the repository root for the JSON schema.
+//!
+//! ```
+//! use mom_lab::spec::ExperimentSpec;
+//! use mom_lab::{report, runner};
+//!
+//! // Run a reduced Figure 5 on 4 workers; serial would give identical bytes.
+//! let spec = ExperimentSpec::builtin("figure5", 1, true).expect("built-in name");
+//! let result = runner::run_with(&spec, 4);
+//! assert_eq!(result.results_json(), runner::run_with(&spec, 1).results_json());
+//! assert!(report::render(&result).starts_with("Figure 5"));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod baseline;
+pub mod json;
+pub mod report;
+pub mod runner;
+pub mod spec;
+pub mod tables;
+
+pub use runner::{run, run_with, CellResult, RunResult};
+pub use spec::{ExperimentSpec, GridSpec, Workload, BUILTIN_EXPERIMENTS};
+
+use std::sync::OnceLock;
+
+/// Whether the `MOM_BENCH_FAST` environment variable requests reduced runs.
+///
+/// In fast mode the experiments evaluate a two-element subset of the
+/// kernels/applications so smoke tests and CI can exercise every experiment
+/// in seconds instead of minutes. Any non-empty value other than `0` enables
+/// it. The lookup is cached in a [`OnceLock`] — the environment is read at
+/// most once per process, and every caller (the `momlab` CLI, the legacy
+/// `mom-bench` binaries and the Criterion benches) sees the same answer.
+pub fn fast_mode() -> bool {
+    static FAST: OnceLock<bool> = OnceLock::new();
+    *FAST.get_or_init(|| {
+        std::env::var("MOM_BENCH_FAST").map(|v| !v.is_empty() && v != "0").unwrap_or(false)
+    })
+}
+
+/// Header suffix marking reduced runs (the [`fast_mode`] flavour of
+/// [`report::fast_marker`]).
+pub fn fast_mode_marker() -> &'static str {
+    report::fast_marker(fast_mode())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fast_mode_is_cached_and_consistent() {
+        // Whatever the environment says, repeated calls agree (the OnceLock
+        // pins the first answer) and the marker matches the flag.
+        let first = fast_mode();
+        for _ in 0..3 {
+            assert_eq!(fast_mode(), first);
+        }
+        assert_eq!(fast_mode_marker().is_empty(), !first);
+    }
+}

@@ -1,0 +1,482 @@
+//! The parallel experiment runner.
+//!
+//! Grid experiments run in two parallel stages over scoped worker threads:
+//!
+//! 1. **Trace building** — every distinct `(workload, ISA)` pair is executed
+//!    once by the functional interpreter (kernels are verified against the
+//!    golden reference while doing so);
+//! 2. **Timing simulation** — every grid cell simulates its pre-built trace
+//!    on its own core + memory-system instance.
+//!
+//! Work is distributed by a shared atomic cursor (idle workers steal the next
+//! unclaimed index), and every result is written back to the slot of its cell
+//! index. Since each cell's simulation is a pure function of the spec, the
+//! result vector — and therefore the JSON document — is **bit-identical**
+//! regardless of worker count or scheduling. [`determinism`] states the
+//! guarantee; `tests/determinism.rs` enforces it.
+//!
+//! [`determinism`]: self#determinism
+//!
+//! # Determinism
+//!
+//! For any spec `s` and worker counts `a, b >= 1`:
+//! `run_with(&s, a).results_json() == run_with(&s, b).results_json()` —
+//! byte-for-byte. Only the `meta` section of the full document (wall-clock,
+//! worker count) may differ between runs.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use mom_apps::{build_app, AppParams};
+use mom_cpu::{CoreConfig, OooCore, SimResult};
+use mom_isa::trace::{IsaKind, Trace};
+use mom_kernels::{build_kernel, KernelParams};
+use mom_mem::{build_memory, MemModelKind};
+
+use crate::json::Value;
+use crate::spec::{BaselinePolicy, ExperimentKind, ExperimentSpec, GridSpec, Workload};
+use crate::tables::{static_rows, StaticRows};
+
+/// Results of one simulated grid cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellResult {
+    /// The workload that ran.
+    pub workload: Workload,
+    /// Label of the machine configuration (unique within the spec).
+    pub config_label: String,
+    /// The ISA of the configuration.
+    pub isa: IsaKind,
+    /// The memory model of the configuration.
+    pub mem: MemModelKind,
+    /// Issue width.
+    pub way: usize,
+    /// Simulated cycles.
+    pub cycles: u64,
+    /// Committed dynamic instructions.
+    pub instructions: u64,
+    /// Branches executed.
+    pub branches: u64,
+    /// Branch mispredictions.
+    pub mispredictions: u64,
+    /// Element-level memory accesses.
+    pub mem_accesses: u64,
+    /// Speed-up versus the spec's baseline cell (`None` when the baseline
+    /// policy is [`BaselinePolicy::None`]).
+    pub speedup: Option<f64>,
+}
+
+impl CellResult {
+    /// Instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.instructions as f64 / self.cycles as f64
+        }
+    }
+}
+
+/// The data produced by one experiment run.
+#[derive(Debug, Clone)]
+pub enum RunData {
+    /// Per-cell simulation results, in [`GridSpec::cells`] order.
+    Grid(Vec<CellResult>),
+    /// The rows of a config-derived table.
+    Static(StaticRows),
+}
+
+/// A completed experiment run: the results plus reproducibility metadata.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// The spec that ran (owned copy, so reports need no extra context).
+    pub spec: ExperimentSpec,
+    /// Hash of the spec configuration (see [`ExperimentSpec::config_hash`]).
+    pub config_hash: String,
+    /// Worker threads used.
+    pub workers: usize,
+    /// Wall-clock duration of the run in milliseconds.
+    pub wall_ms: u64,
+    /// The results.
+    pub data: RunData,
+}
+
+/// Default worker count: the machine's available parallelism, capped at 8
+/// (the grids are small; more threads only add scheduling noise).
+pub fn default_workers() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(8)
+}
+
+/// Run an experiment with [`default_workers`].
+pub fn run(spec: &ExperimentSpec) -> RunResult {
+    run_with(spec, default_workers())
+}
+
+/// Run an experiment with an explicit worker count (`1` forces a fully
+/// serial run; results are identical either way — see the
+/// [module docs](self#determinism)).
+pub fn run_with(spec: &ExperimentSpec, workers: usize) -> RunResult {
+    let started = std::time::Instant::now();
+    let data = match &spec.kind {
+        ExperimentKind::Static(kind) => RunData::Static(static_rows(*kind)),
+        ExperimentKind::Grid(grid) => RunData::Grid(run_grid(grid, workers.max(1))),
+    };
+    RunResult {
+        spec: spec.clone(),
+        config_hash: spec.config_hash(),
+        workers: workers.max(1),
+        wall_ms: started.elapsed().as_millis() as u64,
+        data,
+    }
+}
+
+/// Build the dynamic trace of one workload for one ISA. Kernels are verified
+/// against the golden reference; a mismatch is a panic, exactly as in the
+/// legacy harness.
+fn build_trace(workload: Workload, isa: IsaKind, scale: usize, seed: u64) -> Trace {
+    match workload {
+        Workload::Kernel(kernel) => {
+            let params = KernelParams { seed, scale };
+            build_kernel(kernel, isa, &params)
+                .run_verified()
+                .unwrap_or_else(|e| panic!("{kernel} ({isa}) failed verification: {e}"))
+                .trace
+        }
+        Workload::App(app) => {
+            let params = AppParams { seed, scale };
+            build_app(app, isa, &params)
+                .unwrap_or_else(|e| panic!("{app} ({isa}) failed to build: {e}"))
+                .trace
+        }
+    }
+}
+
+/// Simulate one pre-built trace on one machine configuration.
+fn simulate(trace: &Trace, way: usize, isa: IsaKind, mem: MemModelKind) -> SimResult {
+    let core = OooCore::new(CoreConfig::for_width(way, isa));
+    let mut memory = build_memory(mem, way);
+    core.simulate(trace, memory.as_mut())
+}
+
+fn run_grid(grid: &GridSpec, workers: usize) -> Vec<CellResult> {
+    let cells = grid.cells();
+
+    // Stage 1: build every distinct (workload, ISA) trace once, in parallel.
+    let mut pairs: Vec<(Workload, IsaKind)> = Vec::new();
+    for cell in &cells {
+        let pair = (cell.workload, grid.configs[cell.config].isa);
+        if !pairs.contains(&pair) {
+            pairs.push(pair);
+        }
+    }
+    let traces = parallel_map(&pairs, workers, |&(workload, isa)| {
+        build_trace(workload, isa, grid.scale, grid.seed)
+    });
+    let trace_of = |workload: Workload, isa: IsaKind| -> &Trace {
+        let idx = pairs.iter().position(|&p| p == (workload, isa)).expect("trace was built");
+        &traces[idx]
+    };
+
+    // Stage 2: simulate every cell, in parallel.
+    let sims = parallel_map(&cells, workers, |cell| {
+        let config = &grid.configs[cell.config];
+        let trace = trace_of(cell.workload, config.isa);
+        simulate(trace, cell.way, config.isa, config.mem)
+    });
+
+    // Stage 3 (serial, cheap): derive speed-ups against the baseline cells.
+    let index_of = |workload: Workload, config: usize, way: usize| -> Option<usize> {
+        cells.iter().position(|c| c.workload == workload && c.config == config && c.way == way)
+    };
+    cells
+        .iter()
+        .zip(&sims)
+        .map(|(cell, sim)| {
+            let baseline = match grid.baseline {
+                BaselinePolicy::None => None,
+                BaselinePolicy::ConfigAtWidth { config, way } => index_of(cell.workload, config, way),
+                BaselinePolicy::ConfigSameWidth { config } => index_of(cell.workload, config, cell.way),
+                BaselinePolicy::PairedPrevious => {
+                    index_of(cell.workload, cell.config - cell.config % 2, cell.way)
+                }
+            };
+            let config = &grid.configs[cell.config];
+            CellResult {
+                workload: cell.workload,
+                config_label: config.label.clone(),
+                isa: config.isa,
+                mem: config.mem,
+                way: cell.way,
+                cycles: sim.cycles,
+                instructions: sim.committed,
+                branches: sim.branches,
+                mispredictions: sim.mispredictions,
+                mem_accesses: sim.mem_accesses,
+                speedup: baseline.map(|b| sim.speedup_over(&sims[b])),
+            }
+        })
+        .collect()
+}
+
+/// Map `f` over `items` on `workers` scoped threads with a shared atomic
+/// work-stealing cursor. Results land in the slot of their input index, so
+/// the output order — and any serialization of it — is independent of worker
+/// count and scheduling.
+fn parallel_map<T: Sync, R: Send>(
+    items: &[T],
+    workers: usize,
+    f: impl Fn(&T) -> R + Sync,
+) -> Vec<R> {
+    if workers <= 1 || items.len() <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let mut slots: Vec<Option<R>> = std::iter::repeat_with(|| None).take(items.len()).collect();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers.min(items.len()))
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut produced = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= items.len() {
+                            break;
+                        }
+                        produced.push((i, f(&items[i])));
+                    }
+                    produced
+                })
+            })
+            .collect();
+        for handle in handles {
+            // A panicking worker (e.g. kernel verification failure) propagates
+            // here, preserving the legacy harness's fail-fast behaviour.
+            for (i, r) in handle.join().expect("experiment worker panicked") {
+                slots[i] = Some(r);
+            }
+        }
+    });
+    slots.into_iter().map(|slot| slot.expect("every index was claimed")).collect()
+}
+
+impl RunResult {
+    /// The deterministic results document: everything except the `meta`
+    /// section. Two runs of the same spec serialize to identical bytes
+    /// regardless of worker count.
+    pub fn results_json(&self) -> Value {
+        let mut members = vec![
+            ("schema", Value::Str("momlab/v1".into())),
+            ("experiment", Value::Str(self.spec.name.clone())),
+            ("title", Value::Str(self.spec.title.clone())),
+            ("config_hash", Value::Str(self.config_hash.clone())),
+            ("fast", Value::Bool(self.spec.fast)),
+        ];
+        match (&self.data, self.spec.grid()) {
+            (RunData::Grid(cells), Some(grid)) => {
+                members.push(("kind", Value::Str("grid".into())));
+                members.push(("scale", Value::Int(grid.scale as i64)));
+                members.push(("seed", Value::Int(grid.seed as i64)));
+                members.push((
+                    "widths",
+                    Value::Array(grid.widths.iter().map(|&w| Value::Int(w as i64)).collect()),
+                ));
+                members.push((
+                    "configs",
+                    Value::Array(
+                        grid.configs
+                            .iter()
+                            .map(|c| {
+                                Value::object(vec![
+                                    ("label", Value::Str(c.label.clone())),
+                                    ("isa", Value::Str(c.isa.label().into())),
+                                    ("mem", Value::Str(mem_label(c.mem))),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ));
+                members.push((
+                    "cells",
+                    Value::Array(cells.iter().map(cell_json).collect()),
+                ));
+            }
+            (RunData::Static(rows), _) => {
+                members.push(("kind", Value::Str("static".into())));
+                members.push(("rows", static_rows_json(rows)));
+            }
+            (RunData::Grid(_), None) => unreachable!("grid data implies a grid spec"),
+        }
+        Value::object(members)
+    }
+
+    /// The full on-disk document: [`RunResult::results_json`] plus a `meta`
+    /// section with wall-clock and worker-count information (the only part
+    /// that may differ between two runs of the same spec).
+    pub fn document_json(&self) -> Value {
+        let mut doc = self.results_json();
+        let meta = Value::object(vec![
+            ("workers", Value::Int(self.workers as i64)),
+            ("wall_ms", Value::Int(self.wall_ms as i64)),
+            ("generated_by", Value::Str(format!("momlab {}", env!("CARGO_PKG_VERSION")))),
+        ]);
+        if let Value::Object(members) = &mut doc {
+            members.push(("meta".into(), meta));
+        }
+        doc
+    }
+
+    /// The grid cells, if this was a grid experiment.
+    pub fn cells(&self) -> Option<&[CellResult]> {
+        match &self.data {
+            RunData::Grid(cells) => Some(cells),
+            RunData::Static(_) => None,
+        }
+    }
+}
+
+/// The `mem` field of the JSON schema. Unlike [`MemModelKind::label`], the
+/// perfect model embeds its latency so that cells of the latency study keyed
+/// on `(workload, isa, mem, way)` stay distinguishable.
+pub fn mem_label(mem: MemModelKind) -> String {
+    match mem {
+        MemModelKind::Perfect { latency } => format!("perfect-{latency}"),
+        other => other.label().to_string(),
+    }
+}
+
+fn cell_json(cell: &CellResult) -> Value {
+    Value::object(vec![
+        ("workload", Value::Str(cell.workload.label().into())),
+        ("workload_kind", Value::Str(cell.workload.kind_label().into())),
+        ("config", Value::Str(cell.config_label.clone())),
+        ("isa", Value::Str(cell.isa.label().into())),
+        ("mem", Value::Str(mem_label(cell.mem))),
+        ("way", Value::Int(cell.way as i64)),
+        ("cycles", Value::Int(cell.cycles as i64)),
+        ("instructions", Value::Int(cell.instructions as i64)),
+        ("branches", Value::Int(cell.branches as i64)),
+        ("mispredictions", Value::Int(cell.mispredictions as i64)),
+        ("mem_accesses", Value::Int(cell.mem_accesses as i64)),
+        ("ipc", Value::Float(cell.ipc())),
+        ("speedup", cell.speedup.map(Value::Float).unwrap_or(Value::Null)),
+    ])
+}
+
+fn static_rows_json(rows: &StaticRows) -> Value {
+    let pair = |(a, b): (usize, usize)| Value::Array(vec![Value::Int(a as i64), Value::Int(b as i64)]);
+    match rows {
+        StaticRows::Table1(rows) => Value::Array(
+            rows.iter()
+                .map(|r| {
+                    Value::object(vec![
+                        ("way", Value::Int(r.way as i64)),
+                        ("rob", Value::Int(r.rob as i64)),
+                        ("lsq", Value::Int(r.lsq as i64)),
+                        ("bimodal", Value::Int(r.bimodal as i64)),
+                        ("btb", Value::Int(r.btb as i64)),
+                        ("int_units", pair(r.int_units)),
+                        ("fp_units", pair(r.fp_units)),
+                        ("media_units", pair(r.media_units)),
+                        ("mem_ports", Value::Int(r.mem_ports as i64)),
+                        ("int_regs", pair(r.int_regs)),
+                    ])
+                })
+                .collect(),
+        ),
+        StaticRows::Table2(rows) => Value::Array(
+            rows.iter()
+                .map(|r| {
+                    Value::object(vec![
+                        ("isa", Value::Str(r.isa.to_string())),
+                        ("media_regs", pair(r.media_regs)),
+                        ("acc_regs", pair(r.acc_regs)),
+                        ("media_ports", pair(r.media_ports)),
+                        ("acc_ports", pair(r.acc_ports)),
+                        ("size_kb", Value::Float(r.size_kb)),
+                        ("normalized_area", Value::Float(r.normalized_area)),
+                    ])
+                })
+                .collect(),
+        ),
+        StaticRows::Table3(rows) => Value::Array(
+            rows.iter()
+                .map(|r| {
+                    let c = r.config;
+                    Value::object(vec![
+                        ("label", Value::Str(r.label.clone())),
+                        ("l1_ports", Value::Int(c.l1_ports as i64)),
+                        ("l1_banks", Value::Int(c.l1_banks as i64)),
+                        ("l1_latency", Value::Int(c.l1_latency as i64)),
+                        ("l2_vector_ports", Value::Int(c.l2_vector_ports as i64)),
+                        ("l2_vector_width", Value::Int(c.l2_vector_width as i64)),
+                        ("l2_banks", Value::Int(c.l2_banks as i64)),
+                        ("l2_latency", Value::Int(c.l2_latency as i64)),
+                    ])
+                })
+                .collect(),
+        ),
+        StaticRows::Inventory(rows) => Value::Array(
+            rows.iter()
+                .map(|r| {
+                    Value::object(vec![
+                        ("isa", Value::Str(r.isa.label().into())),
+                        ("modelled", Value::Int(r.modelled as i64)),
+                        ("paper", r.paper.map(|p| Value::Int(p as i64)).unwrap_or(Value::Null)),
+                    ])
+                })
+                .collect(),
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::figure5_spec;
+    use mom_kernels::KernelKind;
+
+    #[test]
+    fn parallel_map_preserves_input_order() {
+        let items: Vec<usize> = (0..100).collect();
+        let doubled = parallel_map(&items, 4, |&x| x * 2);
+        assert_eq!(doubled, items.iter().map(|&x| x * 2).collect::<Vec<_>>());
+        let serial = parallel_map(&items, 1, |&x| x * 2);
+        assert_eq!(doubled, serial);
+    }
+
+    #[test]
+    fn static_experiments_run_and_serialize() {
+        for name in ["table1", "table2", "table3", "isa_inventory"] {
+            let spec = ExperimentSpec::builtin(name, 1, false).unwrap();
+            let result = run_with(&spec, 1);
+            let json = result.results_json();
+            assert_eq!(json.get("kind").and_then(Value::as_str), Some("static"));
+            let rows = json.get("rows").and_then(Value::as_array).expect("rows array");
+            assert!(!rows.is_empty(), "{name} produced no rows");
+            // The full document reparses.
+            let doc = result.document_json().to_pretty();
+            Value::parse(&doc).expect("document parses");
+        }
+    }
+
+    #[test]
+    fn figure5_grid_baselines_are_unity() {
+        let spec = figure5_spec(&[KernelKind::Compensation], 1, 1, false);
+        let result = run_with(&spec, 2);
+        let cells = result.cells().expect("grid cells");
+        assert_eq!(cells.len(), 16);
+        let baseline = cells
+            .iter()
+            .find(|c| c.isa == IsaKind::Alpha && c.way == 1)
+            .expect("baseline cell present");
+        assert!((baseline.speedup.unwrap() - 1.0).abs() < 1e-12);
+        let mom1 = cells.iter().find(|c| c.isa == IsaKind::Mom && c.way == 1).unwrap();
+        assert!(mom1.speedup.unwrap() > 1.0, "MOM outruns scalar Alpha");
+        assert!(cells.iter().all(|c| c.cycles > 0 && c.instructions > 0));
+    }
+
+    #[test]
+    fn mem_labels_distinguish_perfect_latencies() {
+        assert_eq!(mem_label(MemModelKind::Perfect { latency: 1 }), "perfect-1");
+        assert_eq!(mem_label(MemModelKind::Perfect { latency: 50 }), "perfect-50");
+        assert_eq!(mem_label(MemModelKind::VectorCache), "vector-cache");
+    }
+}

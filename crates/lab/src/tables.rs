@@ -1,0 +1,125 @@
+//! The config-derived (static) experiments: Tables 1-3 and the Section 3.1
+//! opcode inventories. No simulation runs — the rows are read straight out of
+//! the simulator's own configuration structures.
+
+use mom_core::area::Table2Row;
+use mom_core::inventory::{opcode_count, paper_opcode_count};
+use mom_cpu::CoreConfig;
+use mom_isa::trace::IsaKind;
+use mom_mem::config::Table3Row;
+
+/// Issue widths evaluated by the kernel study and Table 1.
+pub const WIDTHS: [usize; 4] = [1, 2, 4, 8];
+
+/// One row of the reproduced Table 1.
+#[derive(Debug, Clone)]
+pub struct Table1Row {
+    /// Issue width.
+    pub way: usize,
+    /// Reorder-buffer size.
+    pub rob: usize,
+    /// Load/store queue size.
+    pub lsq: usize,
+    /// Bimodal predictor entries.
+    pub bimodal: usize,
+    /// BTB entries.
+    pub btb: usize,
+    /// Integer units (simple/complex).
+    pub int_units: (usize, usize),
+    /// FP units (simple/complex).
+    pub fp_units: (usize, usize),
+    /// Media units (total, lanes each) for the MOM configuration.
+    pub media_units: (usize, usize),
+    /// Memory ports.
+    pub mem_ports: usize,
+    /// Integer logical/physical registers.
+    pub int_regs: (usize, usize),
+}
+
+/// Reproduce Table 1 from the simulator's own configuration structures.
+pub fn table1_rows() -> Vec<Table1Row> {
+    WIDTHS
+        .iter()
+        .map(|&way| {
+            let c = CoreConfig::for_width(way, IsaKind::Mom);
+            Table1Row {
+                way,
+                rob: c.rob_size,
+                lsq: c.lsq_size,
+                bimodal: c.bimodal_entries,
+                btb: c.btb_entries,
+                int_units: (c.int_units.simple, c.int_units.complex),
+                fp_units: (c.fp_units.simple, c.fp_units.complex),
+                media_units: (c.media_units.total(), c.media_units.lanes),
+                mem_ports: c.mem_ports,
+                int_regs: (32, c.phys_regs.int),
+            }
+        })
+        .collect()
+}
+
+/// One row of the opcode-inventory report.
+#[derive(Debug, Clone)]
+pub struct InventoryRow {
+    /// The media ISA.
+    pub isa: IsaKind,
+    /// Opcodes modelled by the emulation library.
+    pub modelled: usize,
+    /// The paper's reported count, when it gives one.
+    pub paper: Option<usize>,
+}
+
+/// The Section 3.1 opcode inventories of the three media ISAs.
+pub fn inventory_rows() -> Vec<InventoryRow> {
+    [IsaKind::Mmx, IsaKind::Mdmx, IsaKind::Mom]
+        .iter()
+        .map(|&isa| InventoryRow { isa, modelled: opcode_count(isa), paper: paper_opcode_count(isa) })
+        .collect()
+}
+
+/// The typed rows of one static experiment.
+#[derive(Debug, Clone)]
+pub enum StaticRows {
+    /// Table 1 rows.
+    Table1(Vec<Table1Row>),
+    /// Table 2 rows (re-exported from `mom_core::area`).
+    Table2(Vec<Table2Row>),
+    /// Table 3 rows (re-exported from `mom_mem::config`).
+    Table3(Vec<Table3Row>),
+    /// Opcode-inventory rows.
+    Inventory(Vec<InventoryRow>),
+}
+
+/// Produce the rows of the named static experiment.
+pub fn static_rows(kind: crate::spec::StaticKind) -> StaticRows {
+    use crate::spec::StaticKind;
+    match kind {
+        StaticKind::Table1 => StaticRows::Table1(table1_rows()),
+        StaticKind::Table2 => StaticRows::Table2(mom_core::area::table2()),
+        StaticKind::Table3 => StaticRows::Table3(mom_mem::config::table3()),
+        StaticKind::IsaInventory => StaticRows::Inventory(inventory_rows()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_matches_the_paper() {
+        let rows = table1_rows();
+        assert_eq!(rows.len(), 4);
+        assert_eq!(rows[0].rob, 8);
+        assert_eq!(rows[3].rob, 64);
+        assert_eq!(rows[3].media_units, (2, 2), "8-way MOM uses 2 double-width media units");
+        assert_eq!(rows[2].mem_ports, 2);
+    }
+
+    #[test]
+    fn inventory_covers_the_three_media_isas() {
+        let rows = inventory_rows();
+        assert_eq!(rows.len(), 3);
+        assert!(rows.iter().all(|r| r.modelled > 0));
+        assert_eq!(rows[0].isa, IsaKind::Mmx);
+    }
+}

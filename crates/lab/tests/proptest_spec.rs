@@ -1,0 +1,92 @@
+//! Property-based tests of the spec filters: for *any* combination of
+//! `--kernel`/`--isa` filters, the filtered grid is a subset of the full
+//! grid, contains exactly the cells matching the filter, and filtering is
+//! idempotent.
+
+use mom_isa::trace::IsaKind;
+use mom_kernels::KernelKind;
+use mom_lab::spec::{figure5_spec, GridSpec, Workload};
+use proptest::prelude::*;
+
+/// Resolve a grid's cells to comparable (workload, config-label, way)
+/// identity tuples.
+fn cell_keys(grid: &GridSpec) -> Vec<(Workload, String, usize)> {
+    grid.cells()
+        .into_iter()
+        .map(|c| (c.workload, grid.configs[c.config].label.clone(), c.way))
+        .collect()
+}
+
+fn subset<T: Copy>(all: &[T], mask: usize) -> Vec<T> {
+    all.iter().enumerate().filter(|(i, _)| mask & (1 << i) != 0).map(|(_, &x)| x).collect()
+}
+
+proptest! {
+    // Each case enumerates a few hundred cells; no simulation runs.
+    #![proptest_config(Config::with_cases(64))]
+
+    #[test]
+    fn any_filter_selects_a_subset_of_the_full_grid(
+        kernel_mask in 1usize..(1 << 8),
+        isa_mask in 1usize..(1 << 4),
+    ) {
+        let kernels = subset(&KernelKind::ALL, kernel_mask);
+        let isas = subset(&IsaKind::ALL, isa_mask);
+
+        let full = figure5_spec(&KernelKind::ALL, 1, 1, false);
+        let full_keys = cell_keys(full.grid().unwrap());
+
+        let mut filtered = full.clone();
+        if let mom_lab::spec::ExperimentKind::Grid(grid) = &mut filtered.kind {
+            grid.retain_kernels(&kernels);
+            grid.retain_isas(&isas);
+        }
+        let grid = filtered.grid().unwrap();
+        let keys = cell_keys(grid);
+
+        // Subset of the full grid.
+        for key in &keys {
+            prop_assert!(full_keys.contains(key), "cell {key:?} is not in the full grid");
+        }
+        // Exactly the matching cells: count = kernels x isas x widths.
+        prop_assert_eq!(keys.len(), kernels.len() * isas.len() * 4);
+        for key in &keys {
+            let Workload::Kernel(k) = key.0 else { panic!("figure5 grid holds kernels") };
+            prop_assert!(kernels.contains(&k));
+        }
+        for config in &grid.configs {
+            prop_assert!(isas.contains(&config.isa));
+        }
+    }
+
+    #[test]
+    fn filtering_is_idempotent(
+        kernel_mask in 1usize..(1 << 8),
+        isa_mask in 1usize..(1 << 4),
+    ) {
+        let kernels = subset(&KernelKind::ALL, kernel_mask);
+        let isas = subset(&IsaKind::ALL, isa_mask);
+        let mut spec = figure5_spec(&KernelKind::ALL, 1, 1, false);
+        if let mom_lab::spec::ExperimentKind::Grid(grid) = &mut spec.kind {
+            grid.retain_kernels(&kernels);
+            grid.retain_isas(&isas);
+        }
+        let once = spec.clone();
+        if let mom_lab::spec::ExperimentKind::Grid(grid) = &mut spec.kind {
+            grid.retain_kernels(&kernels);
+            grid.retain_isas(&isas);
+        }
+        prop_assert_eq!(once, spec);
+    }
+
+    #[test]
+    fn the_identity_filter_keeps_the_full_grid(scale in 1usize..4) {
+        let full = figure5_spec(&KernelKind::ALL, scale, 1, false);
+        let mut filtered = full.clone();
+        if let mom_lab::spec::ExperimentKind::Grid(grid) = &mut filtered.kind {
+            grid.retain_kernels(&KernelKind::ALL);
+            grid.retain_isas(&IsaKind::ALL);
+        }
+        prop_assert_eq!(full, filtered);
+    }
+}

@@ -60,7 +60,11 @@ pub struct MemSystemStats {
 ///
 /// Implementations own their port/bank/MSHR state; the caller retries a
 /// request on a later cycle when `access` returns `None` (a structural stall).
-pub trait MemorySystem: std::fmt::Debug {
+///
+/// `Send` is a supertrait so that `Box<dyn MemorySystem>` can move into the
+/// scoped worker threads of the parallel experiment runner (`mom-lab`); every
+/// model is plain owned data, so this costs implementations nothing.
+pub trait MemorySystem: std::fmt::Debug + Send {
     /// Try to issue one memory instruction's element accesses at `cycle`.
     ///
     /// `vector` is true for MOM matrix loads/stores (more than one element
@@ -107,6 +111,16 @@ mod tests {
         assert_eq!(h.kind(), MemModelKind::VectorCache);
         let c = build_memory(MemModelKind::Conventional, 1);
         assert_eq!(c.kind(), MemModelKind::Conventional);
+    }
+
+    #[test]
+    fn memory_systems_are_send() {
+        fn assert_send<T: Send>() {}
+        // The parallel runner builds one memory system per in-flight grid cell
+        // inside scoped threads; the boxed trait object must be `Send`.
+        assert_send::<Box<dyn MemorySystem>>();
+        assert_send::<MemModelKind>();
+        assert_send::<MemSystemStats>();
     }
 
     #[test]

@@ -12,15 +12,19 @@
 //!   collapsing-buffer memory systems;
 //! * [`kernels`] — the eight multimedia kernels in all four ISAs with golden
 //!   references and synthetic workloads;
-//! * [`apps`] — the five Mediabench-like applications.
+//! * [`apps`] — the five Mediabench-like applications;
+//! * [`lab`] — the parallel experiment-orchestration engine (declarative
+//!   specs, multi-threaded runner, `BENCH_*.json` results, baseline diffs).
 //!
-//! See the `examples/` directory for runnable end-to-end walkthroughs and the
+//! See the `examples/` directory for runnable end-to-end walkthroughs, the
 //! `mom-bench` crate for the binaries regenerating every table and figure of
-//! the paper.
+//! the paper, the `momlab` CLI for machine-readable experiment runs, and
+//! `EXPERIMENTS.md` for the result schema.
 
 pub use mom_apps as apps;
 pub use mom_core as core;
 pub use mom_cpu as cpu;
 pub use mom_isa as isa;
 pub use mom_kernels as kernels;
+pub use mom_lab as lab;
 pub use mom_mem as mem;
