@@ -36,9 +36,11 @@
 
 pub mod scalar_phase;
 
-use mom_isa::trace::{IsaKind, Trace};
+use mom_cpu::{OooCore, SimResult};
+use mom_isa::trace::{IsaKind, Trace, TraceSink};
 use mom_kernels::{build_kernel, KernelError, KernelKind, KernelParams};
-use scalar_phase::run_scalar_phase;
+use mom_mem::MemorySystem;
+use scalar_phase::stream_scalar_phase;
 
 /// The five evaluated applications.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -210,8 +212,56 @@ fn phases(kind: AppKind, scale: usize) -> Vec<Phase> {
     }
 }
 
+/// Run every phase of an application functionally (kernels are verified
+/// against their references), streaming all graduated instructions into
+/// `sink` in phase order. Returns the per-phase breakdown.
+///
+/// This is the streaming driver behind [`build_app`]: with a collecting
+/// [`Trace`] sink it reproduces the concatenated application trace; with the
+/// timing simulator's `SimStream` sink the whole application is interpreted
+/// and simulated in one fused pass whose memory use is independent of the
+/// dynamic instruction count (see [`run_app_streamed`]).
+///
+/// # Errors
+///
+/// Returns a [`KernelError`] if any kernel phase fails to execute or does not
+/// match its golden reference.
+pub fn stream_app<S: TraceSink + ?Sized>(
+    kind: AppKind,
+    isa: IsaKind,
+    params: &AppParams,
+    sink: &mut S,
+) -> Result<Vec<PhaseReport>, KernelError> {
+    let mut reports = Vec::new();
+    for (i, phase) in phases(kind, params.scale).into_iter().enumerate() {
+        match phase {
+            Phase::Kernel { kind: k, scale, repeat } => {
+                for rep in 0..repeat.max(1) {
+                    let kp = KernelParams { seed: params.seed ^ ((i as u64) << 8) ^ rep as u64, scale };
+                    let executed = build_kernel(k, isa, &kp).stream_verified(sink)?;
+                    reports.push(PhaseReport {
+                        name: format!("{k}"),
+                        instructions: executed,
+                        vectorized: true,
+                    });
+                }
+            }
+            Phase::Scalar { name, units } => {
+                let executed = stream_scalar_phase(units, params.seed ^ (i as u64 * 0x9e37), sink);
+                reports.push(PhaseReport {
+                    name: name.to_string(),
+                    instructions: executed,
+                    vectorized: false,
+                });
+            }
+        }
+    }
+    Ok(reports)
+}
+
 /// Build an application for the given ISA: run every phase functionally
-/// (kernels are verified against their references) and concatenate the traces.
+/// (kernels are verified against their references) and collect the
+/// concatenated trace — the collecting wrapper over [`stream_app`].
 ///
 /// # Errors
 ///
@@ -219,33 +269,31 @@ fn phases(kind: AppKind, scale: usize) -> Vec<Phase> {
 /// match its golden reference.
 pub fn build_app(kind: AppKind, isa: IsaKind, params: &AppParams) -> Result<BuiltApp, KernelError> {
     let mut trace = Trace::new(isa);
-    let mut reports = Vec::new();
-    for (i, phase) in phases(kind, params.scale).into_iter().enumerate() {
-        match phase {
-            Phase::Kernel { kind: k, scale, repeat } => {
-                for rep in 0..repeat.max(1) {
-                    let kp = KernelParams { seed: params.seed ^ ((i as u64) << 8) ^ rep as u64, scale };
-                    let run = build_kernel(k, isa, &kp).run_verified()?;
-                    reports.push(PhaseReport {
-                        name: format!("{k}"),
-                        instructions: run.trace.len(),
-                        vectorized: true,
-                    });
-                    trace.extend_from(&run.trace);
-                }
-            }
-            Phase::Scalar { name, units } => {
-                let phase_trace = run_scalar_phase(units, params.seed ^ (i as u64 * 0x9e37));
-                reports.push(PhaseReport {
-                    name: name.to_string(),
-                    instructions: phase_trace.len(),
-                    vectorized: false,
-                });
-                trace.extend_from(&phase_trace);
-            }
-        }
-    }
+    let reports = stream_app(kind, isa, params, &mut trace)?;
     Ok(BuiltApp { kind, isa, trace, phases: reports })
+}
+
+/// Fused cell execution for whole applications: interpret every phase and
+/// feed the timing simulator directly, with no intermediate trace. The
+/// returned [`SimResult`] is bit-identical to simulating
+/// [`BuiltApp::trace`] on the same core and memory, but peak memory is
+/// bounded by the simulator's O(ROB) window instead of the concatenated
+/// trace length.
+///
+/// # Errors
+///
+/// Returns a [`KernelError`] if any kernel phase fails to execute or does not
+/// match its golden reference.
+pub fn run_app_streamed(
+    kind: AppKind,
+    isa: IsaKind,
+    params: &AppParams,
+    core: &OooCore,
+    memory: &mut dyn MemorySystem,
+) -> Result<(SimResult, Vec<PhaseReport>), KernelError> {
+    let mut sim = core.stream(memory);
+    let reports = stream_app(kind, isa, params, &mut sim)?;
+    Ok((sim.finish(), reports))
 }
 
 #[cfg(test)]
@@ -295,6 +343,29 @@ mod tests {
         assert!(encode.vectorized_fraction() > 0.75, "mpeg2 encode {}", encode.vectorized_fraction());
         assert!(jpeg.vectorized_fraction() < 0.75, "jpeg encode {}", jpeg.vectorized_fraction());
         assert!(jpeg.vectorized_fraction() > 0.2);
+    }
+
+    #[test]
+    fn fused_streamed_app_is_bit_identical_to_materialized_simulation() {
+        use mom_cpu::CoreConfig;
+        use mom_mem::{build_memory, MemModelKind};
+
+        let params = AppParams { seed: 3, scale: 1 };
+        for isa in [IsaKind::Alpha, IsaKind::Mom] {
+            let core = OooCore::new(CoreConfig::way4(isa));
+            let app = build_app(AppKind::GsmEncode, isa, &params).expect("app builds");
+            let mut mem_batch = build_memory(MemModelKind::Conventional, 4);
+            let batch = core.simulate(&app.trace, mem_batch.as_mut());
+
+            let mut mem_fused = build_memory(MemModelKind::Conventional, 4);
+            let (fused, reports) =
+                run_app_streamed(AppKind::GsmEncode, isa, &params, &core, mem_fused.as_mut())
+                    .expect("fused app runs");
+
+            assert_eq!(batch, fused, "gsm encode ({isa}): streamed != materialized");
+            assert_eq!(reports, app.phases, "phase breakdowns agree");
+            assert_eq!(fused.committed as usize, app.trace.len());
+        }
     }
 
     #[test]

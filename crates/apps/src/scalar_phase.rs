@@ -12,7 +12,7 @@ use mom_core::state::Machine;
 use mom_isa::mem::{Allocator, MemImage};
 use mom_isa::regs::r;
 use mom_isa::scalar::{AluOp, Cond, ScalarOp};
-use mom_isa::trace::{IsaKind, Trace};
+use mom_isa::trace::{IsaKind, Trace, TraceSink};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -20,7 +20,8 @@ use rand::{Rng, SeedableRng};
 pub const INSTS_PER_UNIT: usize = 16;
 
 /// Build and run a scalar (non-vectorizable) phase of `units` iterations of a
-/// VLC-style decode loop, returning its dynamic trace.
+/// VLC-style decode loop, returning its dynamic trace (the collecting wrapper
+/// over [`stream_scalar_phase`]).
 ///
 /// The phase is identical no matter which media ISA the surrounding
 /// application targets, which is exactly why it bounds whole-program speedup.
@@ -30,6 +31,19 @@ pub const INSTS_PER_UNIT: usize = 16;
 /// Panics only if the internally-generated program is malformed, which would
 /// be a bug in this module rather than a property of the caller's input.
 pub fn run_scalar_phase(units: usize, seed: u64) -> Trace {
+    let mut trace = Trace::new(IsaKind::Alpha);
+    stream_scalar_phase(units, seed, &mut trace);
+    trace
+}
+
+/// Build and run a scalar phase, streaming every graduated instruction into
+/// `sink` instead of collecting a trace. Returns the dynamic instruction
+/// count.
+///
+/// # Panics
+///
+/// As for [`run_scalar_phase`]: only on an internal program-construction bug.
+pub fn stream_scalar_phase<S: TraceSink + ?Sized>(units: usize, seed: u64, sink: &mut S) -> usize {
     let mut rng = StdRng::seed_from_u64(seed);
     let data: Vec<u8> = (0..units.max(1)).map(|_| rng.gen()).collect();
     let table: Vec<u8> =
@@ -76,7 +90,7 @@ pub fn run_scalar_phase(units: usize, seed: u64) -> Trace {
     b.push(ScalarOp::St { rs: r(4), base: r(5), offset: 0, size: 8 });
 
     let program = b.build().expect("scalar phase program has consistent labels");
-    program.run(&mut machine).expect("scalar phase terminates within the fuel budget")
+    program.stream(&mut machine, sink).expect("scalar phase terminates within the fuel budget")
 }
 
 #[cfg(test)]

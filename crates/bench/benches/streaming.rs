@@ -1,0 +1,76 @@
+//! Criterion bench of the streaming trace pipeline versus the materialized
+//! one, on the heaviest kernel (`rgb2ycc`, the longest scalar trace of the
+//! eight) at the stress scale.
+//!
+//! Three flavours are measured per ISA:
+//!
+//! * `replay` — simulate a pre-built trace (the cost the old two-stage
+//!   runner paid per cell *after* building the trace once);
+//! * `build+replay` — build the trace, then simulate it (the true end-to-end
+//!   cost of one materialized cell, including the `Vec<DynInst>`
+//!   allocation);
+//! * `fused` — the streaming pipeline: interpret the kernel straight into
+//!   the simulator's O(ROB) engine, no trace ever materialized.
+//!
+//! `fused` vs `build+replay` is the apples-to-apples comparison; the win is
+//! both time (no trace allocation/traversal) and — the reason the stress
+//! scale exists at all — peak memory.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mom_cpu::{CoreConfig, OooCore};
+use mom_isa::trace::IsaKind;
+use mom_kernels::{build_kernel, KernelKind, KernelParams};
+use mom_mem::{build_memory, MemModelKind};
+
+fn bench_streaming(c: &mut Criterion) {
+    // Full runs use the stress configuration (largest kernel, 8x scale);
+    // MOM_BENCH_FAST=1 drops to scale 1 so smoke runs stay quick.
+    let scale = if mom_bench::fast_mode() { 1 } else { 8 };
+    let kernel = KernelKind::Rgb2Ycc;
+    let params = KernelParams { seed: 42, scale };
+    let way = 4;
+    let mem = MemModelKind::Perfect { latency: 1 };
+
+    let mut group = c.benchmark_group("streaming_vs_materialized");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+
+    for isa in [IsaKind::Alpha, IsaKind::Mom] {
+        let core = OooCore::new(CoreConfig::for_width(way, isa));
+        let trace = build_kernel(kernel, isa, &params)
+            .run_verified()
+            .expect("kernel verifies")
+            .trace;
+        println!(
+            "{kernel} {isa} scale {scale}: {} dynamic instructions per cell",
+            trace.len()
+        );
+
+        group.bench_with_input(BenchmarkId::new("replay", isa.label()), &trace, |b, trace| {
+            b.iter(|| {
+                let mut memory = build_memory(mem, way);
+                core.simulate(trace, memory.as_mut())
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("build+replay", isa.label()), &(), |b, ()| {
+            b.iter(|| {
+                let run = build_kernel(kernel, isa, &params).run_verified().expect("verifies");
+                let mut memory = build_memory(mem, way);
+                core.simulate(&run.trace, memory.as_mut())
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("fused", isa.label()), &(), |b, ()| {
+            b.iter(|| {
+                let mut memory = build_memory(mem, way);
+                build_kernel(kernel, isa, &params)
+                    .run_streamed(&core, memory.as_mut())
+                    .expect("verifies")
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_streaming);
+criterion_main!(benches);

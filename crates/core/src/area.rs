@@ -6,7 +6,7 @@
 //! (2 read / 1 write, 8 bytes wide, with rows interleaved across banks)
 //! than the 6-read/3-write flat multimedia register file a 4-way machine
 //! requires. The area model follows the resource-widening study the paper
-//! cites (López et al. [16]): the area of a storage cell grows quadratically
+//! cites (López et al. \[16\]): the area of a storage cell grows quadratically
 //! with the number of ports wired through it, so
 //!
 //! ```text

@@ -13,7 +13,7 @@ use crate::inst::Inst;
 use crate::state::Machine;
 use mom_isa::scalar::Label;
 use mom_isa::state::ControlFlow;
-use mom_isa::trace::{BranchInfo, DynInst, InstClass, IsaKind, Trace};
+use mom_isa::trace::{BranchInfo, DynInst, InstClass, IsaKind, Trace, TraceSink};
 
 /// Default dynamic-instruction budget for [`Program::run`].
 pub const DEFAULT_FUEL: usize = 100_000_000;
@@ -104,6 +104,11 @@ impl Program {
     /// Returns the dynamic trace. Architectural side effects (register and
     /// memory contents) are left in `machine` for the caller to inspect.
     ///
+    /// This is a thin collecting wrapper over [`Program::stream`]; callers
+    /// that do not need the materialized trace (e.g. a fused
+    /// interpreter→simulator pipeline) should stream into their own
+    /// [`TraceSink`] instead, which keeps memory independent of trace length.
+    ///
     /// # Errors
     ///
     /// Returns [`ExecError::FuelExhausted`] if the program executes more than
@@ -112,13 +117,54 @@ impl Program {
         self.run_with_fuel(machine, DEFAULT_FUEL)
     }
 
-    /// Execute the program with an explicit dynamic-instruction budget.
+    /// Execute the program with an explicit dynamic-instruction budget,
+    /// collecting the trace (the fuel-parameterized flavour of
+    /// [`Program::run`]).
     ///
     /// # Errors
     ///
     /// Returns [`ExecError::FuelExhausted`] if the budget is exceeded.
     pub fn run_with_fuel(&self, machine: &mut Machine, fuel: usize) -> Result<Trace, ExecError> {
         let mut trace = Trace::new(self.isa);
+        self.stream_with_fuel(machine, &mut trace, fuel)?;
+        Ok(trace)
+    }
+
+    /// Execute the program, pushing every graduated instruction into `sink`
+    /// with the default instruction budget. Returns the number of
+    /// instructions executed.
+    ///
+    /// This is the streaming driver behind [`Program::run`]: with a
+    /// collecting sink ([`Trace`]) it reproduces `run` exactly; with a
+    /// streaming sink (the incremental simulator in `mom-cpu`) the
+    /// interpreter and the timing model fuse into a pipeline whose memory
+    /// use is independent of the dynamic instruction count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError::FuelExhausted`] if the program executes more than
+    /// [`DEFAULT_FUEL`] dynamic instructions. Instructions executed before
+    /// the budget ran out have already been emitted to the sink.
+    pub fn stream<S: TraceSink + ?Sized>(
+        &self,
+        machine: &mut Machine,
+        sink: &mut S,
+    ) -> Result<usize, ExecError> {
+        self.stream_with_fuel(machine, sink, DEFAULT_FUEL)
+    }
+
+    /// [`Program::stream`] with an explicit dynamic-instruction budget.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError::FuelExhausted`] if the budget is exceeded;
+    /// already-executed instructions have been emitted to the sink.
+    pub fn stream_with_fuel<S: TraceSink + ?Sized>(
+        &self,
+        machine: &mut Machine,
+        sink: &mut S,
+        fuel: usize,
+    ) -> Result<usize, ExecError> {
         let mut pc = 0usize;
         let mut executed = 0usize;
         while pc < self.insts.len() {
@@ -162,10 +208,10 @@ impl Program {
                     dyn_inst.with_branch(BranchInfo { taken, conditional, pc: pc as u64, target });
             }
 
-            trace.push(dyn_inst);
+            sink.emit(dyn_inst);
             pc = next_pc;
         }
-        Ok(trace)
+        Ok(executed)
     }
 }
 
@@ -405,6 +451,59 @@ mod tests {
         let trace = p.run(&mut st).unwrap();
         assert_eq!(st.core.int.read(r(1)), 1);
         assert_eq!(trace.len(), 2);
+    }
+
+    #[test]
+    fn stream_into_a_collecting_sink_equals_run() {
+        // The same looping program interpreted twice: once collected through
+        // run(), once streamed into a caller-owned sink. The emitted
+        // instruction sequences must be identical (run() is just a wrapper).
+        let build = || {
+            let mut b = ProgramBuilder::new(IsaKind::Alpha);
+            b.push(ScalarOp::Li { rd: r(1), imm: 0 });
+            b.push(ScalarOp::Li { rd: r(2), imm: 1 });
+            b.push(ScalarOp::Li { rd: r(3), imm: 9 });
+            let top = b.bind_here();
+            b.push(ScalarOp::Alu { op: AluOp::Add, rd: r(1), ra: r(1), rb: r(2) });
+            b.push(ScalarOp::Ld { rd: r(4), base: r(1), offset: 0x1000, size: 1, signed: false });
+            b.push(ScalarOp::AluI { op: AluOp::Add, rd: r(2), ra: r(2), imm: 1 });
+            b.push(ScalarOp::Br { cond: Cond::Le, ra: r(2), rb: r(3), target: top });
+            b.build().unwrap()
+        };
+        let collected = build().run(&mut machine()).unwrap();
+        let mut streamed = Trace::new(IsaKind::Alpha);
+        let executed = build().stream(&mut machine(), &mut streamed).unwrap();
+        assert_eq!(executed, collected.len());
+        assert_eq!(streamed.insts, collected.insts);
+    }
+
+    #[test]
+    fn stream_counts_without_materializing() {
+        struct Count(usize);
+        impl mom_isa::trace::TraceSink for Count {
+            fn emit(&mut self, _inst: mom_isa::trace::DynInst) {
+                self.0 += 1;
+            }
+        }
+        let mut b = ProgramBuilder::new(IsaKind::Alpha);
+        b.push(ScalarOp::Nop);
+        b.push(ScalarOp::Nop);
+        let p = b.build().unwrap();
+        let mut count = Count(0);
+        assert_eq!(p.stream(&mut machine(), &mut count), Ok(2));
+        assert_eq!(count.0, 2);
+    }
+
+    #[test]
+    fn stream_fuel_exhaustion_reports_after_emitting() {
+        let mut b = ProgramBuilder::new(IsaKind::Alpha);
+        let top = b.bind_here();
+        b.push(ScalarOp::Jmp { target: top });
+        let p = b.build().unwrap();
+        let mut sink = Trace::new(IsaKind::Alpha);
+        let err = p.stream_with_fuel(&mut machine(), &mut sink, 50).unwrap_err();
+        assert_eq!(err, ExecError::FuelExhausted { executed: 50 });
+        assert_eq!(sink.len(), 50, "instructions executed before exhaustion were emitted");
     }
 
     #[test]

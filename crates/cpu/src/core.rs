@@ -1,13 +1,24 @@
 //! The out-of-order core timing model.
 //!
-//! [`OooCore::simulate`] replays a dynamic trace (produced by the functional
-//! interpreter in `mom-core`) through a first-order model of an R10000-style
+//! The model is a **streaming** consumer of dynamic instructions:
+//! [`OooCore::stream`] opens an incremental [`SimStream`] that retires one
+//! [`DynInst`] at a time through a first-order model of an R10000-style
 //! out-of-order pipeline: width-limited fetch with a bimodal predictor and
 //! BTB, a front-end of fixed depth, renaming limited by per-class physical
 //! register headroom, a reorder buffer and load/store queue of the configured
 //! sizes, functional-unit pools with per-class latencies (multimedia units may
 //! have multiple vector lanes), a memory system consulted for every load and
 //! store, and width-limited in-order commit.
+//!
+//! Every pipeline constraint looks a bounded distance into the past, so the
+//! engine's state is **O(ROB size)** — ring buffers over the last ROB-size
+//! commits, the last fetch group, the last LSQ-size memory commits and the
+//! per-class rename headroom — never O(trace length). Traces of any size can
+//! be simulated without materializing them: pull from an [`InstSource`]
+//! ([`OooCore::simulate_source`]) or push from the functional interpreter
+//! (`Program::stream` in `mom-core`) using the [`SimStream`] as a
+//! [`TraceSink`]. [`OooCore::simulate`] replays a collected [`Trace`] through
+//! the same engine and is bit-identical to streaming the same sequence.
 //!
 //! The model computes, for every dynamic instruction, the cycle at which it is
 //! fetched, dispatched, issued, completed and committed, honouring:
@@ -22,7 +33,7 @@
 
 use crate::config::CoreConfig;
 use crate::predictor::BranchPredictor;
-use mom_isa::trace::{ArchReg, InstClass, RegClass, Trace};
+use mom_isa::trace::{ArchReg, DynInst, InstClass, RegClass, Trace, TraceSink};
 use mom_mem::MemorySystem;
 
 /// Execution latencies per functional-unit class, in cycles.
@@ -114,20 +125,24 @@ impl UnitPool {
     /// the actual start cycle.
     fn reserve(&mut self, earliest: u64, complex_op: bool, occupancy: u64) -> u64 {
         // Complex ops may only use complex-capable units; simple ops prefer
-        // whichever unit frees first.
-        let candidates: Vec<(usize, bool)> = if complex_op {
-            (0..self.complex_free.len()).map(|i| (i, true)).collect()
-        } else {
-            (0..self.simple_free.len())
-                .map(|i| (i, false))
-                .chain((0..self.complex_free.len()).map(|i| (i, true)))
-                .collect()
-        };
-        let (idx, in_complex) = candidates
-            .into_iter()
-            .min_by_key(|&(i, c)| if c { self.complex_free[i] } else { self.simple_free[i] })
-            .expect("functional-unit pool must not be empty for issued class");
-        let free = if in_complex { self.complex_free[idx] } else { self.simple_free[idx] };
+        // whichever unit frees first (ties go to the simple pool, then the
+        // lower index — the first minimum in scan order). No per-call
+        // allocation: this runs once per simulated instruction.
+        let mut best: Option<(bool, usize, u64)> = None;
+        if !complex_op {
+            for (i, &free) in self.simple_free.iter().enumerate() {
+                if best.is_none_or(|(_, _, b)| free < b) {
+                    best = Some((false, i, free));
+                }
+            }
+        }
+        for (i, &free) in self.complex_free.iter().enumerate() {
+            if best.is_none_or(|(_, _, b)| free < b) {
+                best = Some((true, i, free));
+            }
+        }
+        let (in_complex, idx, free) =
+            best.expect("functional-unit pool must not be empty for issued class");
         let start = earliest.max(free);
         let until = start + occupancy;
         if in_complex {
@@ -136,6 +151,46 @@ impl UnitPool {
             self.simple_free[idx] = until;
         }
         start
+    }
+}
+
+/// Ring buffer over the tail of an unbounded cycle sequence: keeps only the
+/// last `capacity` values pushed, which is all the pipeline constraints ever
+/// look at (ROB size for commits, issue width for fetches, LSQ size for
+/// memory commits, rename headroom for per-class writers). This is what
+/// bounds the streaming simulator's state to O(ROB) instead of O(trace).
+#[derive(Debug, Clone)]
+struct History {
+    buf: Vec<u64>,
+    len: usize,
+}
+
+impl History {
+    fn new(capacity: usize) -> Self {
+        Self { buf: vec![0; capacity.max(1)], len: 0 }
+    }
+
+    /// Total values pushed so far (not the retained count).
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Retained window size in entries.
+    fn capacity(&self) -> usize {
+        self.buf.len()
+    }
+
+    fn push(&mut self, value: u64) {
+        let cap = self.buf.len();
+        self.buf[self.len % cap] = value;
+        self.len += 1;
+    }
+
+    /// The `k`-th most recent value (`k = 1` is the last pushed). `k` must be
+    /// within both the pushed length and the retained window.
+    fn nth_back(&self, k: usize) -> u64 {
+        debug_assert!(k >= 1 && k <= self.len && k <= self.buf.len());
+        self.buf[(self.len - k) % self.buf.len()]
     }
 }
 
@@ -185,7 +240,13 @@ impl OooCore {
         &self.config
     }
 
-    /// Replay `trace` against `memory` and return the timing summary.
+    /// Replay a materialized `trace` against `memory` and return the timing
+    /// summary.
+    ///
+    /// This is a thin adapter over the streaming engine: it feeds every
+    /// instruction of the trace into an [`OooCore::stream`] simulator and
+    /// finishes it. The result is identical to streaming the same
+    /// instruction sequence directly (no collected trace required).
     ///
     /// # Panics
     ///
@@ -193,154 +254,286 @@ impl OooCore {
     /// time (which would indicate a broken memory model, not a property of the
     /// workload).
     pub fn simulate(&self, trace: &Trace, memory: &mut dyn MemorySystem) -> SimResult {
-        let cfg = &self.config;
-        let lat = &self.latencies;
-        let n = trace.insts.len();
-        let mut result = SimResult::default();
-        if n == 0 {
-            return result;
+        let mut sim = self.stream(memory);
+        for inst in &trace.insts {
+            sim.feed(inst);
+        }
+        sim.finish()
+    }
+
+    /// Pull every instruction out of `source` and simulate it, returning the
+    /// timing summary. The source is drained; memory use is bounded by the
+    /// simulator's O(ROB) window regardless of how many instructions the
+    /// source yields.
+    ///
+    /// # Panics
+    ///
+    /// As for [`OooCore::simulate`]: panics only on a broken memory model.
+    pub fn simulate_source<I: InstSource + ?Sized>(
+        &self,
+        source: &mut I,
+        memory: &mut dyn MemorySystem,
+    ) -> SimResult {
+        let mut sim = self.stream(memory);
+        while let Some(inst) = source.next_inst() {
+            sim.feed(&inst);
+        }
+        sim.finish()
+    }
+
+    /// Start an incremental streaming simulation against `memory`.
+    ///
+    /// Feed graduated instructions in program order with [`SimStream::feed`]
+    /// (or use the returned value as a [`TraceSink`] for the functional
+    /// interpreter — `Program::stream` in `mom-core` — fusing interpretation
+    /// and timing simulation without an intermediate trace), then call
+    /// [`SimStream::finish`] for the summary.
+    pub fn stream<'a>(&'a self, memory: &'a mut dyn MemorySystem) -> SimStream<'a> {
+        SimStream::new(&self.config, &self.latencies, memory)
+    }
+}
+
+/// A pull-based producer of dynamic instructions for
+/// [`OooCore::simulate_source`].
+///
+/// Every `Iterator<Item = DynInst>` is an `InstSource`, so synthetic
+/// generators and `trace.into_iter()` both work directly.
+pub trait InstSource {
+    /// The next instruction in program order, or `None` at end of stream.
+    fn next_inst(&mut self) -> Option<DynInst>;
+}
+
+impl<I: Iterator<Item = DynInst>> InstSource for I {
+    fn next_inst(&mut self) -> Option<DynInst> {
+        self.next()
+    }
+}
+
+/// An in-flight streaming simulation: the out-of-order pipeline model as an
+/// incremental consumer of dynamic instructions.
+///
+/// The pipeline constraints only ever reach a bounded distance into the
+/// past — the ROB size for in-flight instructions, the issue width for the
+/// fetch group, the LSQ size for memory operations and the per-class rename
+/// headroom for physical registers — so the engine retains exactly those
+/// windows in ring buffers. Total state is **O(ROB size)**, independent of
+/// how many instructions are fed; see [`SimStream::window_entries`].
+///
+/// Feeding the instructions of a collected [`Trace`] in order produces a
+/// result bit-identical to [`OooCore::simulate`] on that trace (which is
+/// itself implemented this way).
+#[derive(Debug)]
+pub struct SimStream<'a> {
+    config: &'a CoreConfig,
+    latencies: &'a Latencies,
+    memory: &'a mut dyn MemorySystem,
+    predictor: BranchPredictor,
+    int_units: UnitPool,
+    fp_units: UnitPool,
+    media_units: UnitPool,
+    /// Producer availability per architectural register.
+    reg_ready: [u64; 6 * 64],
+    /// Commit cycles of the last ROB-size instructions.
+    commits: History,
+    /// Fetch cycles of the last fetch group (issue width entries).
+    fetches: History,
+    /// Commit cycles of the last LSQ-size memory operations.
+    mem_commits: History,
+    /// Commit cycles of the last headroom writers per register class.
+    class_writers: [History; 6],
+    redirect_floor: u64,
+    fetch_break_floor: u64,
+    fed: usize,
+    last_commit: u64,
+    result: SimResult,
+}
+
+impl<'a> SimStream<'a> {
+    fn new(config: &'a CoreConfig, latencies: &'a Latencies, memory: &'a mut dyn MemorySystem) -> Self {
+        Self {
+            predictor: BranchPredictor::new(config.bimodal_entries, config.btb_entries),
+            int_units: UnitPool::new(config.int_units.simple, config.int_units.complex, 1),
+            fp_units: UnitPool::new(config.fp_units.simple, config.fp_units.complex, 1),
+            media_units: UnitPool::new(
+                config.media_units.simple,
+                config.media_units.complex,
+                config.media_units.lanes,
+            ),
+            reg_ready: [0; 6 * 64],
+            commits: History::new(config.rob_size),
+            fetches: History::new(config.way),
+            mem_commits: History::new(config.lsq_size),
+            class_writers: std::array::from_fn(|ci| {
+                History::new(config.rename_headroom(RegClass::ALL[ci]))
+            }),
+            redirect_floor: 0,
+            fetch_break_floor: 0,
+            fed: 0,
+            last_commit: 0,
+            result: SimResult::default(),
+            config,
+            latencies,
+            memory,
+        }
+    }
+
+    /// Total ring-buffer entries retained — the simulator's bounded lookback
+    /// window. A constant of the configuration (ROB + width + LSQ + rename
+    /// headrooms), never of the number of instructions fed.
+    pub fn window_entries(&self) -> usize {
+        self.commits.capacity()
+            + self.fetches.capacity()
+            + self.mem_commits.capacity()
+            + self.class_writers.iter().map(History::capacity).sum::<usize>()
+    }
+
+    /// Instructions fed (and retired) so far.
+    pub fn fed(&self) -> usize {
+        self.fed
+    }
+
+    /// Retire the next instruction in program order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the memory system refuses a request for an implausibly long
+    /// time (a broken memory model, not a property of the workload).
+    pub fn feed(&mut self, inst: &DynInst) {
+        let cfg = self.config;
+        let lat = self.latencies;
+        let i = self.fed;
+
+        // ---------------- Fetch ----------------
+        let mut f = self.redirect_floor.max(self.fetch_break_floor);
+        if i >= cfg.way {
+            f = f.max(self.fetches.nth_back(cfg.way) + 1);
+        }
+        if i > 0 {
+            f = f.max(self.fetches.nth_back(1)); // program order within a fetch group
+        }
+        self.fetches.push(f);
+        self.fetch_break_floor = 0;
+
+        // ---------------- Dispatch (rename + ROB/LSQ/phys-reg allocation) ----------------
+        let mut dispatch = f + cfg.frontend_depth;
+        if i >= cfg.rob_size {
+            dispatch = dispatch.max(self.commits.nth_back(cfg.rob_size));
+        }
+        let is_mem = inst.class.is_mem();
+        if is_mem && self.mem_commits.len() >= cfg.lsq_size {
+            dispatch = dispatch.max(self.mem_commits.nth_back(cfg.lsq_size));
+        }
+        for d in inst.dests() {
+            let writers = &self.class_writers[class_idx(d.class)];
+            let headroom = cfg.rename_headroom(d.class);
+            if writers.len() >= headroom {
+                dispatch = dispatch.max(writers.nth_back(headroom));
+            }
         }
 
-        let mut predictor = BranchPredictor::new(cfg.bimodal_entries, cfg.btb_entries);
-        let mut int_units = UnitPool::new(cfg.int_units.simple, cfg.int_units.complex, 1);
-        let mut fp_units = UnitPool::new(cfg.fp_units.simple, cfg.fp_units.complex, 1);
-        let mut media_units =
-            UnitPool::new(cfg.media_units.simple, cfg.media_units.complex, cfg.media_units.lanes);
+        // ---------------- Operand readiness ----------------
+        let mut ready = dispatch + 1;
+        for s in inst.sources() {
+            ready = ready.max(self.reg_ready[reg_slot(s)]);
+        }
 
-        // Producer availability per architectural register.
-        let mut reg_ready = [0u64; 6 * 64];
-        // Commit times: full history for ROB/LSQ/physical-register constraints.
-        let mut commit = vec![0u64; n];
-        let mut fetch = vec![0u64; n];
-        // Writers per register class (commit cycles), for renaming headroom.
-        let mut class_writers: [Vec<u64>; 6] = Default::default();
-        // Memory-operation commit cycles, for the LSQ constraint.
-        let mut mem_commits: Vec<u64> = Vec::new();
-
-        let mut redirect_floor = 0u64; // fetch may not start before this
-        let mut fetch_break_floor = 0u64; // floor for the next instruction only
-
-        for (i, inst) in trace.insts.iter().enumerate() {
-            // ---------------- Fetch ----------------
-            let mut f = redirect_floor.max(fetch_break_floor);
-            if i >= cfg.way {
-                f = f.max(fetch[i - cfg.way] + 1);
-            }
-            if i > 0 {
-                f = f.max(fetch[i - 1]); // program order within a fetch group
-            }
-            fetch[i] = f;
-            fetch_break_floor = 0;
-
-            // ---------------- Dispatch (rename + ROB/LSQ/phys-reg allocation) ----------------
-            let mut dispatch = f + cfg.frontend_depth;
-            if i >= cfg.rob_size {
-                dispatch = dispatch.max(commit[i - cfg.rob_size]);
-            }
-            let is_mem = inst.class.is_mem();
-            if is_mem && mem_commits.len() >= cfg.lsq_size {
-                dispatch = dispatch.max(mem_commits[mem_commits.len() - cfg.lsq_size]);
-            }
-            for d in inst.dests() {
-                let ci = class_idx(d.class);
-                let writers = &class_writers[ci];
-                let headroom = cfg.rename_headroom(d.class);
-                if writers.len() >= headroom {
-                    dispatch = dispatch.max(writers[writers.len() - headroom]);
-                }
-            }
-
-            // ---------------- Operand readiness ----------------
-            let mut ready = dispatch + 1;
-            for s in inst.sources() {
-                ready = ready.max(reg_ready[reg_slot(s)]);
-            }
-
-            // ---------------- Execute ----------------
-            let complete = match inst.class {
-                InstClass::Load | InstClass::Store => {
-                    result.mem_accesses += inst.mem.len() as u64;
-                    let vector = inst.elems > 1;
-                    let mut t = ready;
-                    let mut retries = 0u64;
-                    let done = loop {
-                        match memory.access(t, &inst.mem, vector) {
-                            Some(done) => break done,
-                            None => {
-                                retries += 1;
-                                t += 1;
-                                assert!(
-                                    retries < 100_000,
-                                    "memory system refused a request for 100k cycles at pc {}",
-                                    inst.pc
-                                );
-                            }
-                        }
-                    };
-                    result.mem_retries += retries;
-                    done
-                }
-                InstClass::Branch => {
-                    result.branches += 1;
-                    let start = int_units.reserve(ready, false, 1);
-                    let complete = start + lat.branch;
-                    if let Some(b) = inst.branch {
-                        let correct =
-                            predictor.predict_and_update(b.pc, b.conditional, b.taken, b.target);
-                        if correct {
-                            if b.taken {
-                                // A taken branch ends the fetch group.
-                                fetch_break_floor = fetch[i] + 1;
-                            }
-                        } else {
-                            result.mispredictions += 1;
-                            redirect_floor = redirect_floor.max(complete + cfg.mispredict_penalty);
+        // ---------------- Execute ----------------
+        let complete = match inst.class {
+            InstClass::Load | InstClass::Store => {
+                self.result.mem_accesses += inst.mem.len() as u64;
+                let vector = inst.elems > 1;
+                let mut t = ready;
+                let mut retries = 0u64;
+                let done = loop {
+                    match self.memory.access(t, &inst.mem, vector) {
+                        Some(done) => break done,
+                        None => {
+                            retries += 1;
+                            t += 1;
+                            assert!(
+                                retries < 100_000,
+                                "memory system refused a request for 100k cycles at pc {}",
+                                inst.pc
+                            );
                         }
                     }
-                    complete
+                };
+                self.result.mem_retries += retries;
+                done
+            }
+            InstClass::Branch => {
+                let start = self.int_units.reserve(ready, false, 1);
+                let complete = start + lat.branch;
+                if let Some(b) = inst.branch {
+                    let correct =
+                        self.predictor.predict_and_update(b.pc, b.conditional, b.taken, b.target);
+                    if correct {
+                        if b.taken {
+                            // A taken branch ends the fetch group.
+                            self.fetch_break_floor = f + 1;
+                        }
+                    } else {
+                        self.redirect_floor =
+                            self.redirect_floor.max(complete + cfg.mispredict_penalty);
+                    }
                 }
-                InstClass::Nop => ready,
-                InstClass::IntSimple => int_units.reserve(ready, false, 1) + lat.int_simple,
-                InstClass::IntComplex => int_units.reserve(ready, true, 1) + lat.int_complex,
-                InstClass::FpSimple => fp_units.reserve(ready, false, 1) + lat.fp_simple,
-                InstClass::FpComplex => fp_units.reserve(ready, true, 1) + lat.fp_complex,
-                InstClass::MediaSimple | InstClass::MediaComplex => {
-                    let complex = inst.class == InstClass::MediaComplex;
-                    let occupancy =
-                        (inst.elems as u64).div_ceil(media_units.lanes as u64).max(1);
-                    let start = media_units.reserve(ready, complex, occupancy);
-                    let op_lat = if complex { lat.media_complex } else { lat.media_simple };
-                    start + occupancy - 1 + op_lat
-                }
-            };
+                complete
+            }
+            InstClass::Nop => ready,
+            InstClass::IntSimple => self.int_units.reserve(ready, false, 1) + lat.int_simple,
+            InstClass::IntComplex => self.int_units.reserve(ready, true, 1) + lat.int_complex,
+            InstClass::FpSimple => self.fp_units.reserve(ready, false, 1) + lat.fp_simple,
+            InstClass::FpComplex => self.fp_units.reserve(ready, true, 1) + lat.fp_complex,
+            InstClass::MediaSimple | InstClass::MediaComplex => {
+                let complex = inst.class == InstClass::MediaComplex;
+                let occupancy =
+                    (inst.elems as u64).div_ceil(self.media_units.lanes as u64).max(1);
+                let start = self.media_units.reserve(ready, complex, occupancy);
+                let op_lat = if complex { lat.media_complex } else { lat.media_simple };
+                start + occupancy - 1 + op_lat
+            }
+        };
 
-            // ---------------- Writeback ----------------
-            for d in inst.dests() {
-                reg_ready[reg_slot(d)] = complete;
-            }
-
-            // ---------------- Commit ----------------
-            let mut c = complete + 1;
-            if i > 0 {
-                c = c.max(commit[i - 1]);
-            }
-            if i >= cfg.way {
-                c = c.max(commit[i - cfg.way] + 1);
-            }
-            commit[i] = c;
-            for d in inst.dests() {
-                class_writers[class_idx(d.class)].push(c);
-            }
-            if is_mem {
-                mem_commits.push(c);
-            }
+        // ---------------- Writeback ----------------
+        for d in inst.dests() {
+            self.reg_ready[reg_slot(d)] = complete;
         }
 
-        result.cycles = commit[n - 1];
-        result.committed = n as u64;
-        result.branches = predictor.predictions;
-        result.mispredictions = predictor.mispredictions;
+        // ---------------- Commit ----------------
+        let mut c = complete + 1;
+        if i > 0 {
+            c = c.max(self.commits.nth_back(1));
+        }
+        if i >= cfg.way {
+            c = c.max(self.commits.nth_back(cfg.way) + 1);
+        }
+        self.commits.push(c);
+        for d in inst.dests() {
+            self.class_writers[class_idx(d.class)].push(c);
+        }
+        if is_mem {
+            self.mem_commits.push(c);
+        }
+        self.last_commit = c;
+        self.fed = i + 1;
+    }
+
+    /// Finish the simulation and return the timing summary.
+    pub fn finish(self) -> SimResult {
+        let mut result = self.result;
+        result.cycles = if self.fed == 0 { 0 } else { self.last_commit };
+        result.committed = self.fed as u64;
+        result.branches = self.predictor.predictions;
+        result.mispredictions = self.predictor.mispredictions;
         result
+    }
+}
+
+/// The streaming simulator is itself a trace sink, so the functional
+/// interpreter can graduate instructions straight into the timing model.
+impl TraceSink for SimStream<'_> {
+    fn emit(&mut self, inst: DynInst) {
+        self.feed(&inst);
     }
 }
 
@@ -524,7 +717,7 @@ mod tests {
                     .with_mem(
                         (0..16)
                             .map(|k| MemAccess { addr: i * 1024 + k * 8, size: 8, kind: MemKind::Load })
-                            .collect(),
+                            .collect::<mom_isa::trace::MemList>(),
                     )
             })
             .collect();
@@ -572,5 +765,102 @@ mod tests {
         let l = Latencies::default();
         assert!(l.int_complex > l.int_simple);
         assert!(l.media_complex > l.media_simple);
+    }
+
+    /// A generator-backed `InstSource` that produces instructions on demand —
+    /// the whole sequence never exists in memory at once.
+    struct Generated {
+        next: u64,
+        total: u64,
+    }
+
+    impl Iterator for Generated {
+        type Item = DynInst;
+
+        fn next(&mut self) -> Option<DynInst> {
+            if self.next >= self.total {
+                return None;
+            }
+            let i = self.next;
+            self.next += 1;
+            Some(match i % 5 {
+                0 => DynInst::new(InstClass::Load, i)
+                    .with_src(ArchReg::int(1))
+                    .with_dst(ArchReg::int(8 + (i % 8) as u8))
+                    .with_mem(vec![MemAccess { addr: i * 8, size: 8, kind: MemKind::Load }]),
+                1 => DynInst::new(InstClass::Branch, i % 13).with_branch(BranchInfo {
+                    taken: i.is_multiple_of(3),
+                    conditional: true,
+                    pc: i % 13,
+                    target: 0,
+                }),
+                2 => DynInst::new(InstClass::MediaSimple, i)
+                    .with_src(ArchReg::media(1))
+                    .with_dst(ArchReg::media(2))
+                    .with_elems(8),
+                _ => alu(i, 8 + (i % 8) as u8, 0, 1),
+            })
+        }
+    }
+
+    #[test]
+    fn streamed_source_matches_materialized_trace() {
+        // Same sequence, three consumption styles: collected trace replay,
+        // pull-based source, push-based sink. All bit-identical.
+        let collected: Trace = Generated { next: 0, total: 3000 }.collect();
+        let core = OooCore::new(CoreConfig::way4(IsaKind::Alpha));
+
+        let mut mem_a = build_memory(MemModelKind::Perfect { latency: 4 }, 4);
+        let batch = core.simulate(&collected, mem_a.as_mut());
+
+        let mut mem_b = build_memory(MemModelKind::Perfect { latency: 4 }, 4);
+        let mut source = Generated { next: 0, total: 3000 };
+        let pulled = core.simulate_source(&mut source, mem_b.as_mut());
+
+        let mut mem_c = build_memory(MemModelKind::Perfect { latency: 4 }, 4);
+        let mut sink = core.stream(mem_c.as_mut());
+        for inst in (Generated { next: 0, total: 3000 }) {
+            use mom_isa::trace::TraceSink as _;
+            sink.emit(inst);
+        }
+        let pushed = sink.finish();
+
+        assert_eq!(batch, pulled);
+        assert_eq!(batch, pushed);
+        assert_eq!(batch.committed, 3000);
+    }
+
+    #[test]
+    fn stream_window_is_bounded_by_the_rob_not_the_trace() {
+        // 10_000 instructions through a way-4 machine (ROB 32): the lookback
+        // window must be a constant of the configuration, >= 10x smaller than
+        // the instruction count, and identical before and after feeding.
+        let core = OooCore::new(CoreConfig::way4(IsaKind::Alpha));
+        let mut mem = build_memory(MemModelKind::Perfect { latency: 1 }, 4);
+        let mut sim = core.stream(mem.as_mut());
+        let initial_window = sim.window_entries();
+        for inst in (Generated { next: 0, total: 10_000 }) {
+            sim.feed(&inst);
+        }
+        assert_eq!(sim.fed(), 10_000);
+        assert_eq!(sim.window_entries(), initial_window, "window never grows");
+        assert!(
+            sim.fed() >= 10 * core.config().rob_size,
+            "the stream is at least 10x the ROB"
+        );
+        assert!(
+            initial_window * 10 <= sim.fed(),
+            "retained state ({initial_window} entries) is far below the trace length"
+        );
+        let r = sim.finish();
+        assert_eq!(r.committed, 10_000);
+    }
+
+    #[test]
+    fn empty_stream_finishes_at_zero_cycles() {
+        let core = OooCore::new(CoreConfig::way1(IsaKind::Alpha));
+        let mut mem = build_memory(MemModelKind::Perfect { latency: 1 }, 1);
+        let r = core.stream(mem.as_mut()).finish();
+        assert_eq!(r, SimResult::default());
     }
 }

@@ -7,8 +7,13 @@
 //!
 //! The division of labour mirrors the original methodology: the functional
 //! interpreters (in `mom-core`) play the role of ATOM-instrumented execution
-//! and produce a dynamic trace; this crate plays the role of the Jinks
-//! simulator and assigns cycles to that trace.
+//! and produce a dynamic instruction stream; this crate plays the role of the
+//! Jinks simulator and assigns cycles to that stream. Like the original
+//! pipeline, simulation is **streaming**: the incremental [`SimStream`]
+//! engine (see [`core`]) retires instructions as they graduate with O(ROB)
+//! state, so the interpreter can feed the simulator directly — no
+//! materialized trace — while [`OooCore::simulate`] still accepts collected
+//! [`Trace`]s and produces bit-identical results.
 //!
 //! ```
 //! use mom_cpu::{CoreConfig, OooCore};
@@ -36,7 +41,7 @@ pub mod config;
 pub mod core;
 pub mod predictor;
 
-pub use crate::core::{Latencies, OooCore, SimResult};
+pub use crate::core::{InstSource, Latencies, OooCore, SimResult, SimStream};
 pub use config::{CoreConfig, FuPool, PhysRegs};
 pub use predictor::{BimodalPredictor, BranchPredictor, Btb};
 

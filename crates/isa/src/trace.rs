@@ -8,6 +8,23 @@
 //! graduated instruction, carrying everything the timing model needs — the
 //! functional-unit class, the architectural registers read and written, the
 //! individual memory element accesses and the branch outcome.
+//!
+//! # The streaming contract
+//!
+//! The contract is a **stream**, not a materialized vector. Producers (the
+//! interpreter, synthetic generators) push instructions into a [`TraceSink`];
+//! consumers either collect them — [`Trace`] is the canonical collecting sink
+//! — or process them on the fly, like the timing simulator's incremental
+//! `StreamSim` in `mom-cpu`, which retires each instruction with O(ROB-size)
+//! state and never holds the whole trace. Collected [`Trace`]s remain fully
+//! supported (they are `Extend`, `FromIterator` and `IntoIterator` over
+//! [`DynInst`]) and a streamed pipeline produces bit-identical timing results
+//! to replaying the equivalent collected trace.
+//!
+//! Per-instruction memory accesses use [`MemList`], a small-buffer list that
+//! stores up to [`MEM_INLINE`] element accesses inline (every scalar and MMX
+//! memory instruction fits) and spills to the heap only for MOM vector
+//! accesses, keeping the interpreter hot path allocation-free.
 
 /// Which of the evaluated instruction-set architectures a program targets.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -210,6 +227,150 @@ pub struct MemAccess {
     pub kind: MemKind,
 }
 
+/// Number of element accesses a [`MemList`] stores inline before spilling to
+/// the heap. Scalar and MMX memory instructions perform exactly one element
+/// access, so only MOM vector memory instructions (up to 16 rows) ever spill.
+pub const MEM_INLINE: usize = 4;
+
+const EMPTY_ACCESS: MemAccess = MemAccess { addr: 0, size: 0, kind: MemKind::Load };
+
+/// The element memory accesses of one dynamic instruction, with a small
+/// inline buffer.
+///
+/// Behaves like a `Vec<MemAccess>` (it dereferences to `[MemAccess]`) but
+/// keeps up to [`MEM_INLINE`] accesses inline in the [`DynInst`] itself, so
+/// building and cloning scalar/MMX memory instructions never touches the
+/// heap. Pushing beyond the inline capacity spills the list to a heap vector,
+/// which is transparent to readers.
+#[derive(Clone)]
+pub struct MemList(MemListRepr);
+
+#[derive(Clone)]
+enum MemListRepr {
+    Inline { buf: [MemAccess; MEM_INLINE], len: u8 },
+    Spilled(Vec<MemAccess>),
+}
+
+impl MemList {
+    /// An empty access list (no allocation).
+    pub const fn new() -> Self {
+        MemList(MemListRepr::Inline { buf: [EMPTY_ACCESS; MEM_INLINE], len: 0 })
+    }
+
+    /// A list holding a single access (the scalar load/store case).
+    pub fn one(access: MemAccess) -> Self {
+        let mut list = MemList::new();
+        list.push(access);
+        list
+    }
+
+    /// An empty list with room for `capacity` accesses: inline when it fits,
+    /// pre-spilled in one exact allocation otherwise. MOM vector memory
+    /// instructions know their element count (the vector length) up front,
+    /// so they pay at most one allocation instead of growing through the
+    /// spill path.
+    pub fn with_capacity(capacity: usize) -> Self {
+        if capacity <= MEM_INLINE {
+            MemList::new()
+        } else {
+            MemList(MemListRepr::Spilled(Vec::with_capacity(capacity)))
+        }
+    }
+
+    /// Append an access, spilling to the heap past [`MEM_INLINE`] entries.
+    pub fn push(&mut self, access: MemAccess) {
+        match &mut self.0 {
+            MemListRepr::Inline { buf, len } => {
+                if (*len as usize) < MEM_INLINE {
+                    buf[*len as usize] = access;
+                    *len += 1;
+                } else {
+                    let mut spilled = Vec::with_capacity(MEM_INLINE * 2);
+                    spilled.extend_from_slice(&buf[..]);
+                    spilled.push(access);
+                    self.0 = MemListRepr::Spilled(spilled);
+                }
+            }
+            MemListRepr::Spilled(v) => v.push(access),
+        }
+    }
+
+    /// The accesses as a slice (also available through deref).
+    pub fn as_slice(&self) -> &[MemAccess] {
+        match &self.0 {
+            MemListRepr::Inline { buf, len } => &buf[..*len as usize],
+            MemListRepr::Spilled(v) => v,
+        }
+    }
+
+    /// Whether the list has spilled to the heap (diagnostics/tests only;
+    /// readers never need to care).
+    pub fn is_spilled(&self) -> bool {
+        matches!(self.0, MemListRepr::Spilled(_))
+    }
+}
+
+impl Default for MemList {
+    fn default() -> Self {
+        MemList::new()
+    }
+}
+
+impl std::ops::Deref for MemList {
+    type Target = [MemAccess];
+
+    fn deref(&self) -> &[MemAccess] {
+        self.as_slice()
+    }
+}
+
+impl std::fmt::Debug for MemList {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_list().entries(self.as_slice()).finish()
+    }
+}
+
+/// Equality is by contents — an inline list equals a spilled list holding the
+/// same accesses.
+impl PartialEq for MemList {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for MemList {}
+
+impl From<Vec<MemAccess>> for MemList {
+    fn from(accesses: Vec<MemAccess>) -> Self {
+        if accesses.len() <= MEM_INLINE {
+            let mut buf = [EMPTY_ACCESS; MEM_INLINE];
+            buf[..accesses.len()].copy_from_slice(&accesses);
+            MemList(MemListRepr::Inline { buf, len: accesses.len() as u8 })
+        } else {
+            MemList(MemListRepr::Spilled(accesses))
+        }
+    }
+}
+
+impl FromIterator<MemAccess> for MemList {
+    fn from_iter<T: IntoIterator<Item = MemAccess>>(iter: T) -> Self {
+        let mut list = MemList::new();
+        for access in iter {
+            list.push(access);
+        }
+        list
+    }
+}
+
+impl<'a> IntoIterator for &'a MemList {
+    type Item = &'a MemAccess;
+    type IntoIter = std::slice::Iter<'a, MemAccess>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
 /// Branch outcome information attached to control-flow instructions.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct BranchInfo {
@@ -240,7 +401,7 @@ pub struct DynInst {
     /// Destination architectural registers (`None` entries are unused slots).
     pub dsts: [Option<ArchReg>; MAX_DSTS],
     /// Element memory accesses (empty for non-memory instructions).
-    pub mem: Vec<MemAccess>,
+    pub mem: MemList,
     /// Branch outcome (only for [`InstClass::Branch`]).
     pub branch: Option<BranchInfo>,
     /// Number of vector elements processed (1 for scalar/MMX/MDMX
@@ -260,7 +421,7 @@ impl DynInst {
             class,
             srcs: [None; MAX_SRCS],
             dsts: [None; MAX_DSTS],
-            mem: Vec::new(),
+            mem: MemList::new(),
             branch: None,
             elems: 1,
             pc,
@@ -270,6 +431,7 @@ impl DynInst {
     /// Add a source register (ignored once all [`MAX_SRCS`] slots are full —
     /// additional sources beyond the modelled read-port count do not create
     /// extra dependences the timing model could track anyway).
+    #[must_use = "builder methods return the modified instruction"]
     pub fn with_src(mut self, reg: ArchReg) -> Self {
         if let Some(slot) = self.srcs.iter_mut().find(|s| s.is_none()) {
             *slot = Some(reg);
@@ -278,6 +440,7 @@ impl DynInst {
     }
 
     /// Add a destination register.
+    #[must_use = "builder methods return the modified instruction"]
     pub fn with_dst(mut self, reg: ArchReg) -> Self {
         if let Some(slot) = self.dsts.iter_mut().find(|s| s.is_none()) {
             *slot = Some(reg);
@@ -286,18 +449,21 @@ impl DynInst {
     }
 
     /// Set the vector element count.
+    #[must_use = "builder methods return the modified instruction"]
     pub fn with_elems(mut self, elems: u16) -> Self {
         self.elems = elems.max(1);
         self
     }
 
     /// Attach memory accesses.
-    pub fn with_mem(mut self, accesses: Vec<MemAccess>) -> Self {
-        self.mem = accesses;
+    #[must_use = "builder methods return the modified instruction"]
+    pub fn with_mem(mut self, accesses: impl Into<MemList>) -> Self {
+        self.mem = accesses.into();
         self
     }
 
     /// Attach a branch outcome.
+    #[must_use = "builder methods return the modified instruction"]
     pub fn with_branch(mut self, branch: BranchInfo) -> Self {
         self.branch = Some(branch);
         self
@@ -311,6 +477,37 @@ impl DynInst {
     /// Iterator over the populated destination registers.
     pub fn dests(&self) -> impl Iterator<Item = ArchReg> + '_ {
         self.dsts.iter().flatten().copied()
+    }
+}
+
+/// A consumer of graduated dynamic instructions.
+///
+/// The functional interpreter pushes one [`DynInst`] per graduated
+/// instruction into a sink. [`Trace`] is the canonical *collecting* sink;
+/// the timing simulator in `mom-cpu` provides a *streaming* sink that
+/// retires each instruction immediately with O(ROB-size) memory, so the
+/// interpreter and the simulator fuse into a pipeline that never
+/// materializes the trace.
+pub trait TraceSink {
+    /// Accept the next graduated instruction, in program order.
+    fn emit(&mut self, inst: DynInst);
+}
+
+impl TraceSink for Trace {
+    fn emit(&mut self, inst: DynInst) {
+        self.push(inst);
+    }
+}
+
+impl TraceSink for Vec<DynInst> {
+    fn emit(&mut self, inst: DynInst) {
+        self.push(inst);
+    }
+}
+
+impl<S: TraceSink + ?Sized> TraceSink for &mut S {
+    fn emit(&mut self, inst: DynInst) {
+        (**self).emit(inst);
     }
 }
 
@@ -364,12 +561,6 @@ impl Trace {
         self.insts.push(inst);
     }
 
-    /// Append all instructions of another trace (used to stitch application
-    /// phases together).
-    pub fn extend_from(&mut self, other: &Trace) {
-        self.insts.extend(other.insts.iter().cloned());
-    }
-
     /// Compute instruction-mix statistics.
     pub fn stats(&self) -> TraceStats {
         let mut s = TraceStats { total: self.insts.len(), ..TraceStats::default() };
@@ -399,6 +590,27 @@ impl std::iter::FromIterator<DynInst> for Trace {
 impl Extend<DynInst> for Trace {
     fn extend<T: IntoIterator<Item = DynInst>>(&mut self, iter: T) {
         self.insts.extend(iter);
+    }
+}
+
+impl IntoIterator for Trace {
+    type Item = DynInst;
+    type IntoIter = std::vec::IntoIter<DynInst>;
+
+    /// Consume the trace, yielding its instructions in program order (used to
+    /// stitch traces together without cloning, and to feed owned instructions
+    /// into a pull-based `InstSource`).
+    fn into_iter(self) -> Self::IntoIter {
+        self.insts.into_iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a Trace {
+    type Item = &'a DynInst;
+    type IntoIter = std::slice::Iter<'a, DynInst>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.insts.iter()
     }
 }
 
@@ -484,7 +696,7 @@ mod tests {
         t.push(
             DynInst::new(InstClass::Load, 1)
                 .with_elems(16)
-                .with_mem((0..16).map(|i| MemAccess { addr: 0x100 + i * 32, size: 8, kind: MemKind::Load }).collect()),
+                .with_mem((0..16).map(|i| MemAccess { addr: 0x100 + i * 32, size: 8, kind: MemKind::Load }).collect::<MemList>()),
         );
         t.push(DynInst::new(InstClass::MediaSimple, 2).with_elems(16));
         t.push(DynInst::new(InstClass::Branch, 3).with_branch(BranchInfo {
@@ -517,7 +729,9 @@ mod tests {
         let mut b = Trace::new(IsaKind::Alpha);
         b.push(DynInst::new(InstClass::IntSimple, 1));
         b.push(DynInst::new(InstClass::IntSimple, 2));
-        a.extend_from(&b);
+        // Traces stitch together through Extend + owned IntoIterator,
+        // without cloning a single instruction.
+        a.extend(b);
         assert_eq!(a.len(), 3);
     }
 
@@ -526,5 +740,94 @@ mod tests {
         let t: Trace = (0..4).map(|pc| DynInst::new(InstClass::Nop, pc)).collect();
         assert_eq!(t.len(), 4);
         assert_eq!(t.isa, None);
+    }
+
+    #[test]
+    fn trace_into_iterator_owned_and_borrowed() {
+        let t: Trace = (0..5).map(|pc| DynInst::new(InstClass::Nop, pc)).collect();
+        let borrowed_pcs: Vec<u64> = (&t).into_iter().map(|i| i.pc).collect();
+        assert_eq!(borrowed_pcs, [0, 1, 2, 3, 4]);
+        assert_eq!(t.len(), 5, "borrowed iteration leaves the trace intact");
+        let owned_pcs: Vec<u64> = t.into_iter().map(|i| i.pc).collect();
+        assert_eq!(owned_pcs, [0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn trace_is_a_collecting_sink() {
+        fn produce(sink: &mut impl TraceSink) {
+            for pc in 0..3 {
+                sink.emit(DynInst::new(InstClass::IntSimple, pc));
+            }
+        }
+        let mut t = Trace::new(IsaKind::Alpha);
+        produce(&mut t);
+        assert_eq!(t.len(), 3);
+        let mut v: Vec<DynInst> = Vec::new();
+        produce(&mut v);
+        assert_eq!(v.len(), 3);
+        assert_eq!(t.insts, v);
+    }
+
+    fn access(addr: u64) -> MemAccess {
+        MemAccess { addr, size: 8, kind: MemKind::Load }
+    }
+
+    #[test]
+    fn mem_list_stays_inline_up_to_capacity_and_spills_past_it() {
+        let mut list = MemList::new();
+        assert!(list.is_empty() && !list.is_spilled());
+        for k in 0..MEM_INLINE as u64 {
+            list.push(access(k));
+            assert!(!list.is_spilled(), "{} accesses fit inline", k + 1);
+        }
+        assert_eq!(list.len(), MEM_INLINE);
+        list.push(access(99));
+        assert!(list.is_spilled(), "the {}th access spills to the heap", MEM_INLINE + 1);
+        assert_eq!(list.len(), MEM_INLINE + 1);
+        // Spilling preserves contents and order.
+        let addrs: Vec<u64> = list.iter().map(|a| a.addr).collect();
+        assert_eq!(addrs, [0, 1, 2, 3, 99]);
+    }
+
+    #[test]
+    fn mem_list_with_capacity_spills_eagerly_only_past_inline() {
+        assert!(!MemList::with_capacity(0).is_spilled());
+        assert!(!MemList::with_capacity(MEM_INLINE).is_spilled());
+        // A known-large list (a MOM vector access) pre-spills in one exact
+        // allocation; contents still behave identically.
+        let mut list = MemList::with_capacity(16);
+        assert!(list.is_spilled());
+        assert!(list.is_empty());
+        for k in 0..16 {
+            list.push(access(k));
+        }
+        let grown: MemList = (0..16).map(access).collect();
+        assert_eq!(list, grown);
+    }
+
+    #[test]
+    fn mem_list_equality_ignores_representation() {
+        let inline = MemList::one(access(7));
+        let mut spilled_then_compare: MemList = (0..=MEM_INLINE as u64).map(access).collect();
+        assert!(spilled_then_compare.is_spilled());
+        let from_vec: MemList = Vec::from_iter((0..=MEM_INLINE as u64).map(access)).into();
+        assert_eq!(spilled_then_compare, from_vec);
+        assert_ne!(inline, from_vec);
+        // From<Vec> keeps short vectors inline.
+        let short: MemList = vec![access(7)].into();
+        assert!(!short.is_spilled());
+        assert_eq!(short, inline);
+        spilled_then_compare.push(access(42));
+        assert_eq!(spilled_then_compare.last().unwrap().addr, 42);
+        assert_eq!(format!("{:?}", MemList::one(access(1))), format!("{:?}", vec![access(1)]));
+    }
+
+    #[test]
+    fn scalar_mem_instructions_never_allocate() {
+        // A scalar load carries exactly one access; the whole DynInst clones
+        // without touching the heap (MemList is inline).
+        let inst = DynInst::new(InstClass::Load, 0).with_mem(MemList::one(access(0x10)));
+        assert!(!inst.mem.is_spilled());
+        assert!(!inst.clone().mem.is_spilled());
     }
 }

@@ -1,0 +1,52 @@
+//! Property-based tests of `MemList`, the small-buffer access list inside
+//! `DynInst`: for any access sequence it behaves exactly like a
+//! `Vec<MemAccess>`, stays inline up to `MEM_INLINE` entries and spills
+//! transparently past them.
+
+use mom_isa::trace::{MemAccess, MemKind, MemList, MEM_INLINE};
+use proptest::prelude::*;
+
+fn access(bits: u64) -> MemAccess {
+    MemAccess {
+        addr: bits >> 8,
+        size: 1 << (bits & 3),
+        kind: if bits & 4 == 0 { MemKind::Load } else { MemKind::Store },
+    }
+}
+
+proptest! {
+    #![proptest_config(Config::with_cases(256))]
+
+    #[test]
+    fn mem_list_mirrors_vec_semantics(raw in prop::collection::vec(any::<u64>(), 0..40)) {
+        let accesses: Vec<MemAccess> = raw.iter().map(|&b| access(b)).collect();
+
+        // Pushed one at a time.
+        let mut pushed = MemList::new();
+        for &a in &accesses {
+            pushed.push(a);
+        }
+        // Collected and converted.
+        let collected: MemList = accesses.iter().copied().collect();
+        let converted: MemList = accesses.clone().into();
+
+        for list in [&pushed, &collected, &converted] {
+            prop_assert_eq!(list.as_slice(), &accesses[..]);
+            prop_assert_eq!(list.len(), accesses.len());
+            prop_assert_eq!(list.is_empty(), accesses.is_empty());
+            // The inline/spill boundary is exactly MEM_INLINE.
+            prop_assert_eq!(list.is_spilled(), accesses.len() > MEM_INLINE);
+        }
+        prop_assert_eq!(&pushed, &collected);
+        prop_assert_eq!(&pushed, &converted);
+
+        // Cloning preserves contents and representation.
+        let clone = pushed.clone();
+        prop_assert_eq!(clone.as_slice(), &accesses[..]);
+        prop_assert_eq!(clone.is_spilled(), pushed.is_spilled());
+
+        // Borrowed iteration agrees with slice iteration.
+        let via_iter: Vec<MemAccess> = (&pushed).into_iter().copied().collect();
+        prop_assert_eq!(via_iter, accesses);
+    }
+}

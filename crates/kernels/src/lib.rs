@@ -58,7 +58,9 @@ pub use scaffold::Scaffold;
 
 use mom_core::program::{ExecError, Program};
 use mom_core::state::Machine;
-use mom_isa::trace::{IsaKind, Trace};
+use mom_cpu::{OooCore, SimResult};
+use mom_isa::trace::{IsaKind, Trace, TraceSink};
+use mom_mem::MemorySystem;
 
 /// The eight evaluated kernels.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -223,6 +225,20 @@ impl From<ExecError> for KernelError {
 }
 
 impl BuiltKernel {
+    /// Execute the kernel, streaming every graduated instruction into `sink`,
+    /// then compare the output region with the golden reference. Returns the
+    /// number of instructions executed and the offset of the first
+    /// mismatching output byte (if any).
+    fn execute_into<S: TraceSink + ?Sized>(
+        &mut self,
+        sink: &mut S,
+    ) -> Result<(usize, Option<usize>), KernelError> {
+        let executed = self.program.stream(&mut self.machine, sink)?;
+        let actual = self.machine.mem().read_bytes(self.output_addr, self.expected.len());
+        let first_mismatch = actual.iter().zip(self.expected.iter()).position(|(a, e)| a != e);
+        Ok((executed, first_mismatch))
+    }
+
     /// Execute the kernel, compare its output region with the golden
     /// reference and return the trace.
     ///
@@ -233,9 +249,8 @@ impl BuiltKernel {
     /// [`KernelRun::output_matches`], not as an error; use
     /// [`BuiltKernel::run_verified`] to turn mismatches into errors.
     pub fn run(mut self) -> Result<KernelRun, KernelError> {
-        let trace = self.program.run(&mut self.machine)?;
-        let actual = self.machine.mem().read_bytes(self.output_addr, self.expected.len());
-        let first_mismatch = actual.iter().zip(self.expected.iter()).position(|(a, e)| a != e);
+        let mut trace = Trace::new(self.isa);
+        let (_, first_mismatch) = self.execute_into(&mut trace)?;
         Ok(KernelRun {
             kind: self.kind,
             isa: self.isa,
@@ -259,6 +274,51 @@ impl BuiltKernel {
             Some(offset) => Err(KernelError::OutputMismatch { kind, isa, offset }),
             None => Ok(run),
         }
+    }
+
+    /// Execute the kernel, streaming every graduated instruction into `sink`
+    /// instead of collecting a [`Trace`], and verify the output against the
+    /// golden reference. Returns the number of instructions streamed.
+    ///
+    /// With the timing simulator's `SimStream` as the sink this fuses
+    /// interpretation and simulation into one pass with no intermediate
+    /// trace — see [`BuiltKernel::run_streamed`] for the packaged version.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KernelError::Exec`] on fuel exhaustion or
+    /// [`KernelError::OutputMismatch`] on the first differing output byte
+    /// (the sink has received the instructions either way).
+    pub fn stream_verified<S: TraceSink + ?Sized>(mut self, sink: &mut S) -> Result<usize, KernelError> {
+        let kind = self.kind;
+        let isa = self.isa;
+        let (executed, mismatch) = self.execute_into(sink)?;
+        match mismatch {
+            Some(offset) => Err(KernelError::OutputMismatch { kind, isa, offset }),
+            None => Ok(executed),
+        }
+    }
+
+    /// Fused cell execution: interpret the kernel and feed the timing
+    /// simulator directly, with no intermediate trace. The output is
+    /// verified against the golden reference exactly as in
+    /// [`BuiltKernel::run_verified`], and the returned [`SimResult`] is
+    /// bit-identical to `core.simulate(&run_verified()?.trace, memory)` —
+    /// but peak memory is bounded by the simulator's O(ROB) window instead
+    /// of the trace length.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KernelError::Exec`] on fuel exhaustion or
+    /// [`KernelError::OutputMismatch`] if the kernel output is wrong.
+    pub fn run_streamed(
+        self,
+        core: &OooCore,
+        memory: &mut dyn MemorySystem,
+    ) -> Result<SimResult, KernelError> {
+        let mut sim = core.stream(memory);
+        self.stream_verified(&mut sim)?;
+        Ok(sim.finish())
     }
 }
 
@@ -314,5 +374,30 @@ mod tests {
         let e = KernelError::OutputMismatch { kind: KernelKind::Idct, isa: IsaKind::Mom, offset: 3 };
         assert!(e.to_string().contains("idct"));
         assert!(e.to_string().contains("mom"));
+    }
+
+    #[test]
+    fn fused_streamed_run_is_bit_identical_to_materialized_simulation() {
+        use mom_cpu::CoreConfig;
+        use mom_mem::{build_memory, MemModelKind};
+
+        let params = KernelParams { seed: 9, scale: 1 };
+        for kind in [KernelKind::Compensation, KernelKind::AddBlock] {
+            for isa in [IsaKind::Alpha, IsaKind::Mom] {
+                let core = OooCore::new(CoreConfig::way4(isa));
+
+                let run = build_kernel(kind, isa, &params).run_verified().expect("kernel verifies");
+                let mut mem_batch = build_memory(MemModelKind::Perfect { latency: 1 }, 4);
+                let batch = core.simulate(&run.trace, mem_batch.as_mut());
+
+                let mut mem_fused = build_memory(MemModelKind::Perfect { latency: 1 }, 4);
+                let fused = build_kernel(kind, isa, &params)
+                    .run_streamed(&core, mem_fused.as_mut())
+                    .expect("fused run verifies");
+
+                assert_eq!(batch, fused, "{kind} ({isa}): streamed != materialized");
+                assert_eq!(fused.committed as usize, run.trace.len());
+            }
+        }
     }
 }

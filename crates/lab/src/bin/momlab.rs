@@ -14,8 +14,16 @@
 //!   (repeatable)
 //! * `--scale N` — workload scale (default 1)
 //! * `--workers N` — worker threads (default: min(cpus, 8); 1 = serial)
+//! * `--streamed` — fused streaming execution: each cell re-interprets its
+//!   workload and feeds the simulator directly, with no materialized trace
+//!   (byte-identical results; O(ROB) memory per cell). `MOM_LAB_STREAM=1`
+//!   sets the same default
 //! * `--json FILE` — result file path (single experiment only)
 //! * `--out-dir DIR` — directory for `BENCH_<name>.json` files (default `.`)
+//! * `--results-only` — write only the deterministic results document (no
+//!   `meta` section with wall-clock/throughput data); use when regenerating
+//!   the committed `baselines/`, so baseline diffs stay free of
+//!   machine-specific noise
 //! * `--no-json` — skip writing result files
 //! * `--quiet` — suppress the text tables
 //! * `--baseline FILE` — diff the result against a saved JSON document;
@@ -54,15 +62,17 @@ const USAGE: &str = "\
 Usage:
   momlab list [--experiment NAME]...
   momlab run <NAME>... | --all [--experiment NAME]... [--kernel K]... [--app A]...
-             [--isa I]... [--scale N] [--workers N] [--json FILE] [--out-dir DIR]
-             [--no-json] [--quiet] [--baseline FILE] [--tolerance F]
+             [--isa I]... [--scale N] [--workers N] [--streamed] [--json FILE]
+             [--out-dir DIR] [--results-only] [--no-json] [--quiet]
+             [--baseline FILE] [--tolerance F]
   momlab --all
   momlab diff <NEW.json> --baseline <OLD.json> [--tolerance F]
 
 Built-in experiments: table1 table2 table3 isa_inventory figure5
-                      latency_tolerance figure7
+                      latency_tolerance figure7 stress
 
-MOM_BENCH_FAST=1 selects the reduced fast-mode workload subsets.";
+MOM_BENCH_FAST=1 selects the reduced fast-mode workload subsets.
+MOM_LAB_STREAM=1 enables the fused streaming pipeline by default.";
 
 /// Everything `momlab run` / `momlab list` / `momlab diff` accept.
 #[derive(Debug, Default)]
@@ -75,8 +85,10 @@ struct Options {
     apps: Vec<AppKind>,
     scale: usize,
     workers: Option<usize>,
+    streamed: bool,
     json: Option<PathBuf>,
     out_dir: PathBuf,
+    results_only: bool,
     no_json: bool,
     quiet: bool,
     baseline: Option<PathBuf>,
@@ -121,8 +133,10 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                         })?,
                 )
             }
+            "--streamed" => opts.streamed = true,
             "--json" => opts.json = Some(PathBuf::from(value("--json")?)),
             "--out-dir" => opts.out_dir = PathBuf::from(value("--out-dir")?),
+            "--results-only" => opts.results_only = true,
             "--no-json" => opts.no_json = true,
             "--quiet" => opts.quiet = true,
             "--baseline" => opts.baseline = Some(PathBuf::from(value("--baseline")?)),
@@ -240,10 +254,11 @@ fn cmd_run(opts: &Options) -> Result<ExitCode, String> {
         return Err("--baseline applies to a single experiment; use `momlab diff` per file".into());
     }
     let workers = opts.workers.unwrap_or_else(runner::default_workers);
+    let streamed = opts.streamed || mom_lab::stream_mode();
 
     let mut exit = ExitCode::SUCCESS;
     for (i, spec) in specs.iter().enumerate() {
-        let result = runner::run_with(spec, workers);
+        let result = runner::run_with_mode(spec, workers, streamed);
         if !opts.quiet {
             if i > 0 {
                 println!();
@@ -259,13 +274,24 @@ fn cmd_run(opts: &Options) -> Result<ExitCode, String> {
                 std::fs::create_dir_all(dir)
                     .map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
             }
-            std::fs::write(&path, result.document_json().to_pretty())
+            let document = if opts.results_only {
+                result.results_json()
+            } else {
+                result.document_json()
+            };
+            std::fs::write(&path, document.to_pretty())
                 .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+            let throughput = result
+                .total_insts_per_sec()
+                .map(|ips| format!(", {:.1} Minst/s", ips / 1e6))
+                .unwrap_or_default();
             eprintln!(
-                "wrote {} ({} workers, {} ms)",
+                "wrote {} ({} workers, {} ms{}{})",
                 path.display(),
                 result.workers,
-                result.wall_ms
+                result.wall_ms,
+                if result.streamed { ", streamed" } else { "" },
+                throughput,
             );
         }
         if let Some(baseline_path) = &opts.baseline {

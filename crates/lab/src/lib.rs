@@ -42,7 +42,7 @@ pub mod runner;
 pub mod spec;
 pub mod tables;
 
-pub use runner::{run, run_with, CellResult, RunResult};
+pub use runner::{run, run_streamed, run_with, run_with_mode, CellResult, RunResult};
 pub use spec::{ExperimentSpec, GridSpec, Workload, BUILTIN_EXPERIMENTS};
 
 use std::sync::OnceLock;
@@ -66,6 +66,22 @@ pub fn fast_mode() -> bool {
 /// [`report::fast_marker`]).
 pub fn fast_mode_marker() -> &'static str {
     report::fast_marker(fast_mode())
+}
+
+/// Whether the `MOM_LAB_STREAM` environment variable requests the fused
+/// streaming execution mode ([`runner::run_streamed`]) by default.
+///
+/// In streamed mode every grid cell re-interprets its workload and feeds the
+/// timing simulator directly — no materialized traces, per-cell memory
+/// bounded by the simulator's O(ROB) window — producing byte-identical
+/// results to the materialized path. Any non-empty value other than `0`
+/// enables it; the `momlab --streamed` flag does the same per invocation.
+/// Cached in a [`OnceLock`] like [`fast_mode`].
+pub fn stream_mode() -> bool {
+    static STREAM: OnceLock<bool> = OnceLock::new();
+    *STREAM.get_or_init(|| {
+        std::env::var("MOM_LAB_STREAM").map(|v| !v.is_empty() && v != "0").unwrap_or(false)
+    })
 }
 
 #[cfg(test)]

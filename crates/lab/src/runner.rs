@@ -8,6 +8,15 @@
 //! 2. **Timing simulation** — every grid cell simulates its pre-built trace
 //!    on its own core + memory-system instance.
 //!
+//! [`run_streamed`] (and [`run_with_mode`] with `streamed = true`) replaces
+//! both stages with the **fused streaming pipeline**: every cell
+//! re-interprets its workload and graduates instructions straight into the
+//! timing simulator's O(ROB) engine, so no dynamic trace is ever
+//! materialized and per-cell memory is independent of workload scale. The
+//! two modes are byte-identical in their results — the determinism guarantee
+//! below covers the execution mode as well as the worker count — and the
+//! chosen mode is recorded only in the JSON `meta` section.
+//!
 //! Work is distributed by a shared atomic cursor (idle workers steal the next
 //! unclaimed index), and every result is written back to the slot of its cell
 //! index. Since each cell's simulation is a pure function of the spec, the
@@ -25,8 +34,9 @@
 //! worker count) may differ between runs.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
 
-use mom_apps::{build_app, AppParams};
+use mom_apps::{build_app, run_app_streamed, AppParams};
 use mom_cpu::{CoreConfig, OooCore, SimResult};
 use mom_isa::trace::{IsaKind, Trace};
 use mom_kernels::{build_kernel, KernelParams};
@@ -95,6 +105,16 @@ pub struct RunResult {
     pub workers: usize,
     /// Wall-clock duration of the run in milliseconds.
     pub wall_ms: u64,
+    /// Whether the grid ran through the fused streaming pipeline
+    /// (interpreter feeding the simulator directly, rebuilt per cell) rather
+    /// than pre-built materialized traces. Results are byte-identical either
+    /// way; only `meta` records the difference.
+    pub streamed: bool,
+    /// Per-cell wall-clock simulation time in nanoseconds, parallel to the
+    /// grid cells (empty for static experiments). Feeds the `insts_per_sec`
+    /// throughput figures of the JSON `meta` section; like all wall-clock
+    /// data it lives outside the deterministic results.
+    pub cell_wall_ns: Vec<u64>,
     /// The results.
     pub data: RunData,
 }
@@ -105,25 +125,47 @@ pub fn default_workers() -> usize {
     std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(8)
 }
 
-/// Run an experiment with [`default_workers`].
+/// Run an experiment with [`default_workers`] on the materialized-trace path.
 pub fn run(spec: &ExperimentSpec) -> RunResult {
     run_with(spec, default_workers())
 }
 
 /// Run an experiment with an explicit worker count (`1` forces a fully
 /// serial run; results are identical either way — see the
-/// [module docs](self#determinism)).
+/// [module docs](self#determinism)) on the materialized-trace path.
 pub fn run_with(spec: &ExperimentSpec, workers: usize) -> RunResult {
-    let started = std::time::Instant::now();
-    let data = match &spec.kind {
-        ExperimentKind::Static(kind) => RunData::Static(static_rows(*kind)),
-        ExperimentKind::Grid(grid) => RunData::Grid(run_grid(grid, workers.max(1))),
+    run_with_mode(spec, workers, false)
+}
+
+/// Run an experiment through the fused streaming pipeline: each grid cell
+/// re-interprets its workload and feeds the timing simulator directly, so no
+/// trace is ever materialized and peak memory per cell is bounded by the
+/// simulator's O(ROB) window. Results are **byte-identical** to
+/// [`run_with`] — the determinism guarantee extends across execution modes.
+pub fn run_streamed(spec: &ExperimentSpec, workers: usize) -> RunResult {
+    run_with_mode(spec, workers, true)
+}
+
+/// Run an experiment with an explicit worker count and execution mode
+/// (`streamed = false`: build each distinct trace once and replay it per
+/// cell; `streamed = true`: fused interpreter→simulator execution rebuilt
+/// per cell).
+pub fn run_with_mode(spec: &ExperimentSpec, workers: usize, streamed: bool) -> RunResult {
+    let started = Instant::now();
+    let (data, cell_wall_ns) = match &spec.kind {
+        ExperimentKind::Static(kind) => (RunData::Static(static_rows(*kind)), Vec::new()),
+        ExperimentKind::Grid(grid) => {
+            let (cells, timings) = run_grid(grid, workers.max(1), streamed);
+            (RunData::Grid(cells), timings)
+        }
     };
     RunResult {
         spec: spec.clone(),
         config_hash: spec.config_hash(),
         workers: workers.max(1),
         wall_ms: started.elapsed().as_millis() as u64,
+        streamed,
+        cell_wall_ns,
         data,
     }
 }
@@ -156,37 +198,92 @@ fn simulate(trace: &Trace, way: usize, isa: IsaKind, mem: MemModelKind) -> SimRe
     core.simulate(trace, memory.as_mut())
 }
 
-fn run_grid(grid: &GridSpec, workers: usize) -> Vec<CellResult> {
-    let cells = grid.cells();
-
-    // Stage 1: build every distinct (workload, ISA) trace once, in parallel.
-    let mut pairs: Vec<(Workload, IsaKind)> = Vec::new();
-    for cell in &cells {
-        let pair = (cell.workload, grid.configs[cell.config].isa);
-        if !pairs.contains(&pair) {
-            pairs.push(pair);
+/// Fused streaming execution of one cell: re-interpret the workload and feed
+/// the simulator directly (no materialized trace; peak memory is the
+/// simulator's O(ROB) window). Bit-identical to `simulate(&build_trace(..))`.
+fn simulate_streamed(
+    workload: Workload,
+    way: usize,
+    isa: IsaKind,
+    mem: MemModelKind,
+    scale: usize,
+    seed: u64,
+) -> SimResult {
+    let core = OooCore::new(CoreConfig::for_width(way, isa));
+    let mut memory = build_memory(mem, way);
+    match workload {
+        Workload::Kernel(kernel) => {
+            let params = KernelParams { seed, scale };
+            build_kernel(kernel, isa, &params)
+                .run_streamed(&core, memory.as_mut())
+                .unwrap_or_else(|e| panic!("{kernel} ({isa}) failed verification: {e}"))
+        }
+        Workload::App(app) => {
+            let params = AppParams { seed, scale };
+            run_app_streamed(app, isa, &params, &core, memory.as_mut())
+                .unwrap_or_else(|e| panic!("{app} ({isa}) failed to build: {e}"))
+                .0
         }
     }
-    let traces = parallel_map(&pairs, workers, |&(workload, isa)| {
-        build_trace(workload, isa, grid.scale, grid.seed)
-    });
-    let trace_of = |workload: Workload, isa: IsaKind| -> &Trace {
-        let idx = pairs.iter().position(|&p| p == (workload, isa)).expect("trace was built");
-        &traces[idx]
-    };
+}
 
-    // Stage 2: simulate every cell, in parallel.
-    let sims = parallel_map(&cells, workers, |cell| {
-        let config = &grid.configs[cell.config];
-        let trace = trace_of(cell.workload, config.isa);
-        simulate(trace, cell.way, config.isa, config.mem)
-    });
+fn run_grid(grid: &GridSpec, workers: usize, streamed: bool) -> (Vec<CellResult>, Vec<u64>) {
+    let cells = grid.cells();
+
+    // Each cell's simulation is timed individually so the JSON `meta`
+    // section can report simulator throughput (insts_per_sec) per cell. In
+    // streamed mode the measured span is the fused interpret+simulate pass;
+    // in materialized mode it is the trace replay alone.
+    let sims: Vec<(SimResult, u64)> = if streamed {
+        // Streamed: no stage 1 — every cell runs the fused pipeline,
+        // rebuilding its workload on the fly.
+        parallel_map(&cells, workers, |cell| {
+            let config = &grid.configs[cell.config];
+            let started = Instant::now();
+            let sim = simulate_streamed(
+                cell.workload,
+                cell.way,
+                config.isa,
+                config.mem,
+                grid.scale,
+                grid.seed,
+            );
+            (sim, started.elapsed().as_nanos() as u64)
+        })
+    } else {
+        // Stage 1: build every distinct (workload, ISA) trace once, in parallel.
+        let mut pairs: Vec<(Workload, IsaKind)> = Vec::new();
+        for cell in &cells {
+            let pair = (cell.workload, grid.configs[cell.config].isa);
+            if !pairs.contains(&pair) {
+                pairs.push(pair);
+            }
+        }
+        let traces = parallel_map(&pairs, workers, |&(workload, isa)| {
+            build_trace(workload, isa, grid.scale, grid.seed)
+        });
+        let trace_of = |workload: Workload, isa: IsaKind| -> &Trace {
+            let idx = pairs.iter().position(|&p| p == (workload, isa)).expect("trace was built");
+            &traces[idx]
+        };
+
+        // Stage 2: simulate every cell, in parallel.
+        parallel_map(&cells, workers, |cell| {
+            let config = &grid.configs[cell.config];
+            let trace = trace_of(cell.workload, config.isa);
+            let started = Instant::now();
+            let sim = simulate(trace, cell.way, config.isa, config.mem);
+            (sim, started.elapsed().as_nanos() as u64)
+        })
+    };
+    let timings: Vec<u64> = sims.iter().map(|(_, ns)| *ns).collect();
+    let sims: Vec<SimResult> = sims.into_iter().map(|(sim, _)| sim).collect();
 
     // Stage 3 (serial, cheap): derive speed-ups against the baseline cells.
     let index_of = |workload: Workload, config: usize, way: usize| -> Option<usize> {
         cells.iter().position(|c| c.workload == workload && c.config == config && c.way == way)
     };
-    cells
+    let results = cells
         .iter()
         .zip(&sims)
         .map(|(cell, sim)| {
@@ -213,7 +310,8 @@ fn run_grid(grid: &GridSpec, workers: usize) -> Vec<CellResult> {
                 speedup: baseline.map(|b| sim.speedup_over(&sims[b])),
             }
         })
-        .collect()
+        .collect();
+    (results, timings)
 }
 
 /// Map `f` over `items` on `workers` scoped threads with a shared atomic
@@ -308,19 +406,53 @@ impl RunResult {
     }
 
     /// The full on-disk document: [`RunResult::results_json`] plus a `meta`
-    /// section with wall-clock and worker-count information (the only part
-    /// that may differ between two runs of the same spec).
+    /// section with wall-clock, worker-count, execution-mode and throughput
+    /// information (the only part that may differ between two runs of the
+    /// same spec).
     pub fn document_json(&self) -> Value {
         let mut doc = self.results_json();
-        let meta = Value::object(vec![
+        let mut meta_members = vec![
             ("workers", Value::Int(self.workers as i64)),
             ("wall_ms", Value::Int(self.wall_ms as i64)),
+            ("streamed", Value::Bool(self.streamed)),
             ("generated_by", Value::Str(format!("momlab {}", env!("CARGO_PKG_VERSION")))),
-        ]);
+        ];
+        if let Some(cells) = self.cells() {
+            if cells.len() == self.cell_wall_ns.len() {
+                meta_members.push(("throughput", Value::Array(
+                    cells
+                        .iter()
+                        .zip(&self.cell_wall_ns)
+                        .map(|(cell, &ns)| {
+                            Value::object(vec![
+                                ("workload", Value::Str(cell.workload.label().into())),
+                                ("config", Value::Str(cell.config_label.clone())),
+                                ("way", Value::Int(cell.way as i64)),
+                                ("insts_per_sec", Value::Float(insts_per_sec(cell.instructions, ns))),
+                            ])
+                        })
+                        .collect(),
+                )));
+            }
+        }
+        let meta = Value::object(meta_members);
         if let Value::Object(members) = &mut doc {
             members.push(("meta".into(), meta));
         }
         doc
+    }
+
+    /// Aggregate simulator throughput over all grid cells, in dynamic
+    /// instructions per wall-clock second (`None` for static experiments or
+    /// when nothing was timed).
+    pub fn total_insts_per_sec(&self) -> Option<f64> {
+        let cells = self.cells()?;
+        if cells.is_empty() || cells.len() != self.cell_wall_ns.len() {
+            return None;
+        }
+        let insts: u64 = cells.iter().map(|c| c.instructions).sum();
+        let ns: u64 = self.cell_wall_ns.iter().sum();
+        Some(insts_per_sec(insts, ns))
     }
 
     /// The grid cells, if this was a grid experiment.
@@ -330,6 +462,11 @@ impl RunResult {
             RunData::Static(_) => None,
         }
     }
+}
+
+/// Simulated instructions per wall-clock second.
+fn insts_per_sec(instructions: u64, wall_ns: u64) -> f64 {
+    instructions as f64 * 1e9 / wall_ns.max(1) as f64
 }
 
 /// The `mem` field of the JSON schema. Unlike [`MemModelKind::label`], the

@@ -11,10 +11,23 @@ use mom_isa::trace::IsaKind;
 use mom_kernels::KernelKind;
 use mom_mem::MemModelKind;
 
-/// The names of the built-in experiments, in the order the paper presents
-/// them. Each regenerates one table or figure.
-pub const BUILTIN_EXPERIMENTS: [&str; 7] =
-    ["table1", "table2", "table3", "isa_inventory", "figure5", "latency_tolerance", "figure7"];
+/// The names of the built-in experiments: one per table/figure of the paper,
+/// in presentation order, plus the `stress` scale study enabled by the
+/// streaming pipeline.
+pub const BUILTIN_EXPERIMENTS: [&str; 8] = [
+    "table1",
+    "table2",
+    "table3",
+    "isa_inventory",
+    "figure5",
+    "latency_tolerance",
+    "figure7",
+    "stress",
+];
+
+/// Workload-scale multiplier of the [`stress_spec`] experiment relative to
+/// the requested `--scale`.
+pub const STRESS_SCALE_FACTOR: usize = 8;
 
 /// One workload of a simulation grid: a kernel or a whole application.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -269,6 +282,7 @@ impl ExperimentSpec {
                 let widths: &[usize] = if fast { &[4] } else { &[4, 8] };
                 figure7_spec(&app_selection(fast), scale, widths, fast)
             }
+            "stress" => stress_spec(scale, fast),
             _ => return None,
         };
         Some(spec)
@@ -395,6 +409,40 @@ pub fn latency_spec(kernels: &[KernelKind], scale: usize, way: usize, fast: bool
             scale,
             seed: 42,
             baseline: BaselinePolicy::PairedPrevious,
+        }),
+    }
+}
+
+/// The streaming scale study: the heaviest kernel (`rgb2ycc`, whose scalar
+/// trace is the longest of the eight; `compensation` in fast mode) at
+/// [`STRESS_SCALE_FACTOR`]× the requested workload scale across all four
+/// ISAs on the wide machines. At these trace lengths the materialized
+/// two-stage runner has to hold multi-million-instruction `Vec<DynInst>`s
+/// alive across the whole grid — the streamed pipeline
+/// (`momlab run stress --streamed`) executes every cell in O(ROB) memory,
+/// which is what makes the scale axis unbounded. Both modes remain
+/// byte-identical whenever both can run.
+pub fn stress_spec(scale: usize, fast: bool) -> ExperimentSpec {
+    let kernel = if fast { KernelKind::Compensation } else { KernelKind::Rgb2Ycc };
+    let scale = scale.max(1) * STRESS_SCALE_FACTOR;
+    ExperimentSpec {
+        name: "stress".into(),
+        title: format!("Streaming stress: {kernel} speed-ups vs 4-way Alpha (perfect cache, scale {scale})"),
+        fast,
+        kind: ExperimentKind::Grid(GridSpec {
+            workloads: vec![Workload::Kernel(kernel)],
+            configs: IsaKind::ALL
+                .iter()
+                .map(|&isa| MachineConfig {
+                    label: isa.label().to_string(),
+                    isa,
+                    mem: MemModelKind::Perfect { latency: 1 },
+                })
+                .collect(),
+            widths: vec![4, 8],
+            scale,
+            seed: 42,
+            baseline: BaselinePolicy::ConfigAtWidth { config: 0, way: 4 },
         }),
     }
 }

@@ -41,6 +41,25 @@ fn every_builtin_experiment_is_deterministic_across_worker_counts() {
     }
 }
 
+/// The guarantee also spans the execution mode: the fused streaming pipeline
+/// (interpreter feeding the simulator directly, no materialized traces, one
+/// rebuild per cell) serializes byte-identically to the two-stage
+/// materialized runner for every built-in experiment.
+#[test]
+fn streamed_runs_are_byte_identical_to_materialized_runs() {
+    for name in mom_lab::BUILTIN_EXPERIMENTS {
+        let spec = ExperimentSpec::builtin(name, 1, true).expect("built-in spec");
+        let materialized = run_with(&spec, 2);
+        let streamed = mom_lab::runner::run_streamed(&spec, 2);
+        assert!(!materialized.streamed && streamed.streamed);
+        assert_eq!(
+            materialized.results_json().to_pretty(),
+            streamed.results_json().to_pretty(),
+            "{name}: streamed and materialized runs diverged"
+        );
+    }
+}
+
 /// The full document (with `meta`) differs from the results document only by
 /// the `meta` member, and both reparse.
 #[test]
