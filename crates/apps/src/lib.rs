@@ -220,7 +220,10 @@ fn phases(kind: AppKind, scale: usize) -> Vec<Phase> {
 /// [`Trace`] sink it reproduces the concatenated application trace; with the
 /// timing simulator's `SimStream` sink the whole application is interpreted
 /// and simulated in one fused pass whose memory use is independent of the
-/// dynamic instruction count (see [`run_app_streamed`]).
+/// dynamic instruction count (see [`run_app_streamed`]). Every phase —
+/// kernel and scalar alike — interprets through the pre-decoded µop engine
+/// (`Program::decode` in `mom-core`): each phase program is lowered once and
+/// its dynamic instructions execute as flat µops.
 ///
 /// # Errors
 ///

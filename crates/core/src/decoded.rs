@@ -1,0 +1,810 @@
+//! The pre-decoded µop execution engine.
+//!
+//! [`Program::run`] originally re-paid per-*dynamic*-instruction costs that
+//! are pure functions of the *static* instruction: two levels of `Inst` enum
+//! matching, `Vec<ArchReg>` allocations for the source/destination operand
+//! lists, per-instruction [`DynInst`] assembly through the builder methods,
+//! and a label-table lookup per executed branch. At the trace lengths of the
+//! `stress` experiment those costs dominate the fused
+//! interpreter→simulator pipeline.
+//!
+//! [`Program::decode`] lowers the instruction list **once** into a dense
+//! [`DecodedProgram`] of µops. Each µop carries:
+//!
+//! * a flat `ExecOp` — one single-level dispatch per executed instruction,
+//!   with MDMX's `Simd(MmxOp)` wrapper and every other nesting already peeled
+//!   off, branch labels resolved to instruction indices, and the lane /
+//!   saturation / shift / stride operands unpacked into the variant;
+//! * a pre-built [`DynInst`] **skeleton** — class, static pc and the resolved
+//!   source/destination register slots (no `Option` unpacking and no
+//!   heap allocation on the hot path). The streaming loop clones the
+//!   skeleton (a flat copy; the inline [`MemList`] keeps it off the heap)
+//!   and patches only the dynamic fields: vector element count, element
+//!   memory accesses and the branch outcome;
+//! * the memory plan of the operation where one exists — a scalar
+//!   base+offset access or a MOM base+stride row plan, sized so vector
+//!   access lists are built in one exact allocation.
+//!
+//! [`Program::stream`], [`Program::run`] and every path layered on them
+//! (kernel and application execution in `mom-kernels`/`mom-apps`, the fused
+//! `SimStream` cells in `mom-lab`) route through this engine; the original
+//! walk-the-`Inst`-list interpreter survives as
+//! [`Program::stream_with_fuel_legacy`] so differential tests and the
+//! `dispatch` criterion bench can pin the two engines against each other.
+//! The decoded engine is **byte-identical** to the legacy interpreter: same
+//! architectural side effects, same emitted [`DynInst`] sequence, same fuel
+//! accounting (`tests/proptest_decoded.rs` enforces this for arbitrary
+//! programs across all four ISAs).
+
+use crate::inst::Inst;
+use crate::matrix::{MomAccReg, MomReg};
+use crate::ops::MomOp;
+use crate::program::{ExecError, Program, DEFAULT_FUEL};
+use crate::state::Machine;
+use mom_isa::mdmx::{AccOp, MdmxOp};
+use mom_isa::mmx::{MmxOp, PackedBinOp, ShiftKind};
+use mom_isa::packed::{Lane, PackedWord, Saturation};
+use mom_isa::regs::{AccReg, IntReg, MediaReg};
+use mom_isa::scalar::{AluOp, Cond, ScalarOp};
+use mom_isa::trace::{
+    BranchInfo, DynInst, IsaKind, MemAccess, MemKind, MemList, Trace, TraceSink,
+};
+
+/// A program lowered into directly executable µops (see the
+/// [module docs](self)).
+///
+/// Obtained from [`Program::decode`]; executing it is byte-identical to the
+/// legacy interpreter, only faster. Decoding is cheap (linear in the static
+/// instruction count, which is tiny next to any dynamic trace), so
+/// [`Program::stream`] simply decodes on entry; callers that execute the same
+/// program many times can decode once and reuse the result.
+#[derive(Debug, Clone)]
+pub struct DecodedProgram {
+    ops: Vec<MicroOp>,
+    isa: IsaKind,
+}
+
+/// One decoded µop: the flat executable form plus the pre-built trace
+/// skeleton.
+#[derive(Debug, Clone)]
+struct MicroOp {
+    exec: ExecOp,
+    /// Pre-assembled [`DynInst`]: class, pc, sources and destinations are
+    /// final; `elems`, `mem` and `branch` are patched per execution.
+    skeleton: DynInst,
+    /// Whether `elems` must be patched with the live vector length.
+    is_vector: bool,
+}
+
+/// Where control flow goes after executing a µop.
+#[derive(Debug, Clone, Copy)]
+enum Flow {
+    /// Fall through to the next µop.
+    Next,
+    /// Continue at the given instruction index (branch targets are resolved
+    /// at decode time — no label table on the hot path).
+    Jump(u32),
+    /// Stop the program.
+    Halt,
+}
+
+/// The flat, fully resolved execution form of one instruction.
+///
+/// Exactly one `match` stands between the fetch of a µop and its
+/// architectural side effects — no nested dialect enums, no `Option`
+/// operands, no label lookups.
+#[derive(Debug, Clone)]
+enum ExecOp {
+    // ---- scalar baseline ----
+    Li { rd: IntReg, imm: i64 },
+    Mov { rd: IntReg, rs: IntReg },
+    Alu { op: AluOp, rd: IntReg, ra: IntReg, rb: IntReg },
+    AluI { op: AluOp, rd: IntReg, ra: IntReg, imm: i64 },
+    CmpSet { cond: Cond, rd: IntReg, ra: IntReg, rb: IntReg },
+    CMov { rd: IntReg, rc: IntReg, rs: IntReg },
+    Abs { rd: IntReg, ra: IntReg },
+    Ld { rd: IntReg, base: IntReg, offset: i64, size: u8, signed: bool },
+    St { rs: IntReg, base: IntReg, offset: i64, size: u8 },
+    Br { cond: Cond, ra: IntReg, rb: IntReg, target: u32 },
+    Jmp { target: u32 },
+    Nop,
+    Halt,
+    // ---- MMX-like media (also MDMX's SIMD subset, unwrapped at decode) ----
+    MediaLd { md: MediaReg, base: IntReg, offset: i64 },
+    MediaSt { ms: MediaReg, base: IntReg, offset: i64 },
+    Splat { md: MediaReg, rs: IntReg, lane: Lane },
+    FromInt { md: MediaReg, rs: IntReg },
+    ToInt { rd: IntReg, ms: MediaReg, lane: Lane, idx: u8 },
+    MediaPacked { op: PackedBinOp, md: MediaReg, ma: MediaReg, mb: MediaReg, lane: Lane, sat: Saturation },
+    MediaShift { kind: ShiftKind, md: MediaReg, ms: MediaReg, lane: Lane, amount: u8 },
+    MediaSelect { md: MediaReg, mask: MediaReg, ma: MediaReg, mb: MediaReg, lane: Lane },
+    MediaPack { md: MediaReg, ma: MediaReg, mb: MediaReg, from: Lane, to_signed: bool },
+    MediaUnpackLo { md: MediaReg, ma: MediaReg, mb: MediaReg, lane: Lane },
+    MediaUnpackHi { md: MediaReg, ma: MediaReg, mb: MediaReg, lane: Lane },
+    MediaWidenLo { md: MediaReg, ms: MediaReg, lane: Lane },
+    MediaWidenHi { md: MediaReg, ms: MediaReg, lane: Lane },
+    MediaSad { md: MediaReg, ma: MediaReg, mb: MediaReg, lane: Lane },
+    MediaReduceSum { rd: IntReg, ms: MediaReg, lane: Lane },
+    // ---- MDMX accumulator forms ----
+    AccClear { acc: AccReg },
+    Acc { op: AccOp, acc: AccReg, ma: MediaReg, mb: MediaReg, lane: Lane },
+    ReadAcc { md: MediaReg, acc: AccReg, lane: Lane, shift: u8, sat: Saturation },
+    ReduceAcc { rd: IntReg, acc: AccReg },
+    // ---- MOM matrix extension ----
+    SetVl { rs: IntReg },
+    SetVlI { vl: u8 },
+    MomLd { vd: MomReg, base: IntReg, stride: IntReg },
+    MomSt { vs: MomReg, base: IntReg, stride: IntReg },
+    MomPacked { op: PackedBinOp, vd: MomReg, va: MomReg, vb: MomReg, lane: Lane, sat: Saturation },
+    MomPackedMedia { op: PackedBinOp, vd: MomReg, va: MomReg, mb: MediaReg, lane: Lane, sat: Saturation },
+    MomShift { kind: ShiftKind, vd: MomReg, va: MomReg, lane: Lane, amount: u8 },
+    MomSelect { vd: MomReg, mask: MomReg, va: MomReg, vb: MomReg, lane: Lane },
+    MomPack { vd: MomReg, va: MomReg, vb: MomReg, from: Lane, to_signed: bool },
+    MomUnpackLo { vd: MomReg, va: MomReg, vb: MomReg, lane: Lane },
+    MomUnpackHi { vd: MomReg, va: MomReg, vb: MomReg, lane: Lane },
+    MomWidenLo { vd: MomReg, va: MomReg, lane: Lane },
+    MomWidenHi { vd: MomReg, va: MomReg, lane: Lane },
+    MomTranspose { vd: MomReg, va: MomReg, lane: Lane },
+    MomTransposePair { vd_lo: MomReg, vd_hi: MomReg, va_lo: MomReg, va_hi: MomReg },
+    MomAccClear { acc: MomAccReg },
+    MomAcc { op: AccOp, acc: MomAccReg, va: MomReg, vb: MomReg, lane: Lane },
+    MomAccMedia { op: AccOp, acc: MomAccReg, va: MomReg, mb: MediaReg, lane: Lane },
+    MomReadAcc { md: MediaReg, acc: MomAccReg, lane: Lane, shift: u8, sat: Saturation },
+    MomReduceAcc { rd: IntReg, acc: MomAccReg },
+    RowToMedia { md: MediaReg, vs: MomReg, row: u8 },
+    MediaToRow { vd: MomReg, row: u8, ms: MediaReg },
+}
+
+/// Lower one static instruction to its flat execution form, resolving branch
+/// labels against `program`.
+fn lower(inst: &Inst, program: &Program) -> ExecOp {
+    match inst {
+        Inst::Scalar(op) => lower_scalar(op, program),
+        Inst::Mmx(op) => lower_mmx(op),
+        Inst::Mdmx(MdmxOp::Simd(op)) => lower_mmx(op),
+        Inst::Mdmx(MdmxOp::AccClear { acc }) => ExecOp::AccClear { acc: *acc },
+        Inst::Mdmx(MdmxOp::Acc { op, acc, ma, mb, lane }) => {
+            ExecOp::Acc { op: *op, acc: *acc, ma: *ma, mb: *mb, lane: *lane }
+        }
+        Inst::Mdmx(MdmxOp::ReadAcc { md, acc, lane, shift, sat }) => {
+            ExecOp::ReadAcc { md: *md, acc: *acc, lane: *lane, shift: *shift, sat: *sat }
+        }
+        Inst::Mdmx(MdmxOp::ReduceAcc { rd, acc }) => ExecOp::ReduceAcc { rd: *rd, acc: *acc },
+        Inst::Mom(op) => lower_mom(op),
+    }
+}
+
+fn lower_scalar(op: &ScalarOp, program: &Program) -> ExecOp {
+    match op {
+        ScalarOp::Li { rd, imm } => ExecOp::Li { rd: *rd, imm: *imm },
+        ScalarOp::Mov { rd, rs } => ExecOp::Mov { rd: *rd, rs: *rs },
+        ScalarOp::Alu { op, rd, ra, rb } => ExecOp::Alu { op: *op, rd: *rd, ra: *ra, rb: *rb },
+        ScalarOp::AluI { op, rd, ra, imm } => ExecOp::AluI { op: *op, rd: *rd, ra: *ra, imm: *imm },
+        ScalarOp::CmpSet { cond, rd, ra, rb } => {
+            ExecOp::CmpSet { cond: *cond, rd: *rd, ra: *ra, rb: *rb }
+        }
+        ScalarOp::CMov { rd, rc, rs } => ExecOp::CMov { rd: *rd, rc: *rc, rs: *rs },
+        ScalarOp::Abs { rd, ra } => ExecOp::Abs { rd: *rd, ra: *ra },
+        ScalarOp::Ld { rd, base, offset, size, signed } => {
+            ExecOp::Ld { rd: *rd, base: *base, offset: *offset, size: *size, signed: *signed }
+        }
+        ScalarOp::St { rs, base, offset, size } => {
+            ExecOp::St { rs: *rs, base: *base, offset: *offset, size: *size }
+        }
+        ScalarOp::Br { cond, ra, rb, target } => ExecOp::Br {
+            cond: *cond,
+            ra: *ra,
+            rb: *rb,
+            target: program.target(*target) as u32,
+        },
+        ScalarOp::Jmp { target } => ExecOp::Jmp { target: program.target(*target) as u32 },
+        ScalarOp::Nop => ExecOp::Nop,
+        ScalarOp::Halt => ExecOp::Halt,
+    }
+}
+
+fn lower_mmx(op: &MmxOp) -> ExecOp {
+    match op {
+        MmxOp::Ld { md, base, offset } => ExecOp::MediaLd { md: *md, base: *base, offset: *offset },
+        MmxOp::St { ms, base, offset } => ExecOp::MediaSt { ms: *ms, base: *base, offset: *offset },
+        MmxOp::Splat { md, rs, lane } => ExecOp::Splat { md: *md, rs: *rs, lane: *lane },
+        MmxOp::FromInt { md, rs } => ExecOp::FromInt { md: *md, rs: *rs },
+        MmxOp::ToInt { rd, ms, lane, idx } => {
+            ExecOp::ToInt { rd: *rd, ms: *ms, lane: *lane, idx: *idx }
+        }
+        MmxOp::Packed { op, md, ma, mb, lane, sat } => {
+            ExecOp::MediaPacked { op: *op, md: *md, ma: *ma, mb: *mb, lane: *lane, sat: *sat }
+        }
+        MmxOp::Shift { kind, md, ms, lane, amount } => {
+            ExecOp::MediaShift { kind: *kind, md: *md, ms: *ms, lane: *lane, amount: *amount }
+        }
+        MmxOp::Select { md, mask, ma, mb, lane } => {
+            ExecOp::MediaSelect { md: *md, mask: *mask, ma: *ma, mb: *mb, lane: *lane }
+        }
+        MmxOp::Pack { md, ma, mb, from, to_signed } => {
+            ExecOp::MediaPack { md: *md, ma: *ma, mb: *mb, from: *from, to_signed: *to_signed }
+        }
+        MmxOp::UnpackLo { md, ma, mb, lane } => {
+            ExecOp::MediaUnpackLo { md: *md, ma: *ma, mb: *mb, lane: *lane }
+        }
+        MmxOp::UnpackHi { md, ma, mb, lane } => {
+            ExecOp::MediaUnpackHi { md: *md, ma: *ma, mb: *mb, lane: *lane }
+        }
+        MmxOp::WidenLo { md, ms, lane } => ExecOp::MediaWidenLo { md: *md, ms: *ms, lane: *lane },
+        MmxOp::WidenHi { md, ms, lane } => ExecOp::MediaWidenHi { md: *md, ms: *ms, lane: *lane },
+        MmxOp::Sad { md, ma, mb, lane } => {
+            ExecOp::MediaSad { md: *md, ma: *ma, mb: *mb, lane: *lane }
+        }
+        MmxOp::ReduceSum { rd, ms, lane } => {
+            ExecOp::MediaReduceSum { rd: *rd, ms: *ms, lane: *lane }
+        }
+    }
+}
+
+fn lower_mom(op: &MomOp) -> ExecOp {
+    match op {
+        MomOp::SetVl { rs } => ExecOp::SetVl { rs: *rs },
+        MomOp::SetVlI { vl } => ExecOp::SetVlI { vl: *vl },
+        MomOp::Ld { vd, base, stride } => ExecOp::MomLd { vd: *vd, base: *base, stride: *stride },
+        MomOp::St { vs, base, stride } => ExecOp::MomSt { vs: *vs, base: *base, stride: *stride },
+        MomOp::Packed { op, vd, va, vb, lane, sat } => {
+            ExecOp::MomPacked { op: *op, vd: *vd, va: *va, vb: *vb, lane: *lane, sat: *sat }
+        }
+        MomOp::PackedMedia { op, vd, va, mb, lane, sat } => {
+            ExecOp::MomPackedMedia { op: *op, vd: *vd, va: *va, mb: *mb, lane: *lane, sat: *sat }
+        }
+        MomOp::Shift { kind, vd, va, lane, amount } => {
+            ExecOp::MomShift { kind: *kind, vd: *vd, va: *va, lane: *lane, amount: *amount }
+        }
+        MomOp::Select { vd, mask, va, vb, lane } => {
+            ExecOp::MomSelect { vd: *vd, mask: *mask, va: *va, vb: *vb, lane: *lane }
+        }
+        MomOp::Pack { vd, va, vb, from, to_signed } => {
+            ExecOp::MomPack { vd: *vd, va: *va, vb: *vb, from: *from, to_signed: *to_signed }
+        }
+        MomOp::UnpackLo { vd, va, vb, lane } => {
+            ExecOp::MomUnpackLo { vd: *vd, va: *va, vb: *vb, lane: *lane }
+        }
+        MomOp::UnpackHi { vd, va, vb, lane } => {
+            ExecOp::MomUnpackHi { vd: *vd, va: *va, vb: *vb, lane: *lane }
+        }
+        MomOp::WidenLo { vd, va, lane } => ExecOp::MomWidenLo { vd: *vd, va: *va, lane: *lane },
+        MomOp::WidenHi { vd, va, lane } => ExecOp::MomWidenHi { vd: *vd, va: *va, lane: *lane },
+        MomOp::Transpose { vd, va, lane } => ExecOp::MomTranspose { vd: *vd, va: *va, lane: *lane },
+        MomOp::TransposePair { vd_lo, vd_hi, va_lo, va_hi } => ExecOp::MomTransposePair {
+            vd_lo: *vd_lo,
+            vd_hi: *vd_hi,
+            va_lo: *va_lo,
+            va_hi: *va_hi,
+        },
+        MomOp::AccClear { acc } => ExecOp::MomAccClear { acc: *acc },
+        MomOp::Acc { op, acc, va, vb, lane } => {
+            ExecOp::MomAcc { op: *op, acc: *acc, va: *va, vb: *vb, lane: *lane }
+        }
+        MomOp::AccMedia { op, acc, va, mb, lane } => {
+            ExecOp::MomAccMedia { op: *op, acc: *acc, va: *va, mb: *mb, lane: *lane }
+        }
+        MomOp::ReadAcc { md, acc, lane, shift, sat } => {
+            ExecOp::MomReadAcc { md: *md, acc: *acc, lane: *lane, shift: *shift, sat: *sat }
+        }
+        MomOp::ReduceAcc { rd, acc } => ExecOp::MomReduceAcc { rd: *rd, acc: *acc },
+        MomOp::RowToMedia { md, vs, row } => ExecOp::RowToMedia { md: *md, vs: *vs, row: *row },
+        MomOp::MediaToRow { vd, row, ms } => ExecOp::MediaToRow { vd: *vd, row: *row, ms: *ms },
+    }
+}
+
+impl ExecOp {
+    /// Execute the µop, patching the dynamic fields of `inst` (element memory
+    /// accesses and branch outcome) in place.
+    #[inline]
+    fn execute(&self, st: &mut Machine, inst: &mut DynInst) -> Flow {
+        match self {
+            // ---- scalar baseline ----
+            ExecOp::Li { rd, imm } => {
+                st.core.int.write(*rd, *imm);
+                Flow::Next
+            }
+            ExecOp::Mov { rd, rs } => {
+                let v = st.core.int.read(*rs);
+                st.core.int.write(*rd, v);
+                Flow::Next
+            }
+            ExecOp::Alu { op, rd, ra, rb } => {
+                let v = op.apply(st.core.int.read(*ra), st.core.int.read(*rb));
+                st.core.int.write(*rd, v);
+                Flow::Next
+            }
+            ExecOp::AluI { op, rd, ra, imm } => {
+                let v = op.apply(st.core.int.read(*ra), *imm);
+                st.core.int.write(*rd, v);
+                Flow::Next
+            }
+            ExecOp::CmpSet { cond, rd, ra, rb } => {
+                let v = cond.eval(st.core.int.read(*ra), st.core.int.read(*rb));
+                st.core.int.write(*rd, v as i64);
+                Flow::Next
+            }
+            ExecOp::CMov { rd, rc, rs } => {
+                if st.core.int.read(*rc) != 0 {
+                    let v = st.core.int.read(*rs);
+                    st.core.int.write(*rd, v);
+                }
+                Flow::Next
+            }
+            ExecOp::Abs { rd, ra } => {
+                let v = st.core.int.read(*ra).wrapping_abs();
+                st.core.int.write(*rd, v);
+                Flow::Next
+            }
+            ExecOp::Ld { rd, base, offset, size, signed } => {
+                let addr = (st.core.int.read(*base) + offset) as u64;
+                let v = if *signed {
+                    st.core.mem.read_signed(addr, *size as usize)
+                } else {
+                    st.core.mem.read_unsigned(addr, *size as usize) as i64
+                };
+                st.core.int.write(*rd, v);
+                inst.mem = MemList::one(MemAccess { addr, size: *size, kind: MemKind::Load });
+                Flow::Next
+            }
+            ExecOp::St { rs, base, offset, size } => {
+                let addr = (st.core.int.read(*base) + offset) as u64;
+                st.core.mem.write_value(addr, *size as usize, st.core.int.read(*rs) as u64);
+                inst.mem = MemList::one(MemAccess { addr, size: *size, kind: MemKind::Store });
+                Flow::Next
+            }
+            ExecOp::Br { cond, ra, rb, target } => {
+                let taken = cond.eval(st.core.int.read(*ra), st.core.int.read(*rb));
+                inst.branch = Some(BranchInfo {
+                    taken,
+                    conditional: true,
+                    pc: inst.pc,
+                    target: *target as u64,
+                });
+                if taken {
+                    Flow::Jump(*target)
+                } else {
+                    Flow::Next
+                }
+            }
+            ExecOp::Jmp { target } => {
+                inst.branch = Some(BranchInfo {
+                    taken: true,
+                    conditional: false,
+                    pc: inst.pc,
+                    target: *target as u64,
+                });
+                Flow::Jump(*target)
+            }
+            ExecOp::Nop => Flow::Next,
+            ExecOp::Halt => Flow::Halt,
+            // ---- MMX-like media ----
+            ExecOp::MediaLd { md, base, offset } => {
+                let addr = (st.core.int.read(*base) + offset) as u64;
+                st.core.media.write(*md, PackedWord::new(st.core.mem.read_u64(addr)));
+                inst.mem = MemList::one(MemAccess { addr, size: 8, kind: MemKind::Load });
+                Flow::Next
+            }
+            ExecOp::MediaSt { ms, base, offset } => {
+                let addr = (st.core.int.read(*base) + offset) as u64;
+                st.core.mem.write_u64(addr, st.core.media.read(*ms).bits());
+                inst.mem = MemList::one(MemAccess { addr, size: 8, kind: MemKind::Store });
+                Flow::Next
+            }
+            ExecOp::Splat { md, rs, lane } => {
+                let v = PackedWord::splat(*lane, st.core.int.read(*rs));
+                st.core.media.write(*md, v);
+                Flow::Next
+            }
+            ExecOp::FromInt { md, rs } => {
+                st.core.media.write(*md, PackedWord::new(st.core.int.read(*rs) as u64));
+                Flow::Next
+            }
+            ExecOp::ToInt { rd, ms, lane, idx } => {
+                let v = st.core.media.read(*ms).lane(*lane, *idx as usize);
+                st.core.int.write(*rd, v);
+                Flow::Next
+            }
+            ExecOp::MediaPacked { op, md, ma, mb, lane, sat } => {
+                let v = op.apply(st.core.media.read(*ma), st.core.media.read(*mb), *lane, *sat);
+                st.core.media.write(*md, v);
+                Flow::Next
+            }
+            ExecOp::MediaShift { kind, md, ms, lane, amount } => {
+                let a = st.core.media.read(*ms);
+                let v = match kind {
+                    ShiftKind::LeftLogical => a.shl(*lane, *amount as u32),
+                    ShiftKind::RightLogical => a.shr_logical(*lane, *amount as u32),
+                    ShiftKind::RightArith => a.shr_arith(*lane, *amount as u32),
+                };
+                st.core.media.write(*md, v);
+                Flow::Next
+            }
+            ExecOp::MediaSelect { md, mask, ma, mb, lane } => {
+                let v = PackedWord::select(
+                    st.core.media.read(*mask),
+                    st.core.media.read(*ma),
+                    st.core.media.read(*mb),
+                    *lane,
+                );
+                st.core.media.write(*md, v);
+                Flow::Next
+            }
+            ExecOp::MediaPack { md, ma, mb, from, to_signed } => {
+                let v = st.core.media.read(*ma).pack(st.core.media.read(*mb), *from, *to_signed);
+                st.core.media.write(*md, v);
+                Flow::Next
+            }
+            ExecOp::MediaUnpackLo { md, ma, mb, lane } => {
+                let v = st.core.media.read(*ma).unpack_lo(st.core.media.read(*mb), *lane);
+                st.core.media.write(*md, v);
+                Flow::Next
+            }
+            ExecOp::MediaUnpackHi { md, ma, mb, lane } => {
+                let v = st.core.media.read(*ma).unpack_hi(st.core.media.read(*mb), *lane);
+                st.core.media.write(*md, v);
+                Flow::Next
+            }
+            ExecOp::MediaWidenLo { md, ms, lane } => {
+                let v = st.core.media.read(*ms).widen_lo(*lane);
+                st.core.media.write(*md, v);
+                Flow::Next
+            }
+            ExecOp::MediaWidenHi { md, ms, lane } => {
+                let v = st.core.media.read(*ms).widen_hi(*lane);
+                st.core.media.write(*md, v);
+                Flow::Next
+            }
+            ExecOp::MediaSad { md, ma, mb, lane } => {
+                let s = st.core.media.read(*ma).sad(st.core.media.read(*mb), *lane);
+                st.core.media.write(*md, PackedWord::ZERO.with_lane(Lane::I32, 0, s));
+                Flow::Next
+            }
+            ExecOp::MediaReduceSum { rd, ms, lane } => {
+                let s = st.core.media.read(*ms).reduce_sum(*lane);
+                st.core.int.write(*rd, s);
+                Flow::Next
+            }
+            // ---- MDMX accumulator forms ----
+            ExecOp::AccClear { acc } => {
+                st.core.accs[acc.index()].clear();
+                Flow::Next
+            }
+            ExecOp::Acc { op, acc, ma, mb, lane } => {
+                let a = st.core.media.read(*ma);
+                let b = st.core.media.read(*mb);
+                op.apply(&mut st.core.accs[acc.index()], a, b, *lane);
+                Flow::Next
+            }
+            ExecOp::ReadAcc { md, acc, lane, shift, sat } => {
+                let v = st.core.accs[acc.index()].read_packed(*lane, *shift as u32, *sat);
+                st.core.media.write(*md, v);
+                Flow::Next
+            }
+            ExecOp::ReduceAcc { rd, acc } => {
+                let v = st.core.accs[acc.index()].reduce_sum();
+                st.core.int.write(*rd, v);
+                Flow::Next
+            }
+            // ---- MOM matrix extension ----
+            ExecOp::SetVl { rs } => {
+                let v = st.core.int.read(*rs).max(0) as usize;
+                st.mom.set_vl(v);
+                Flow::Next
+            }
+            ExecOp::SetVlI { vl } => {
+                st.mom.set_vl(*vl as usize);
+                Flow::Next
+            }
+            ExecOp::MomLd { vd, base, stride } => {
+                let vl = st.mom.vl();
+                let base_addr = st.core.int.read(*base) as u64;
+                let stride = st.core.int.read(*stride);
+                let value = st.mom.matrix.get_mut(*vd);
+                let mut accesses = MemList::with_capacity(vl);
+                for k in 0..vl {
+                    let addr = (base_addr as i64 + k as i64 * stride) as u64;
+                    value.set_row(k, PackedWord::new(st.core.mem.read_u64(addr)));
+                    accesses.push(MemAccess { addr, size: 8, kind: MemKind::Load });
+                }
+                inst.mem = accesses;
+                Flow::Next
+            }
+            ExecOp::MomSt { vs, base, stride } => {
+                let vl = st.mom.vl();
+                let base_addr = st.core.int.read(*base) as u64;
+                let stride = st.core.int.read(*stride);
+                let value = st.mom.matrix.get(*vs);
+                let mut accesses = MemList::with_capacity(vl);
+                for k in 0..vl {
+                    let addr = (base_addr as i64 + k as i64 * stride) as u64;
+                    st.core.mem.write_u64(addr, value.row(k).bits());
+                    accesses.push(MemAccess { addr, size: 8, kind: MemKind::Store });
+                }
+                inst.mem = accesses;
+                Flow::Next
+            }
+            ExecOp::MomPacked { op, vd, va, vb, lane, sat } => {
+                let vl = st.mom.vl();
+                let a = st.mom.matrix.read(*va);
+                let b = st.mom.matrix.read(*vb);
+                let out = st.mom.matrix.get_mut(*vd);
+                for r in 0..vl {
+                    out.set_row(r, op.apply(a.row(r), b.row(r), *lane, *sat));
+                }
+                Flow::Next
+            }
+            ExecOp::MomPackedMedia { op, vd, va, mb, lane, sat } => {
+                let vl = st.mom.vl();
+                let a = st.mom.matrix.read(*va);
+                let b = st.core.media.read(*mb);
+                let out = st.mom.matrix.get_mut(*vd);
+                for r in 0..vl {
+                    out.set_row(r, op.apply(a.row(r), b, *lane, *sat));
+                }
+                Flow::Next
+            }
+            ExecOp::MomShift { kind, vd, va, lane, amount } => {
+                let vl = st.mom.vl();
+                let a = st.mom.matrix.read(*va);
+                let out = st.mom.matrix.get_mut(*vd);
+                *out = a;
+                for r in 0..vl {
+                    let w = a.row(r);
+                    out.set_row(
+                        r,
+                        match kind {
+                            ShiftKind::LeftLogical => w.shl(*lane, *amount as u32),
+                            ShiftKind::RightLogical => w.shr_logical(*lane, *amount as u32),
+                            ShiftKind::RightArith => w.shr_arith(*lane, *amount as u32),
+                        },
+                    );
+                }
+                Flow::Next
+            }
+            ExecOp::MomSelect { vd, mask, va, vb, lane } => {
+                let vl = st.mom.vl();
+                let mk = st.mom.matrix.read(*mask);
+                let a = st.mom.matrix.read(*va);
+                let b = st.mom.matrix.read(*vb);
+                let out = st.mom.matrix.get_mut(*vd);
+                for r in 0..vl {
+                    out.set_row(r, PackedWord::select(mk.row(r), a.row(r), b.row(r), *lane));
+                }
+                Flow::Next
+            }
+            ExecOp::MomPack { vd, va, vb, from, to_signed } => {
+                let vl = st.mom.vl();
+                let a = st.mom.matrix.read(*va);
+                let b = st.mom.matrix.read(*vb);
+                let out = st.mom.matrix.get_mut(*vd);
+                for r in 0..vl {
+                    out.set_row(r, a.row(r).pack(b.row(r), *from, *to_signed));
+                }
+                Flow::Next
+            }
+            ExecOp::MomUnpackLo { vd, va, vb, lane } => {
+                let vl = st.mom.vl();
+                let a = st.mom.matrix.read(*va);
+                let b = st.mom.matrix.read(*vb);
+                let out = st.mom.matrix.get_mut(*vd);
+                *out = a;
+                for r in 0..vl {
+                    out.set_row(r, a.row(r).unpack_lo(b.row(r), *lane));
+                }
+                Flow::Next
+            }
+            ExecOp::MomUnpackHi { vd, va, vb, lane } => {
+                let vl = st.mom.vl();
+                let a = st.mom.matrix.read(*va);
+                let b = st.mom.matrix.read(*vb);
+                let out = st.mom.matrix.get_mut(*vd);
+                *out = a;
+                for r in 0..vl {
+                    out.set_row(r, a.row(r).unpack_hi(b.row(r), *lane));
+                }
+                Flow::Next
+            }
+            ExecOp::MomWidenLo { vd, va, lane } => {
+                let vl = st.mom.vl();
+                let a = st.mom.matrix.read(*va);
+                let out = st.mom.matrix.get_mut(*vd);
+                *out = a;
+                for r in 0..vl {
+                    out.set_row(r, a.row(r).widen_lo(*lane));
+                }
+                Flow::Next
+            }
+            ExecOp::MomWidenHi { vd, va, lane } => {
+                let vl = st.mom.vl();
+                let a = st.mom.matrix.read(*va);
+                let out = st.mom.matrix.get_mut(*vd);
+                *out = a;
+                for r in 0..vl {
+                    out.set_row(r, a.row(r).widen_hi(*lane));
+                }
+                Flow::Next
+            }
+            ExecOp::MomTranspose { vd, va, lane } => {
+                let a = st.mom.matrix.read(*va);
+                st.mom.matrix.write(*vd, a.transpose(*lane));
+                Flow::Next
+            }
+            ExecOp::MomTransposePair { vd_lo, vd_hi, va_lo, va_hi } => {
+                let lo = st.mom.matrix.read(*va_lo);
+                let hi = st.mom.matrix.read(*va_hi);
+                let elem = |r: usize, c: usize| {
+                    if c < 4 {
+                        lo.element(Lane::I16, r, c)
+                    } else {
+                        hi.element(Lane::I16, r, c - 4)
+                    }
+                };
+                let mut out_lo = st.mom.matrix.read(*vd_lo);
+                let mut out_hi = st.mom.matrix.read(*vd_hi);
+                for r in 0..8 {
+                    for c in 0..8 {
+                        let value = elem(c, r);
+                        if c < 4 {
+                            out_lo.set_element(Lane::I16, r, c, value);
+                        } else {
+                            out_hi.set_element(Lane::I16, r, c - 4, value);
+                        }
+                    }
+                }
+                st.mom.matrix.write(*vd_lo, out_lo);
+                st.mom.matrix.write(*vd_hi, out_hi);
+                Flow::Next
+            }
+            ExecOp::MomAccClear { acc } => {
+                st.mom.accs[acc.index()].clear();
+                Flow::Next
+            }
+            ExecOp::MomAcc { op, acc, va, vb, lane } => {
+                let vl = st.mom.vl();
+                let a = st.mom.matrix.read(*va);
+                let b = st.mom.matrix.read(*vb);
+                let accu = &mut st.mom.accs[acc.index()];
+                for r in 0..vl {
+                    op.apply(accu, a.row(r), b.row(r), *lane);
+                }
+                Flow::Next
+            }
+            ExecOp::MomAccMedia { op, acc, va, mb, lane } => {
+                let vl = st.mom.vl();
+                let a = st.mom.matrix.read(*va);
+                let b = st.core.media.read(*mb);
+                let accu = &mut st.mom.accs[acc.index()];
+                for r in 0..vl {
+                    op.apply(accu, a.row(r), b, *lane);
+                }
+                Flow::Next
+            }
+            ExecOp::MomReadAcc { md, acc, lane, shift, sat } => {
+                let v = st.mom.accs[acc.index()].read_packed(*lane, *shift as u32, *sat);
+                st.core.media.write(*md, v);
+                Flow::Next
+            }
+            ExecOp::MomReduceAcc { rd, acc } => {
+                let v = st.mom.accs[acc.index()].reduce_sum();
+                st.core.int.write(*rd, v);
+                Flow::Next
+            }
+            ExecOp::RowToMedia { md, vs, row } => {
+                let v = st.mom.matrix.get(*vs).row(*row as usize);
+                st.core.media.write(*md, v);
+                Flow::Next
+            }
+            ExecOp::MediaToRow { vd, row, ms } => {
+                let w = st.core.media.read(*ms);
+                st.mom.matrix.get_mut(*vd).set_row(*row as usize, w);
+                Flow::Next
+            }
+        }
+    }
+}
+
+impl DecodedProgram {
+    /// Lower `program` into µops (the implementation of [`Program::decode`]).
+    pub(crate) fn new(program: &Program) -> Self {
+        let ops = program
+            .insts()
+            .iter()
+            .enumerate()
+            .map(|(pc, inst)| {
+                let mut skeleton = DynInst::new(inst.class(), pc as u64);
+                for s in inst.srcs() {
+                    skeleton = skeleton.with_src(s);
+                }
+                for d in inst.dsts() {
+                    skeleton = skeleton.with_dst(d);
+                }
+                MicroOp { exec: lower(inst, program), skeleton, is_vector: inst.is_vector() }
+            })
+            .collect();
+        Self { ops, isa: program.isa() }
+    }
+
+    /// Number of µops (equal to the static instruction count of the source
+    /// program).
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the program has no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// The ISA dialect the program was built for.
+    pub fn isa(&self) -> IsaKind {
+        self.isa
+    }
+
+    /// Execute with the default budget, collecting the trace — the decoded
+    /// equivalent of [`Program::run`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError::FuelExhausted`] if more than
+    /// [`DEFAULT_FUEL`] dynamic instructions execute.
+    pub fn run(&self, machine: &mut Machine) -> Result<Trace, ExecError> {
+        let mut trace = Trace::new(self.isa);
+        self.stream_with_fuel(machine, &mut trace, DEFAULT_FUEL)?;
+        Ok(trace)
+    }
+
+    /// Execute, pushing every graduated instruction into `sink`, with the
+    /// default instruction budget. Returns the number of instructions
+    /// executed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError::FuelExhausted`] if the budget is exceeded;
+    /// already-executed instructions have been emitted to the sink.
+    pub fn stream<S: TraceSink + ?Sized>(
+        &self,
+        machine: &mut Machine,
+        sink: &mut S,
+    ) -> Result<usize, ExecError> {
+        self.stream_with_fuel(machine, sink, DEFAULT_FUEL)
+    }
+
+    /// [`DecodedProgram::stream`] with an explicit dynamic-instruction
+    /// budget. This is the hot loop of the whole workspace: clone the µop's
+    /// skeleton, patch the vector length, execute the flat op (which patches
+    /// memory accesses and branch outcome in place), emit, advance.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError::FuelExhausted`] if the budget is exceeded;
+    /// already-executed instructions have been emitted to the sink.
+    pub fn stream_with_fuel<S: TraceSink + ?Sized>(
+        &self,
+        machine: &mut Machine,
+        sink: &mut S,
+        fuel: usize,
+    ) -> Result<usize, ExecError> {
+        let mut pc = 0usize;
+        let mut executed = 0usize;
+        while pc < self.ops.len() {
+            if executed >= fuel {
+                return Err(ExecError::FuelExhausted { executed });
+            }
+            let op = &self.ops[pc];
+            let mut inst = op.skeleton.clone();
+            if op.is_vector {
+                inst.elems = machine.mom.vl().max(1) as u16;
+            }
+            executed += 1;
+            let flow = op.exec.execute(machine, &mut inst);
+            sink.emit(inst);
+            pc = match flow {
+                Flow::Next => pc + 1,
+                Flow::Jump(target) => target as usize,
+                Flow::Halt => self.ops.len(),
+            };
+        }
+        Ok(executed)
+    }
+}

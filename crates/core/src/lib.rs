@@ -17,6 +17,8 @@
 //! * [`inst`] — the unified instruction type across all evaluated ISAs;
 //! * [`program`] — programs, the builder, and the functional interpreter that
 //!   emits dynamic traces for the timing simulator;
+//! * [`decoded`] — the pre-decoded µop engine behind [`Program::run`] and
+//!   [`Program::stream`]: decode once, execute flat;
 //! * [`area`] — the register-file size/area model behind Table 2;
 //! * [`inventory`] — opcode inventories (the 67/88/121 comparison).
 //!
@@ -66,6 +68,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod area;
+pub mod decoded;
 pub mod inst;
 pub mod inventory;
 pub mod matrix;
@@ -73,6 +76,7 @@ pub mod ops;
 pub mod program;
 pub mod state;
 
+pub use decoded::DecodedProgram;
 pub use inst::Inst;
 pub use matrix::{
     MatrixRegFile, MatrixValue, MomAccReg, MomReg, MAX_VL, MOM_ROWS, NUM_MOM_ACCS, NUM_MOM_REGS,

@@ -9,6 +9,7 @@
 //! equivalent of the ATOM-instrumented runs feeding Jinks in the original
 //! study.
 
+use crate::decoded::DecodedProgram;
 use crate::inst::Inst;
 use crate::state::Machine;
 use mom_isa::scalar::Label;
@@ -99,6 +100,19 @@ impl Program {
         self.label_targets[label.0 as usize] as usize
     }
 
+    /// Lower the program into the pre-decoded µop engine (see
+    /// [`DecodedProgram`] and the [`decoded`](crate::decoded) module docs).
+    ///
+    /// Decoding pays every per-static-instruction cost — enum flattening,
+    /// operand list resolution, branch target resolution, [`DynInst`]
+    /// skeleton assembly — exactly once, so the execution hot loop only
+    /// patches dynamic fields. [`Program::run`] and [`Program::stream`]
+    /// decode on entry; callers executing one program repeatedly can hold on
+    /// to the decoded form.
+    pub fn decode(&self) -> DecodedProgram {
+        DecodedProgram::new(self)
+    }
+
     /// Execute the program with the default instruction budget.
     ///
     /// Returns the dynamic trace. Architectural side effects (register and
@@ -155,11 +169,41 @@ impl Program {
 
     /// [`Program::stream`] with an explicit dynamic-instruction budget.
     ///
+    /// Execution routes through the pre-decoded µop engine
+    /// ([`Program::decode`]): the instruction list is lowered once and the
+    /// steady-state loop runs flat µops, byte-identical to the legacy
+    /// interpreter ([`Program::stream_with_fuel_legacy`]) but without its
+    /// per-dynamic-instruction decode and allocation costs.
+    ///
     /// # Errors
     ///
     /// Returns [`ExecError::FuelExhausted`] if the budget is exceeded;
     /// already-executed instructions have been emitted to the sink.
     pub fn stream_with_fuel<S: TraceSink + ?Sized>(
+        &self,
+        machine: &mut Machine,
+        sink: &mut S,
+        fuel: usize,
+    ) -> Result<usize, ExecError> {
+        self.decode().stream_with_fuel(machine, sink, fuel)
+    }
+
+    /// The original walk-the-instruction-list interpreter, kept as the
+    /// executable reference semantics for the decoded engine.
+    ///
+    /// Differential tests (`tests/proptest_decoded.rs`) and the `dispatch`
+    /// criterion bench pin [`Program::stream_with_fuel`] against this: both
+    /// engines must produce byte-identical architectural state, emitted
+    /// instruction sequences and fuel accounting. It re-pays per-dynamic-
+    /// instruction decode costs (nested enum dispatch, operand-list
+    /// allocation, builder-based [`DynInst`] assembly, label lookups) and is
+    /// therefore several times slower — do not use it on a hot path.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError::FuelExhausted`] if the budget is exceeded;
+    /// already-executed instructions have been emitted to the sink.
+    pub fn stream_with_fuel_legacy<S: TraceSink + ?Sized>(
         &self,
         machine: &mut Machine,
         sink: &mut S,
@@ -212,6 +256,20 @@ impl Program {
             pc = next_pc;
         }
         Ok(executed)
+    }
+
+    /// Collecting wrapper over [`Program::stream_with_fuel_legacy`] with the
+    /// default budget — the legacy equivalent of [`Program::run`], for
+    /// differential tests and benchmarks.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError::FuelExhausted`] if the program executes more than
+    /// [`DEFAULT_FUEL`] dynamic instructions.
+    pub fn run_legacy(&self, machine: &mut Machine) -> Result<Trace, ExecError> {
+        let mut trace = Trace::new(self.isa);
+        self.stream_with_fuel_legacy(machine, &mut trace, DEFAULT_FUEL)?;
+        Ok(trace)
     }
 }
 

@@ -155,19 +155,29 @@ impl UnitPool {
 }
 
 /// Ring buffer over the tail of an unbounded cycle sequence: keeps only the
-/// last `capacity` values pushed, which is all the pipeline constraints ever
+/// last `window` values pushed, which is all the pipeline constraints ever
 /// look at (ROB size for commits, issue width for fetches, LSQ size for
 /// memory commits, rename headroom for per-class writers). This is what
 /// bounds the streaming simulator's state to O(ROB) instead of O(trace).
+///
+/// The backing buffer is rounded up to a power of two so the ring index is a
+/// mask instead of an integer division — `feed` consults several histories
+/// per retired instruction, and the divisions were a measurable slice of the
+/// simulator's per-instruction cost. The retained values are unchanged: only
+/// where in the buffer they live differs.
 #[derive(Debug, Clone)]
 struct History {
     buf: Vec<u64>,
+    mask: usize,
+    window: usize,
     len: usize,
 }
 
 impl History {
     fn new(capacity: usize) -> Self {
-        Self { buf: vec![0; capacity.max(1)], len: 0 }
+        let window = capacity.max(1);
+        let cap = window.next_power_of_two();
+        Self { buf: vec![0; cap], mask: cap - 1, window, len: 0 }
     }
 
     /// Total values pushed so far (not the retained count).
@@ -177,20 +187,19 @@ impl History {
 
     /// Retained window size in entries.
     fn capacity(&self) -> usize {
-        self.buf.len()
+        self.window
     }
 
     fn push(&mut self, value: u64) {
-        let cap = self.buf.len();
-        self.buf[self.len % cap] = value;
+        self.buf[self.len & self.mask] = value;
         self.len += 1;
     }
 
     /// The `k`-th most recent value (`k = 1` is the last pushed). `k` must be
     /// within both the pushed length and the retained window.
     fn nth_back(&self, k: usize) -> u64 {
-        debug_assert!(k >= 1 && k <= self.len && k <= self.buf.len());
-        self.buf[(self.len - k) % self.buf.len()]
+        debug_assert!(k >= 1 && k <= self.len && k <= self.window);
+        self.buf[(self.len - k) & self.mask]
     }
 }
 

@@ -13,7 +13,11 @@
 //! engine (see [`core`]) retires instructions as they graduate with O(ROB)
 //! state, so the interpreter can feed the simulator directly — no
 //! materialized trace — while [`OooCore::simulate`] still accepts collected
-//! [`Trace`]s and produces bit-identical results.
+//! [`Trace`]s and produces bit-identical results. In the fused pipelines the
+//! instructions arrive from `mom-core`'s pre-decoded µop engine
+//! (`Program::decode`), so both halves of a fused cell run flat, steady-state
+//! loops: pre-decoded µops on the interpreter side, power-of-two ring
+//! buffers and mask-indexed predictor tables on this side.
 //!
 //! ```
 //! use mom_cpu::{CoreConfig, OooCore};

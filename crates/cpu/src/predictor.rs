@@ -1,6 +1,20 @@
 //! Branch prediction: a bimodal (2-bit saturating counter) predictor plus a
 //! direct-mapped branch target buffer, sized per Table 1.
 
+/// Direct-mapped table index for a branch PC: `pc mod len`, computed with a
+/// mask when the table size is a power of two (every Table 1 configuration
+/// is). The predictor is consulted once per dynamic branch, which makes the
+/// integer division measurable on branchy traces; the mask form computes the
+/// same index.
+#[inline]
+fn table_index(pc: u64, len: usize) -> usize {
+    if len.is_power_of_two() {
+        (pc as usize) & (len - 1)
+    } else {
+        (pc % len as u64) as usize
+    }
+}
+
 /// A table of 2-bit saturating counters indexed by the branch PC.
 #[derive(Debug, Clone)]
 pub struct BimodalPredictor {
@@ -19,7 +33,7 @@ impl BimodalPredictor {
     }
 
     fn index(&self, pc: u64) -> usize {
-        (pc % self.counters.len() as u64) as usize
+        table_index(pc, self.counters.len())
     }
 
     /// Predict whether the branch at `pc` is taken.
@@ -57,7 +71,7 @@ impl Btb {
     }
 
     fn index(&self, pc: u64) -> usize {
-        (pc % self.entries.len() as u64) as usize
+        table_index(pc, self.entries.len())
     }
 
     /// Look up the predicted target for the branch at `pc`.

@@ -108,8 +108,9 @@ impl Accumulator {
     /// the MDMX `MULA` operation.
     pub fn mul_add(&mut self, a: PackedWord, b: PackedWord, lane: Lane) {
         self.bind_mode(lane);
-        for i in 0..lane.count() {
-            self.lanes[i] += a.lane(lane, i) * b.lane(lane, i);
+        let (av, bv) = (a.lanes(lane), b.lanes(lane));
+        for i in 0..av.len() {
+            self.lanes[i] += av[i] * bv[i];
         }
     }
 
@@ -117,24 +118,27 @@ impl Accumulator {
     /// the MDMX `MULS` operation.
     pub fn mul_sub(&mut self, a: PackedWord, b: PackedWord, lane: Lane) {
         self.bind_mode(lane);
-        for i in 0..lane.count() {
-            self.lanes[i] -= a.lane(lane, i) * b.lane(lane, i);
+        let (av, bv) = (a.lanes(lane), b.lanes(lane));
+        for i in 0..av.len() {
+            self.lanes[i] -= av[i] * bv[i];
         }
     }
 
     /// Accumulate the lanes of `a` (`acc[i] += a[i]`), the MDMX `ADDA` operation.
     pub fn add(&mut self, a: PackedWord, lane: Lane) {
         self.bind_mode(lane);
-        for i in 0..lane.count() {
-            self.lanes[i] += a.lane(lane, i);
+        let av = a.lanes(lane);
+        for i in 0..av.len() {
+            self.lanes[i] += av[i];
         }
     }
 
     /// Subtract the lanes of `a` (`acc[i] -= a[i]`), the MDMX `SUBA` operation.
     pub fn sub(&mut self, a: PackedWord, lane: Lane) {
         self.bind_mode(lane);
-        for i in 0..lane.count() {
-            self.lanes[i] -= a.lane(lane, i);
+        let av = a.lanes(lane);
+        for i in 0..av.len() {
+            self.lanes[i] -= av[i];
         }
     }
 
@@ -144,8 +148,9 @@ impl Accumulator {
     /// MPEG motion estimation (`motion1` in the paper's kernel set).
     pub fn abs_diff_add(&mut self, a: PackedWord, b: PackedWord, lane: Lane) {
         self.bind_mode(lane);
-        for i in 0..lane.count() {
-            self.lanes[i] += (a.lane(lane, i) - b.lane(lane, i)).abs();
+        let (av, bv) = (a.lanes(lane), b.lanes(lane));
+        for i in 0..av.len() {
+            self.lanes[i] += (av[i] - bv[i]).abs();
         }
     }
 
@@ -153,8 +158,9 @@ impl Accumulator {
     /// the accumulator form of the sum-of-quadratic-differences (`motion2`).
     pub fn sqr_diff_add(&mut self, a: PackedWord, b: PackedWord, lane: Lane) {
         self.bind_mode(lane);
-        for i in 0..lane.count() {
-            let d = a.lane(lane, i) - b.lane(lane, i);
+        let (av, bv) = (a.lanes(lane), b.lanes(lane));
+        for i in 0..av.len() {
+            let d = av[i] - bv[i];
             self.lanes[i] += d * d;
         }
     }

@@ -55,7 +55,7 @@ pub mod trace;
 
 pub use accumulator::Accumulator;
 pub use mem::MemImage;
-pub use packed::{Lane, PackedWord, Saturation};
+pub use packed::{Lane, Lanes, PackedWord, Saturation};
 pub use regs::{AccReg, FpReg, IntReg, MediaReg};
 pub use state::{ControlFlow, CoreState, Outcome};
 pub use trace::{ArchReg, DynInst, InstClass, IsaKind, MemAccess, MemKind, RegClass, Trace};

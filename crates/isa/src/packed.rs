@@ -141,6 +141,54 @@ pub enum Saturation {
     Saturating,
 }
 
+/// The lane values of a packed word as a fixed-capacity stack array.
+///
+/// This is the allocation-free replacement for the old `Vec<i64>`-returning
+/// lane extraction: up to eight `i64` values (the 8-bit lane count) live
+/// inline, and only the first `len()` entries — one per lane of the
+/// extracting [`Lane`] type — are active. `Lanes` dereferences to a slice,
+/// so indexing, iteration and slice methods all work as they did on the
+/// vector form — without touching the heap in the interpreter's per-element
+/// inner loops.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Lanes {
+    buf: [i64; 8],
+    len: u8,
+}
+
+impl Lanes {
+    /// The active lane values as a slice (also available through deref).
+    pub fn as_slice(&self) -> &[i64] {
+        &self.buf[..self.len as usize]
+    }
+}
+
+impl std::ops::Deref for Lanes {
+    type Target = [i64];
+
+    fn deref(&self) -> &[i64] {
+        self.as_slice()
+    }
+}
+
+impl IntoIterator for Lanes {
+    type Item = i64;
+    type IntoIter = std::iter::Take<std::array::IntoIter<i64, 8>>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.buf.into_iter().take(self.len as usize)
+    }
+}
+
+impl<'a> IntoIterator for &'a Lanes {
+    type Item = &'a i64;
+    type IntoIter = std::slice::Iter<'a, i64>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
 /// A 64-bit word interpreted as a vector of packed sub-word lanes.
 ///
 /// `PackedWord` is a plain value type: it is `Copy`, ordered by its raw bits
@@ -250,9 +298,17 @@ impl PackedWord {
         PackedWord(cleared | (((value as u64) & mask) << shift))
     }
 
-    /// All lanes of the word as `i64` values (sign/zero extended).
-    pub fn lanes(self, lane: Lane) -> Vec<i64> {
-        (0..lane.count()).map(|i| self.lane(lane, i)).collect()
+    /// All lanes of the word as `i64` values (sign/zero extended), in a
+    /// fixed-capacity stack array — no allocation. The old `Vec<i64>` form is
+    /// gone; [`Lanes`] dereferences to a slice, so existing indexing and
+    /// iteration patterns keep working.
+    pub fn lanes(self, lane: Lane) -> Lanes {
+        let mut buf = [0i64; 8];
+        let n = lane.count();
+        for (i, slot) in buf[..n].iter_mut().enumerate() {
+            *slot = self.lane(lane, i);
+        }
+        Lanes { buf, len: n as u8 }
     }
 
     /// Build a word from an iterator of lane values (truncating each).
@@ -309,17 +365,45 @@ impl PackedWord {
     // Element-wise helpers
     // ------------------------------------------------------------------
 
-    fn zip_map(self, other: PackedWord, lane: Lane, mut f: impl FnMut(i64, i64) -> i64) -> PackedWord {
+    // The binary/unary element kernels dispatch once on the lane width and
+    // then run a fixed-trip-count loop, so the compiler can fully unroll the
+    // per-lane extraction/insertion (the interpreter executes one of these per
+    // matrix row per MOM instruction — this is the innermost loop of the whole
+    // workspace).
+    fn zip_map(self, other: PackedWord, lane: Lane, f: impl FnMut(i64, i64) -> i64) -> PackedWord {
+        match lane.count() {
+            8 => self.zip_map_n::<8>(other, lane, f),
+            4 => self.zip_map_n::<4>(other, lane, f),
+            _ => self.zip_map_n::<2>(other, lane, f),
+        }
+    }
+
+    #[inline]
+    fn zip_map_n<const N: usize>(
+        self,
+        other: PackedWord,
+        lane: Lane,
+        mut f: impl FnMut(i64, i64) -> i64,
+    ) -> PackedWord {
         let mut out = PackedWord::ZERO;
-        for i in 0..lane.count() {
+        for i in 0..N {
             out = out.with_lane(lane, i, f(self.lane(lane, i), other.lane(lane, i)));
         }
         out
     }
 
-    fn map(self, lane: Lane, mut f: impl FnMut(i64) -> i64) -> PackedWord {
+    fn map(self, lane: Lane, f: impl FnMut(i64) -> i64) -> PackedWord {
+        match lane.count() {
+            8 => self.map_n::<8>(lane, f),
+            4 => self.map_n::<4>(lane, f),
+            _ => self.map_n::<2>(lane, f),
+        }
+    }
+
+    #[inline]
+    fn map_n<const N: usize>(self, lane: Lane, mut f: impl FnMut(i64) -> i64) -> PackedWord {
         let mut out = PackedWord::ZERO;
-        for i in 0..lane.count() {
+        for i in 0..N {
             out = out.with_lane(lane, i, f(self.lane(lane, i)));
         }
         out
@@ -396,24 +480,19 @@ impl PackedWord {
     /// (the SSE `psadbw` style "enhanced reduction" the paper grants its
     /// extended MMX model).
     pub fn sad(self, other: PackedWord, lane: Lane) -> i64 {
-        (0..lane.count())
-            .map(|i| (self.lane(lane, i) - other.lane(lane, i)).abs())
-            .sum()
+        let (a, b) = (self.lanes(lane), other.lanes(lane));
+        a.iter().zip(&b).map(|(x, y)| (x - y).abs()).sum()
     }
 
     /// Sum of lane-wise squared differences reduced to a single scalar.
     pub fn sqd(self, other: PackedWord, lane: Lane) -> i64 {
-        (0..lane.count())
-            .map(|i| {
-                let d = self.lane(lane, i) - other.lane(lane, i);
-                d * d
-            })
-            .sum()
+        let (a, b) = (self.lanes(lane), other.lanes(lane));
+        a.iter().zip(&b).map(|(x, y)| (x - y) * (x - y)).sum()
     }
 
     /// Horizontal sum of all lanes as a scalar.
     pub fn reduce_sum(self, lane: Lane) -> i64 {
-        (0..lane.count()).map(|i| self.lane(lane, i)).sum()
+        self.lanes(lane).iter().sum()
     }
 
     /// Lane-wise absolute value.
@@ -642,6 +721,26 @@ mod tests {
     fn lane_roundtrip_i32() {
         let w = PackedWord::from_i32_lanes([-5, 1_000_000]);
         assert_eq!(w.to_i32_lanes(), [-5, 1_000_000]);
+    }
+
+    #[test]
+    fn lanes_array_behaves_like_a_slice() {
+        let w = PackedWord::from_u8_lanes([1, 2, 3, 4, 5, 6, 7, 255]);
+        let lanes = w.lanes(Lane::U8);
+        assert_eq!(lanes.len(), 8);
+        assert_eq!(lanes[7], 255);
+        assert_eq!(lanes.as_slice(), &[1, 2, 3, 4, 5, 6, 7, 255]);
+        let signed = w.lanes(Lane::I8);
+        assert_eq!(signed[7], -1);
+        // Narrower interpretations expose fewer active lanes.
+        assert_eq!(w.lanes(Lane::I16).len(), 4);
+        assert_eq!(w.lanes(Lane::I32).len(), 2);
+        // Owned and borrowed iteration both work.
+        let owned: Vec<i64> = lanes.into_iter().collect();
+        let borrowed: Vec<i64> = (&lanes).into_iter().copied().collect();
+        assert_eq!(owned, borrowed);
+        // Round-trip through from_lanes reproduces the word.
+        assert_eq!(PackedWord::from_lanes(Lane::U8, lanes.into_iter()), w);
     }
 
     #[test]

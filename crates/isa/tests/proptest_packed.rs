@@ -30,6 +30,20 @@ proptest! {
     }
 
     #[test]
+    fn lanes_array_agrees_with_per_index_extraction(bits in any::<u64>(), lane in lanes()) {
+        // The non-allocating `Lanes` array is exactly the sequence of
+        // per-index `lane()` reads: same length, same values, slice access
+        // included.
+        let w = PackedWord::new(bits);
+        let vals = w.lanes(lane);
+        prop_assert_eq!(vals.len(), lane.count());
+        for (i, v) in vals.iter().enumerate() {
+            prop_assert_eq!(*v, w.lane(lane, i));
+        }
+        prop_assert_eq!(vals.as_slice().iter().sum::<i64>(), w.reduce_sum(lane));
+    }
+
+    #[test]
     fn saturating_results_stay_in_range(a in any::<u64>(), b in any::<u64>(), lane in lanes()) {
         let x = PackedWord::new(a);
         let y = PackedWord::new(b);

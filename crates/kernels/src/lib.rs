@@ -229,6 +229,10 @@ impl BuiltKernel {
     /// then compare the output region with the golden reference. Returns the
     /// number of instructions executed and the offset of the first
     /// mismatching output byte (if any).
+    ///
+    /// Execution goes through [`Program::stream`] and therefore the
+    /// pre-decoded µop engine (`Program::decode` in `mom-core`): the program
+    /// is lowered once and the per-dynamic-instruction loop runs flat µops.
     fn execute_into<S: TraceSink + ?Sized>(
         &mut self,
         sink: &mut S,

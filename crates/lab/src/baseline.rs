@@ -6,6 +6,12 @@
 //! **improvement** when it shrank by more than the tolerance. Config drift
 //! (different hash, fast flag or scale) is surfaced as warnings since cycle
 //! comparisons across different grids are meaningless.
+//!
+//! When both documents carry a `meta.throughput` section, the diff also
+//! reports per-cell `insts_per_sec` deltas. These are **informational
+//! only** — wall-clock throughput varies with the machine and its load, so
+//! the lines appear in the output (for CI logs and perf-trajectory reading)
+//! but never affect [`Diff::has_regressions`] or the exit code.
 
 use crate::json::Value;
 
@@ -27,10 +33,19 @@ pub struct Diff {
     pub added: Vec<String>,
     /// Cells within tolerance.
     pub unchanged: usize,
+    /// Informational simulator-throughput deltas (`insts_per_sec` from the
+    /// `meta.throughput` sections, matched by cell key), present only when
+    /// **both** documents carry throughput metadata. Wall-clock throughput is
+    /// machine- and load-dependent, so these lines never affect
+    /// [`Diff::has_regressions`] — they exist so interpreter/simulator
+    /// performance regressions are visible in CI logs while the
+    /// deterministic results stay the gate.
+    pub throughput: Vec<String>,
 }
 
 impl Diff {
     /// Whether the new result regressed relative to the baseline.
+    /// Throughput deltas are informational and never count.
     pub fn has_regressions(&self) -> bool {
         !self.regressions.is_empty()
     }
@@ -52,6 +67,9 @@ impl std::fmt::Display for Diff {
         }
         for a in &self.added {
             writeln!(f, "new cell: {a}")?;
+        }
+        for t in &self.throughput {
+            writeln!(f, "throughput: {t}")?;
         }
         writeln!(
             f,
@@ -145,7 +163,46 @@ pub fn diff_documents(new: &Value, baseline: &Value, tolerance: f64) -> Result<D
             diff.added.push(key);
         }
     }
+    diff.throughput = throughput_deltas(new, baseline);
     Ok(diff)
+}
+
+/// Informational `insts_per_sec` deltas between the `meta.throughput`
+/// sections of two documents, matched by `(workload, config, way)`. Empty
+/// when either document lacks throughput metadata (e.g. the committed
+/// `--results-only` baselines). Never contributes to the exit code.
+fn throughput_deltas(new: &Value, baseline: &Value) -> Vec<String> {
+    let entries = |doc: &Value| -> Vec<Value> {
+        doc.get("meta")
+            .and_then(|m| m.get("throughput"))
+            .and_then(Value::as_array)
+            .map(<[Value]>::to_vec)
+            .unwrap_or_default()
+    };
+    let new_entries = entries(new);
+    let base_entries = entries(baseline);
+    if new_entries.is_empty() || base_entries.is_empty() {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    for base_entry in &base_entries {
+        let key = cell_key(base_entry);
+        let Some(new_entry) = new_entries.iter().find(|e| cell_key(e) == key) else {
+            continue;
+        };
+        let ips = |e: &Value| e.get("insts_per_sec").and_then(Value::as_f64).unwrap_or(f64::NAN);
+        let (old_ips, new_ips) = (ips(base_entry), ips(new_entry));
+        if !old_ips.is_finite() || !new_ips.is_finite() || old_ips <= 0.0 {
+            continue;
+        }
+        out.push(format!(
+            "{key}: {:.1} -> {:.1} Minst/s ({:+.1}%)",
+            old_ips / 1e6,
+            new_ips / 1e6,
+            (new_ips / old_ips - 1.0) * 100.0
+        ));
+    }
+    out
 }
 
 #[cfg(test)]
@@ -207,6 +264,53 @@ mod tests {
         }
         assert!(diff_documents(&other, &doc(1000, "h"), 0.02).is_err());
         assert!(diff_documents(&Value::Null, &doc(1000, "h"), 0.02).is_err());
+    }
+
+    fn with_throughput(mut document: Value, ips: f64) -> Value {
+        let meta = Value::object(vec![(
+            "throughput",
+            Value::Array(vec![Value::object(vec![
+                ("workload", Value::Str("idct".into())),
+                ("config", Value::Str("mom".into())),
+                ("way", Value::Int(4)),
+                ("insts_per_sec", Value::Float(ips)),
+            ])]),
+        )]);
+        if let Value::Object(members) = &mut document {
+            members.push(("meta".into(), meta));
+        }
+        document
+    }
+
+    #[test]
+    fn throughput_deltas_are_informational_only() {
+        // Twice the throughput at identical cycles: the delta is reported
+        // but the diff stays clean (throughput never gates).
+        let new = with_throughput(doc(1000, "h"), 20e6);
+        let base = with_throughput(doc(1000, "h"), 10e6);
+        let d = diff_documents(&new, &base, DEFAULT_TOLERANCE).unwrap();
+        assert!(!d.has_regressions());
+        assert_eq!(d.throughput.len(), 1);
+        assert!(d.throughput[0].contains("10.0 -> 20.0 Minst/s"), "{:?}", d.throughput);
+        assert!(d.throughput[0].contains("+100.0%"), "{:?}", d.throughput);
+        assert!(format!("{d}").contains("throughput: idct / mom / 4-way"));
+
+        // Halved throughput is still not a regression — cycles gate, wall
+        // clock informs.
+        let d = diff_documents(&base, &new, DEFAULT_TOLERANCE).unwrap();
+        assert!(!d.has_regressions());
+        assert!(d.throughput[0].contains("-50.0%"), "{:?}", d.throughput);
+    }
+
+    #[test]
+    fn throughput_section_is_absent_without_meta() {
+        // The committed --results-only baselines carry no meta: no lines.
+        let d = diff_documents(&with_throughput(doc(1000, "h"), 20e6), &doc(1000, "h"), 0.02)
+            .unwrap();
+        assert!(d.throughput.is_empty());
+        let d = diff_documents(&doc(1000, "h"), &with_throughput(doc(1000, "h"), 20e6), 0.02)
+            .unwrap();
+        assert!(d.throughput.is_empty());
     }
 
     #[test]

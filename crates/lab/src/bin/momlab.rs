@@ -30,6 +30,12 @@
 //!   exit code 2 when a regression is found
 //! * `--tolerance F` — relative cycle tolerance for `--baseline` (default 0.02)
 //!
+//! `momlab diff` (and `--baseline`) gate on simulated cycles only. When both
+//! documents carry a `meta.throughput` section, the report additionally
+//! prints informational per-cell `insts_per_sec` deltas (`throughput:`
+//! lines) so simulator-performance changes stay visible in CI logs without
+//! wall-clock noise ever affecting the exit code.
+//!
 //! `MOM_BENCH_FAST=1` selects the same reduced workload subsets as the legacy
 //! experiment binaries.
 
