@@ -37,7 +37,7 @@
 pub mod scalar_phase;
 
 use mom_cpu::{OooCore, SimResult};
-use mom_isa::trace::{IsaKind, Trace, TraceSink};
+use mom_isa::trace::{Broadcast, IsaKind, Trace, TraceSink};
 use mom_kernels::{build_kernel, KernelError, KernelKind, KernelParams};
 use mom_mem::MemorySystem;
 use scalar_phase::stream_scalar_phase;
@@ -262,6 +262,70 @@ pub fn stream_app<S: TraceSink + ?Sized>(
     Ok(reports)
 }
 
+/// Stream one application into several per-ISA sinks at once, interpreting
+/// every **scalar phase exactly once**.
+///
+/// The phase sequence of an application is ISA-independent and its scalar
+/// phases produce identical instruction streams for every ISA (only the
+/// kernel phases differ), so when the same application must be evaluated for
+/// several ISAs — every column of Figure 7 — the scalar work can be fanned
+/// out through a [`Broadcast`] instead of being re-interpreted per ISA.
+/// Each lane receives **exactly** the stream [`stream_app`] would have
+/// produced for its ISA, in program order; with `SimStream`-backed sinks the
+/// results are bit-identical to independent per-ISA passes.
+///
+/// Returns the per-lane phase breakdowns (scalar rows identical across
+/// lanes) and the number of instructions the interpreter actually executed —
+/// each shared scalar phase counted once, which is what the experiment
+/// runner's `meta.shared_passes` accounting reports.
+///
+/// # Errors
+///
+/// Returns a [`KernelError`] if any kernel phase of any lane fails to
+/// execute or does not match its golden reference.
+pub fn stream_app_multi<S: TraceSink>(
+    kind: AppKind,
+    params: &AppParams,
+    lanes: &mut [(IsaKind, S)],
+) -> Result<(Vec<Vec<PhaseReport>>, u64), KernelError> {
+    let mut reports: Vec<Vec<PhaseReport>> = lanes.iter().map(|_| Vec::new()).collect();
+    let mut interpreted = 0u64;
+    for (i, phase) in phases(kind, params.scale).into_iter().enumerate() {
+        match phase {
+            Phase::Kernel { kind: k, scale, repeat } => {
+                for rep in 0..repeat.max(1) {
+                    let kp = KernelParams { seed: params.seed ^ ((i as u64) << 8) ^ rep as u64, scale };
+                    for (lane, (isa, sink)) in lanes.iter_mut().enumerate() {
+                        let executed = build_kernel(k, *isa, &kp).stream_verified(sink)?;
+                        interpreted += executed as u64;
+                        reports[lane].push(PhaseReport {
+                            name: format!("{k}"),
+                            instructions: executed,
+                            vectorized: true,
+                        });
+                    }
+                }
+            }
+            Phase::Scalar { name, units } => {
+                // One interpretation, fanned out to every lane.
+                let executed = {
+                    let mut fan = Broadcast::new(lanes.iter_mut().map(|(_, sink)| sink).collect());
+                    stream_scalar_phase(units, params.seed ^ (i as u64 * 0x9e37), &mut fan)
+                };
+                interpreted += executed as u64;
+                for lane in &mut reports {
+                    lane.push(PhaseReport {
+                        name: name.to_string(),
+                        instructions: executed,
+                        vectorized: false,
+                    });
+                }
+            }
+        }
+    }
+    Ok((reports, interpreted))
+}
+
 /// Build an application for the given ISA: run every phase functionally
 /// (kernels are verified against their references) and collect the
 /// concatenated trace — the collecting wrapper over [`stream_app`].
@@ -368,6 +432,68 @@ mod tests {
             assert_eq!(batch, fused, "gsm encode ({isa}): streamed != materialized");
             assert_eq!(reports, app.phases, "phase breakdowns agree");
             assert_eq!(fused.committed as usize, app.trace.len());
+        }
+    }
+
+    #[test]
+    fn multi_isa_stream_is_bit_identical_to_per_isa_streams() {
+        use mom_cpu::{CoreConfig, SimStream};
+        use mom_mem::MemModelKind;
+
+        // One shared pass fanned out to three ISA lanes (two simulators per
+        // lane, different widths) must equal six independent per-ISA runs.
+        let params = AppParams { seed: 42, scale: 1 };
+        let isas = [IsaKind::Alpha, IsaKind::Mmx, IsaKind::Mom];
+        for app in [AppKind::GsmEncode, AppKind::Mpeg2Decode] {
+            let mut machines: Vec<Vec<_>> = isas
+                .iter()
+                .map(|&isa| {
+                    [4usize, 8].iter()
+                        .map(|&way| {
+                            mom_cpu::MachineDescriptor::for_cell(
+                                way,
+                                isa,
+                                MemModelKind::Conventional,
+                            )
+                            .build()
+                        })
+                        .collect()
+                })
+                .collect();
+            let mut lanes: Vec<(IsaKind, Broadcast<SimStream>)> = isas
+                .iter()
+                .zip(machines.iter_mut())
+                .map(|(&isa, ms)| (isa, Broadcast::new(ms.iter_mut().map(|m| m.sim()).collect())))
+                .collect();
+            let (reports, interpreted) =
+                stream_app_multi(app, &params, &mut lanes).expect("multi-lane app runs");
+            let fanned: Vec<Vec<SimResult>> = lanes
+                .into_iter()
+                .map(|(_, fan)| fan.into_inner().into_iter().map(SimStream::finish).collect())
+                .collect();
+
+            let mut expected_interpreted = 0u64;
+            let mut scalar_once = 0u64;
+            for (lane, &isa) in isas.iter().enumerate() {
+                let built = build_app(app, isa, &params).expect("app builds");
+                assert_eq!(reports[lane], built.phases, "{app} ({isa}): phase reports differ");
+                expected_interpreted += built.trace.len() as u64;
+                scalar_once = built
+                    .phases
+                    .iter()
+                    .filter(|p| !p.vectorized)
+                    .map(|p| p.instructions as u64)
+                    .sum();
+                for (sim, &way) in fanned[lane].iter().zip(&[4usize, 8]) {
+                    let core = OooCore::new(CoreConfig::for_width(way, isa));
+                    let mut mem = mom_mem::build_memory(MemModelKind::Conventional, way);
+                    let reference = core.simulate(&built.trace, mem.as_mut());
+                    assert_eq!(*sim, reference, "{app} ({isa}, {way}-way): fan-out diverged");
+                }
+            }
+            // The interpreter executed each scalar phase once, not once per
+            // lane: exactly 2 lanes' worth of scalar work was saved.
+            assert_eq!(interpreted, expected_interpreted - 2 * scalar_once, "{app}");
         }
     }
 

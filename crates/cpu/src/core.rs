@@ -120,6 +120,12 @@ impl UnitPool {
         Self { simple_free: vec![0; simple], complex_free: vec![0; complex], lanes: lanes.max(1) }
     }
 
+    /// Mark every unit idle again (the machine-reuse `reset()` path).
+    fn reset(&mut self) {
+        self.simple_free.fill(0);
+        self.complex_free.fill(0);
+    }
+
     /// Reserve a unit able to execute an operation of the given complexity,
     /// starting no earlier than `earliest`, for `occupancy` cycles. Returns
     /// the actual start cycle.
@@ -200,6 +206,13 @@ impl History {
     fn nth_back(&self, k: usize) -> u64 {
         debug_assert!(k >= 1 && k <= self.len && k <= self.window);
         self.buf[(self.len - k) & self.mask]
+    }
+
+    /// Forget everything pushed so far without touching the backing buffer
+    /// (stale entries are unreachable: `nth_back` only looks within `len`).
+    /// The machine-reuse `reset()` path.
+    fn reset(&mut self) {
+        self.len = 0;
     }
 }
 
@@ -300,6 +313,35 @@ impl OooCore {
     pub fn stream<'a>(&'a self, memory: &'a mut dyn MemorySystem) -> SimStream<'a> {
         SimStream::new(&self.config, &self.latencies, memory)
     }
+
+    /// Start a streaming simulation that borrows a long-lived [`SimState`]
+    /// instead of allocating a private one — the machine-reuse path.
+    ///
+    /// `state` must have been created for this core's configuration (same
+    /// table and ring-buffer sizes — enforced, see Panics) and be freshly
+    /// created or [`SimState::reset`] for the results to match a standalone
+    /// [`OooCore::stream`] run bit-for-bit. A non-reset state *continues* its
+    /// previous stream, which is occasionally useful (phased feeding) but
+    /// never what a grid runner wants.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` was sized for a different configuration
+    /// ([`SimState::matches_config`] fails) — a mismatched state would
+    /// produce silently wrong timings otherwise.
+    pub fn stream_with<'a>(
+        &'a self,
+        state: &'a mut SimState,
+        memory: &'a mut dyn MemorySystem,
+    ) -> SimStream<'a> {
+        SimStream::with_state(&self.config, &self.latencies, memory, state)
+    }
+
+    /// Allocate a reusable engine state sized for this core — the companion
+    /// of [`OooCore::stream_with`].
+    pub fn new_state(&self) -> SimState {
+        SimState::new(&self.config)
+    }
 }
 
 /// A pull-based producer of dynamic instructions for
@@ -318,24 +360,20 @@ impl<I: Iterator<Item = DynInst>> InstSource for I {
     }
 }
 
-/// An in-flight streaming simulation: the out-of-order pipeline model as an
-/// incremental consumer of dynamic instructions.
+/// The mutable engine state of a streaming simulation — everything
+/// [`SimStream::feed`] updates, separated from the borrowed configuration and
+/// memory system so it can **outlive one simulation and be reused for the
+/// next**.
 ///
-/// The pipeline constraints only ever reach a bounded distance into the
-/// past — the ROB size for in-flight instructions, the issue width for the
-/// fetch group, the LSQ size for memory operations and the per-class rename
-/// headroom for physical registers — so the engine retains exactly those
-/// windows in ring buffers. Total state is **O(ROB size)**, independent of
-/// how many instructions are fed; see [`SimStream::window_entries`].
-///
-/// Feeding the instructions of a collected [`Trace`] in order produces a
-/// result bit-identical to [`OooCore::simulate`] on that trace (which is
-/// itself implemented this way).
+/// The state owns the allocations that used to be rebuilt per grid cell:
+/// predictor tables, ring-buffer histories and functional-unit pools.
+/// [`SimState::reset`] restores the just-built state without reallocating
+/// any of them; a reset state driven through the same instruction sequence
+/// produces bit-identical results to a fresh one. `OooCore::stream` still
+/// creates a private state per stream; `OooCore::stream_with` (and
+/// `SimMachine` in [`crate::machine`]) borrow a long-lived one instead.
 #[derive(Debug)]
-pub struct SimStream<'a> {
-    config: &'a CoreConfig,
-    latencies: &'a Latencies,
-    memory: &'a mut dyn MemorySystem,
+pub struct SimState {
     predictor: BranchPredictor,
     int_units: UnitPool,
     fp_units: UnitPool,
@@ -357,8 +395,9 @@ pub struct SimStream<'a> {
     result: SimResult,
 }
 
-impl<'a> SimStream<'a> {
-    fn new(config: &'a CoreConfig, latencies: &'a Latencies, memory: &'a mut dyn MemorySystem) -> Self {
+impl SimState {
+    /// Allocate the engine state for the given core configuration.
+    pub fn new(config: &CoreConfig) -> Self {
         Self {
             predictor: BranchPredictor::new(config.bimodal_entries, config.btb_entries),
             int_units: UnitPool::new(config.int_units.simple, config.int_units.complex, 1),
@@ -380,15 +419,39 @@ impl<'a> SimStream<'a> {
             fed: 0,
             last_commit: 0,
             result: SimResult::default(),
-            config,
-            latencies,
-            memory,
         }
     }
 
-    /// Total ring-buffer entries retained — the simulator's bounded lookback
-    /// window. A constant of the configuration (ROB + width + LSQ + rename
-    /// headrooms), never of the number of instructions fed.
+    /// Restore the just-built state — predictor re-initialised, histories
+    /// emptied, unit pools and register scoreboard idle, counters zeroed —
+    /// **without reallocating** the tables and ring buffers. A reset state is
+    /// observationally identical to a fresh [`SimState::new`] for the same
+    /// configuration.
+    pub fn reset(&mut self) {
+        self.predictor.reset();
+        self.int_units.reset();
+        self.fp_units.reset();
+        self.media_units.reset();
+        self.reg_ready.fill(0);
+        self.commits.reset();
+        self.fetches.reset();
+        self.mem_commits.reset();
+        for h in &mut self.class_writers {
+            h.reset();
+        }
+        self.redirect_floor = 0;
+        self.fetch_break_floor = 0;
+        self.fed = 0;
+        self.last_commit = 0;
+        self.result = SimResult::default();
+    }
+
+    /// Instructions fed (and retired) so far.
+    pub fn fed(&self) -> usize {
+        self.fed
+    }
+
+    /// Total ring-buffer entries retained — see [`SimStream::window_entries`].
     pub fn window_entries(&self) -> usize {
         self.commits.capacity()
             + self.fetches.capacity()
@@ -396,9 +459,116 @@ impl<'a> SimStream<'a> {
             + self.class_writers.iter().map(History::capacity).sum::<usize>()
     }
 
+    /// Whether this state was sized for `config`: every ring-buffer window,
+    /// predictor table and functional-unit pool matches. Streaming a state
+    /// into a differently-sized configuration would index the ring buffers
+    /// with the wrong windows and produce silently wrong timings, so
+    /// `OooCore::stream_with` asserts this.
+    pub fn matches_config(&self, config: &CoreConfig) -> bool {
+        let pool_matches = |pool: &UnitPool, spec: &crate::config::FuPool| {
+            pool.simple_free.len() == spec.simple
+                && pool.complex_free.len() == spec.complex
+                && pool.lanes == spec.lanes.max(1)
+        };
+        self.commits.capacity() == config.rob_size.max(1)
+            && self.fetches.capacity() == config.way.max(1)
+            && self.mem_commits.capacity() == config.lsq_size.max(1)
+            && RegClass::ALL.iter().enumerate().all(|(ci, &class)| {
+                self.class_writers[ci].capacity() == config.rename_headroom(class).max(1)
+            })
+            && self.predictor.table_sizes() == (config.bimodal_entries, config.btb_entries)
+            && pool_matches(&self.int_units, &config.int_units)
+            && pool_matches(&self.fp_units, &config.fp_units)
+            && pool_matches(&self.media_units, &config.media_units)
+    }
+
+    fn summary(&self) -> SimResult {
+        let mut result = self.result;
+        result.cycles = if self.fed == 0 { 0 } else { self.last_commit };
+        result.committed = self.fed as u64;
+        result.branches = self.predictor.predictions;
+        result.mispredictions = self.predictor.mispredictions;
+        result
+    }
+}
+
+/// Where a [`SimStream`]'s engine state lives: private to the stream (the
+/// classic `OooCore::stream` path) or borrowed from a long-lived machine that
+/// reuses it across cells (`OooCore::stream_with`).
+#[derive(Debug)]
+enum StateSlot<'a> {
+    Owned(Box<SimState>),
+    Borrowed(&'a mut SimState),
+}
+
+impl StateSlot<'_> {
+    fn get(&self) -> &SimState {
+        match self {
+            StateSlot::Owned(s) => s,
+            StateSlot::Borrowed(s) => s,
+        }
+    }
+
+    fn get_mut(&mut self) -> &mut SimState {
+        match self {
+            StateSlot::Owned(s) => s,
+            StateSlot::Borrowed(s) => s,
+        }
+    }
+}
+
+/// An in-flight streaming simulation: the out-of-order pipeline model as an
+/// incremental consumer of dynamic instructions.
+///
+/// The pipeline constraints only ever reach a bounded distance into the
+/// past — the ROB size for in-flight instructions, the issue width for the
+/// fetch group, the LSQ size for memory operations and the per-class rename
+/// headroom for physical registers — so the engine retains exactly those
+/// windows in ring buffers. Total state is **O(ROB size)**, independent of
+/// how many instructions are fed; see [`SimStream::window_entries`].
+///
+/// Feeding the instructions of a collected [`Trace`] in order produces a
+/// result bit-identical to [`OooCore::simulate`] on that trace (which is
+/// itself implemented this way).
+#[derive(Debug)]
+pub struct SimStream<'a> {
+    config: &'a CoreConfig,
+    latencies: &'a Latencies,
+    memory: &'a mut dyn MemorySystem,
+    state: StateSlot<'a>,
+}
+
+impl<'a> SimStream<'a> {
+    fn new(config: &'a CoreConfig, latencies: &'a Latencies, memory: &'a mut dyn MemorySystem) -> Self {
+        Self { state: StateSlot::Owned(Box::new(SimState::new(config))), config, latencies, memory }
+    }
+
+    fn with_state(
+        config: &'a CoreConfig,
+        latencies: &'a Latencies,
+        memory: &'a mut dyn MemorySystem,
+        state: &'a mut SimState,
+    ) -> Self {
+        // A state sized for a different configuration would read the ring
+        // buffers with the wrong windows — plausible-but-wrong cycle counts
+        // with no other symptom — so fail loudly instead.
+        assert!(
+            state.matches_config(config),
+            "SimState was built for a different core configuration"
+        );
+        Self { state: StateSlot::Borrowed(state), config, latencies, memory }
+    }
+
+    /// Total ring-buffer entries retained — the simulator's bounded lookback
+    /// window. A constant of the configuration (ROB + width + LSQ + rename
+    /// headrooms), never of the number of instructions fed.
+    pub fn window_entries(&self) -> usize {
+        self.state.get().window_entries()
+    }
+
     /// Instructions fed (and retired) so far.
     pub fn fed(&self) -> usize {
-        self.fed
+        self.state.get().fed
     }
 
     /// Retire the next instruction in program order.
@@ -410,30 +580,31 @@ impl<'a> SimStream<'a> {
     pub fn feed(&mut self, inst: &DynInst) {
         let cfg = self.config;
         let lat = self.latencies;
-        let i = self.fed;
+        let st = self.state.get_mut();
+        let i = st.fed;
 
         // ---------------- Fetch ----------------
-        let mut f = self.redirect_floor.max(self.fetch_break_floor);
+        let mut f = st.redirect_floor.max(st.fetch_break_floor);
         if i >= cfg.way {
-            f = f.max(self.fetches.nth_back(cfg.way) + 1);
+            f = f.max(st.fetches.nth_back(cfg.way) + 1);
         }
         if i > 0 {
-            f = f.max(self.fetches.nth_back(1)); // program order within a fetch group
+            f = f.max(st.fetches.nth_back(1)); // program order within a fetch group
         }
-        self.fetches.push(f);
-        self.fetch_break_floor = 0;
+        st.fetches.push(f);
+        st.fetch_break_floor = 0;
 
         // ---------------- Dispatch (rename + ROB/LSQ/phys-reg allocation) ----------------
         let mut dispatch = f + cfg.frontend_depth;
         if i >= cfg.rob_size {
-            dispatch = dispatch.max(self.commits.nth_back(cfg.rob_size));
+            dispatch = dispatch.max(st.commits.nth_back(cfg.rob_size));
         }
         let is_mem = inst.class.is_mem();
-        if is_mem && self.mem_commits.len() >= cfg.lsq_size {
-            dispatch = dispatch.max(self.mem_commits.nth_back(cfg.lsq_size));
+        if is_mem && st.mem_commits.len() >= cfg.lsq_size {
+            dispatch = dispatch.max(st.mem_commits.nth_back(cfg.lsq_size));
         }
         for d in inst.dests() {
-            let writers = &self.class_writers[class_idx(d.class)];
+            let writers = &st.class_writers[class_idx(d.class)];
             let headroom = cfg.rename_headroom(d.class);
             if writers.len() >= headroom {
                 dispatch = dispatch.max(writers.nth_back(headroom));
@@ -443,13 +614,13 @@ impl<'a> SimStream<'a> {
         // ---------------- Operand readiness ----------------
         let mut ready = dispatch + 1;
         for s in inst.sources() {
-            ready = ready.max(self.reg_ready[reg_slot(s)]);
+            ready = ready.max(st.reg_ready[reg_slot(s)]);
         }
 
         // ---------------- Execute ----------------
         let complete = match inst.class {
             InstClass::Load | InstClass::Store => {
-                self.result.mem_accesses += inst.mem.len() as u64;
+                st.result.mem_accesses += inst.mem.len() as u64;
                 let vector = inst.elems > 1;
                 let mut t = ready;
                 let mut retries = 0u64;
@@ -467,37 +638,37 @@ impl<'a> SimStream<'a> {
                         }
                     }
                 };
-                self.result.mem_retries += retries;
+                st.result.mem_retries += retries;
                 done
             }
             InstClass::Branch => {
-                let start = self.int_units.reserve(ready, false, 1);
+                let start = st.int_units.reserve(ready, false, 1);
                 let complete = start + lat.branch;
                 if let Some(b) = inst.branch {
                     let correct =
-                        self.predictor.predict_and_update(b.pc, b.conditional, b.taken, b.target);
+                        st.predictor.predict_and_update(b.pc, b.conditional, b.taken, b.target);
                     if correct {
                         if b.taken {
                             // A taken branch ends the fetch group.
-                            self.fetch_break_floor = f + 1;
+                            st.fetch_break_floor = f + 1;
                         }
                     } else {
-                        self.redirect_floor =
-                            self.redirect_floor.max(complete + cfg.mispredict_penalty);
+                        st.redirect_floor =
+                            st.redirect_floor.max(complete + cfg.mispredict_penalty);
                     }
                 }
                 complete
             }
             InstClass::Nop => ready,
-            InstClass::IntSimple => self.int_units.reserve(ready, false, 1) + lat.int_simple,
-            InstClass::IntComplex => self.int_units.reserve(ready, true, 1) + lat.int_complex,
-            InstClass::FpSimple => self.fp_units.reserve(ready, false, 1) + lat.fp_simple,
-            InstClass::FpComplex => self.fp_units.reserve(ready, true, 1) + lat.fp_complex,
+            InstClass::IntSimple => st.int_units.reserve(ready, false, 1) + lat.int_simple,
+            InstClass::IntComplex => st.int_units.reserve(ready, true, 1) + lat.int_complex,
+            InstClass::FpSimple => st.fp_units.reserve(ready, false, 1) + lat.fp_simple,
+            InstClass::FpComplex => st.fp_units.reserve(ready, true, 1) + lat.fp_complex,
             InstClass::MediaSimple | InstClass::MediaComplex => {
                 let complex = inst.class == InstClass::MediaComplex;
                 let occupancy =
-                    (inst.elems as u64).div_ceil(self.media_units.lanes as u64).max(1);
-                let start = self.media_units.reserve(ready, complex, occupancy);
+                    (inst.elems as u64).div_ceil(st.media_units.lanes as u64).max(1);
+                let start = st.media_units.reserve(ready, complex, occupancy);
                 let op_lat = if complex { lat.media_complex } else { lat.media_simple };
                 start + occupancy - 1 + op_lat
             }
@@ -505,36 +676,35 @@ impl<'a> SimStream<'a> {
 
         // ---------------- Writeback ----------------
         for d in inst.dests() {
-            self.reg_ready[reg_slot(d)] = complete;
+            st.reg_ready[reg_slot(d)] = complete;
         }
 
         // ---------------- Commit ----------------
         let mut c = complete + 1;
         if i > 0 {
-            c = c.max(self.commits.nth_back(1));
+            c = c.max(st.commits.nth_back(1));
         }
         if i >= cfg.way {
-            c = c.max(self.commits.nth_back(cfg.way) + 1);
+            c = c.max(st.commits.nth_back(cfg.way) + 1);
         }
-        self.commits.push(c);
+        st.commits.push(c);
         for d in inst.dests() {
-            self.class_writers[class_idx(d.class)].push(c);
+            st.class_writers[class_idx(d.class)].push(c);
         }
         if is_mem {
-            self.mem_commits.push(c);
+            st.mem_commits.push(c);
         }
-        self.last_commit = c;
-        self.fed = i + 1;
+        st.last_commit = c;
+        st.fed = i + 1;
     }
 
     /// Finish the simulation and return the timing summary.
+    ///
+    /// With a borrowed state (see `OooCore::stream_with`) the state keeps its
+    /// accumulated counters after the stream ends; reset it before reusing it
+    /// for an unrelated simulation.
     pub fn finish(self) -> SimResult {
-        let mut result = self.result;
-        result.cycles = if self.fed == 0 { 0 } else { self.last_commit };
-        result.committed = self.fed as u64;
-        result.branches = self.predictor.predictions;
-        result.mispredictions = self.predictor.mispredictions;
-        result
+        self.state.get().summary()
     }
 }
 
@@ -863,6 +1033,41 @@ mod tests {
         );
         let r = sim.finish();
         assert_eq!(r.committed, 10_000);
+    }
+
+    #[test]
+    fn reusable_state_round_trips_through_stream_with() {
+        // A fresh borrowed state equals the owned-state path, and a reset
+        // state equals a fresh one.
+        let core = OooCore::new(CoreConfig::way4(IsaKind::Alpha));
+        let t = independent_trace(500);
+        let mut mem = build_memory(MemModelKind::Perfect { latency: 1 }, 4);
+        let expected = core.simulate(&t, mem.as_mut());
+
+        let mut state = core.new_state();
+        assert!(state.matches_config(core.config()));
+        for round in 0..2 {
+            let mut mem = build_memory(MemModelKind::Perfect { latency: 1 }, 4);
+            let mut sim = core.stream_with(&mut state, mem.as_mut());
+            for inst in &t.insts {
+                sim.feed(inst);
+            }
+            assert_eq!(sim.finish(), expected, "round {round}");
+            state.reset();
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "different core configuration")]
+    fn stream_with_rejects_a_mismatched_state() {
+        // A state sized for the 8-way machine must not drive the 1-way one:
+        // the ring-buffer windows differ and the timings would be silently
+        // wrong.
+        let way8 = OooCore::new(CoreConfig::way8(IsaKind::Alpha));
+        let way1 = OooCore::new(CoreConfig::way1(IsaKind::Alpha));
+        let mut state = way8.new_state();
+        let mut mem = build_memory(MemModelKind::Perfect { latency: 1 }, 1);
+        let _ = way1.stream_with(&mut state, mem.as_mut());
     }
 
     #[test]

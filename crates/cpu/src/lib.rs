@@ -43,10 +43,12 @@
 
 pub mod config;
 pub mod core;
+pub mod machine;
 pub mod predictor;
 
-pub use crate::core::{InstSource, Latencies, OooCore, SimResult, SimStream};
+pub use crate::core::{InstSource, Latencies, OooCore, SimResult, SimState, SimStream};
 pub use config::{CoreConfig, FuPool, PhysRegs};
+pub use machine::{MachineDescriptor, RegFileConfig, SimMachine};
 pub use predictor::{BimodalPredictor, BranchPredictor, Btb};
 
 use mom_isa::trace::{IsaKind, Trace};

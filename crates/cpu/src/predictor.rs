@@ -139,6 +139,23 @@ impl BranchPredictor {
         correct
     }
 
+    /// The (bimodal, BTB) table sizes this predictor was built with — used
+    /// by the simulator to validate that a reusable engine state matches a
+    /// core configuration before streaming into it.
+    pub fn table_sizes(&self) -> (usize, usize) {
+        (self.bimodal.counters.len(), self.btb.entries.len())
+    }
+
+    /// Restore the tables to their just-built state (counters weakly taken,
+    /// BTB empty, counts zeroed) without reallocating. Part of the simulator
+    /// `reset()` path that lets machines be reused across experiment cells.
+    pub fn reset(&mut self) {
+        self.bimodal.counters.fill(2);
+        self.btb.entries.fill(None);
+        self.predictions = 0;
+        self.mispredictions = 0;
+    }
+
     /// Misprediction ratio in [0, 1].
     pub fn misprediction_ratio(&self) -> f64 {
         if self.predictions == 0 {

@@ -511,6 +511,108 @@ impl<S: TraceSink + ?Sized> TraceSink for &mut S {
     }
 }
 
+/// A sink that fans every instruction out to N child sinks.
+///
+/// This is the heart of the shared-functional-pass runner: one functional
+/// interpretation of a workload feeds N timing simulators (one per machine
+/// configuration of a grid), so the interpreter's work is amortized across
+/// all of them. Children receive the instructions in identical program order;
+/// each child sees exactly the stream it would have seen alone, so a
+/// `Broadcast` of N streaming simulators is byte-identical to N independent
+/// single-sink passes. The combinator adds no buffering of its own — with
+/// O(ROB) children the whole fan-out stays O(N x ROB), never O(trace).
+#[derive(Debug)]
+pub struct Broadcast<S> {
+    sinks: Vec<S>,
+}
+
+impl<S> Broadcast<S> {
+    /// Fan out to the given child sinks (in order; the order children receive
+    /// each instruction is unobservable, but results are returned in this
+    /// order by [`Broadcast::into_inner`]).
+    pub fn new(sinks: Vec<S>) -> Self {
+        Self { sinks }
+    }
+
+    /// Number of child sinks.
+    pub fn len(&self) -> usize {
+        self.sinks.len()
+    }
+
+    /// Whether there are no children (every instruction is dropped).
+    pub fn is_empty(&self) -> bool {
+        self.sinks.is_empty()
+    }
+
+    /// Take the children back (e.g. to `finish()` each simulator).
+    pub fn into_inner(self) -> Vec<S> {
+        self.sinks
+    }
+}
+
+impl<S: TraceSink> TraceSink for Broadcast<S> {
+    fn emit(&mut self, inst: DynInst) {
+        // The last child takes the owned instruction: a 1-child broadcast
+        // (a grid whose group has a single member) never clones at all.
+        let Some((last, rest)) = self.sinks.split_last_mut() else { return };
+        for sink in rest {
+            sink.emit(inst.clone());
+        }
+        last.emit(inst);
+    }
+}
+
+/// A sink that duplicates every instruction into two (possibly heterogeneous)
+/// sinks — e.g. a collecting [`Trace`] next to a streaming simulator.
+#[derive(Debug)]
+pub struct Tee<A, B>(
+    /// First child (receives a clone).
+    pub A,
+    /// Second child (receives the original).
+    pub B,
+);
+
+impl<A: TraceSink, B: TraceSink> TraceSink for Tee<A, B> {
+    fn emit(&mut self, inst: DynInst) {
+        self.0.emit(inst.clone());
+        self.1.emit(inst);
+    }
+}
+
+/// A sink adapter that forwards only the instructions matching a predicate
+/// (e.g. memory operations only, or one instruction class for a counting
+/// probe). Instructions failing the predicate are dropped without cloning.
+pub struct FilterSink<S, F> {
+    sink: S,
+    keep: F,
+}
+
+impl<S, F: FnMut(&DynInst) -> bool> FilterSink<S, F> {
+    /// Forward to `sink` only the instructions for which `keep` is true.
+    pub fn new(sink: S, keep: F) -> Self {
+        Self { sink, keep }
+    }
+
+    /// Take the inner sink back.
+    pub fn into_inner(self) -> S {
+        self.sink
+    }
+}
+
+impl<S: TraceSink, F: FnMut(&DynInst) -> bool> TraceSink for FilterSink<S, F> {
+    fn emit(&mut self, inst: DynInst) {
+        if (self.keep)(&inst) {
+            self.sink.emit(inst);
+        }
+    }
+}
+
+impl<S: std::fmt::Debug, F> std::fmt::Debug for FilterSink<S, F> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FilterSink").field("sink", &self.sink).finish_non_exhaustive()
+    }
+}
+
 /// A complete dynamic trace plus summary statistics.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct Trace {
@@ -766,6 +868,49 @@ mod tests {
         produce(&mut v);
         assert_eq!(v.len(), 3);
         assert_eq!(t.insts, v);
+    }
+
+    #[test]
+    fn broadcast_feeds_every_child_identically() {
+        let mut fan = Broadcast::new(vec![Trace::new(IsaKind::Alpha), Trace::new(IsaKind::Alpha), Trace::new(IsaKind::Alpha)]);
+        assert_eq!(fan.len(), 3);
+        assert!(!fan.is_empty());
+        for pc in 0..5 {
+            fan.emit(DynInst::new(InstClass::IntSimple, pc).with_dst(ArchReg::int(1)));
+        }
+        let children = fan.into_inner();
+        assert_eq!(children.len(), 3);
+        for child in &children {
+            assert_eq!(child.insts, children[0].insts, "every child saw the same stream");
+        }
+        assert_eq!(children[0].len(), 5);
+        // An empty broadcast simply drops the stream.
+        let mut empty: Broadcast<Trace> = Broadcast::new(Vec::new());
+        assert!(empty.is_empty());
+        empty.emit(DynInst::new(InstClass::Nop, 0));
+        assert!(empty.into_inner().is_empty());
+    }
+
+    #[test]
+    fn tee_duplicates_into_both_sinks() {
+        let mut tee = Tee(Trace::new(IsaKind::Mom), Vec::new());
+        for pc in 0..4 {
+            tee.emit(DynInst::new(InstClass::MediaSimple, pc).with_elems(8));
+        }
+        assert_eq!(tee.0.len(), 4);
+        assert_eq!(tee.0.insts, tee.1);
+    }
+
+    #[test]
+    fn filter_sink_forwards_matching_instructions_only() {
+        let mut mem_only = FilterSink::new(Trace::new(IsaKind::Alpha), |i: &DynInst| i.class.is_mem());
+        mem_only.emit(DynInst::new(InstClass::IntSimple, 0));
+        mem_only.emit(DynInst::new(InstClass::Load, 1).with_mem(MemList::one(access(0x8))));
+        mem_only.emit(DynInst::new(InstClass::Branch, 2));
+        mem_only.emit(DynInst::new(InstClass::Store, 3).with_mem(MemList::one(access(0x10))));
+        let kept = mem_only.into_inner();
+        assert_eq!(kept.len(), 2);
+        assert!(kept.insts.iter().all(|i| i.class.is_mem()));
     }
 
     fn access(addr: u64) -> MemAccess {

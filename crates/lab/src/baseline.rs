@@ -41,6 +41,12 @@ pub struct Diff {
     /// performance regressions are visible in CI logs while the
     /// deterministic results stay the gate.
     pub throughput: Vec<String>,
+    /// Informational functional-sharing comparison (from the
+    /// `meta.shared_passes` sections), present only when **both** documents
+    /// carry it. Like throughput it never affects [`Diff::has_regressions`]:
+    /// it exists so a drop in the fan-out runner's amortization is visible
+    /// next to the `insts_per_sec` deltas it would explain.
+    pub sharing: Option<String>,
 }
 
 impl Diff {
@@ -70,6 +76,9 @@ impl std::fmt::Display for Diff {
         }
         for t in &self.throughput {
             writeln!(f, "throughput: {t}")?;
+        }
+        if let Some(s) = &self.sharing {
+            writeln!(f, "sharing: {s}")?;
         }
         writeln!(
             f,
@@ -164,7 +173,25 @@ pub fn diff_documents(new: &Value, baseline: &Value, tolerance: f64) -> Result<D
         }
     }
     diff.throughput = throughput_deltas(new, baseline);
+    diff.sharing = sharing_delta(new, baseline);
     Ok(diff)
+}
+
+/// Informational functional-sharing comparison between the
+/// `meta.shared_passes` sections of two documents. `None` when either
+/// document lacks the section (e.g. the committed `--results-only`
+/// baselines). Never contributes to the exit code.
+fn sharing_delta(new: &Value, baseline: &Value) -> Option<String> {
+    let section = |doc: &Value| doc.get("meta").and_then(|m| m.get("shared_passes")).cloned();
+    let (new_sp, base_sp) = (section(new)?, section(baseline)?);
+    let field = |sp: &Value, k: &str| sp.get(k).and_then(Value::as_f64).filter(|v| v.is_finite());
+    let new_factor = field(&new_sp, "sharing_factor")?;
+    let base_factor = field(&base_sp, "sharing_factor")?;
+    let passes = field(&new_sp, "functional_passes").unwrap_or(f64::NAN);
+    let cells = field(&new_sp, "cells").unwrap_or(f64::NAN);
+    Some(format!(
+        "{passes:.0} functional passes for {cells:.0} cells ({new_factor:.2}x amortized) vs baseline {base_factor:.2}x"
+    ))
 }
 
 /// Informational `insts_per_sec` deltas between the `meta.throughput`
@@ -311,6 +338,40 @@ mod tests {
         let d = diff_documents(&doc(1000, "h"), &with_throughput(doc(1000, "h"), 20e6), 0.02)
             .unwrap();
         assert!(d.throughput.is_empty());
+    }
+
+    fn with_sharing(mut document: Value, passes: i64, cells: i64, factor: f64) -> Value {
+        let sp = Value::object(vec![(
+            "shared_passes",
+            Value::object(vec![
+                ("cells", Value::Int(cells)),
+                ("functional_passes", Value::Int(passes)),
+                ("sharing_factor", Value::Float(factor)),
+            ]),
+        )]);
+        if let Value::Object(members) = &mut document {
+            members.push(("meta".into(), sp));
+        }
+        document
+    }
+
+    #[test]
+    fn sharing_factor_is_reported_when_both_documents_carry_it() {
+        let new = with_sharing(doc(1000, "h"), 4, 16, 4.0);
+        let base = with_sharing(doc(1000, "h"), 16, 16, 1.0);
+        let d = diff_documents(&new, &base, DEFAULT_TOLERANCE).unwrap();
+        assert!(!d.has_regressions(), "sharing never gates");
+        let line = d.sharing.as_deref().expect("sharing line present");
+        assert!(line.contains("4 functional passes for 16 cells"), "{line}");
+        assert!(line.contains("4.00x"), "{line}");
+        assert!(line.contains("baseline 1.00x"), "{line}");
+        assert!(format!("{d}").contains("sharing: "));
+        // Either side missing the section: no line (the committed
+        // --results-only baselines carry no meta).
+        let d = diff_documents(&new, &doc(1000, "h"), DEFAULT_TOLERANCE).unwrap();
+        assert!(d.sharing.is_none());
+        let d = diff_documents(&doc(1000, "h"), &base, DEFAULT_TOLERANCE).unwrap();
+        assert!(d.sharing.is_none());
     }
 
     #[test]

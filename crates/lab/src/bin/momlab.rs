@@ -2,10 +2,15 @@
 //!
 //! ```text
 //! momlab list [--experiment NAME]...
+//! momlab describe <NAME>... [--sweep-dims SPEC]
 //! momlab run <NAME>... | --all [options]
 //! momlab --all                      # shorthand for `momlab run --all`
 //! momlab diff <NEW.json> --baseline <OLD.json> [--tolerance F]
 //! ```
+//!
+//! `momlab describe` prints the resolved machine grid of an experiment: one
+//! line per cell with the full `MachineDescriptor` (core organisation, ROB,
+//! memory system, register files) the runner would instantiate.
 //!
 //! Run options:
 //!
@@ -14,10 +19,17 @@
 //!   (repeatable)
 //! * `--scale N` — workload scale (default 1)
 //! * `--workers N` — worker threads (default: min(cpus, 8); 1 = serial)
-//! * `--streamed` — fused streaming execution: each cell re-interprets its
-//!   workload and feeds the simulator directly, with no materialized trace
-//!   (byte-identical results; O(ROB) memory per cell). `MOM_LAB_STREAM=1`
-//!   sets the same default
+//! * `--streamed` — fused *per-cell* streaming: each cell re-interprets its
+//!   workload and feeds its simulator directly (byte-identical results;
+//!   O(ROB) memory per cell). `MOM_LAB_STREAM=1` sets the same default
+//! * `--materialized` — the classic two-stage path: build each distinct
+//!   trace once, replay it per cell. Without either flag the runner uses the
+//!   **fan-out** mode: one functional pass per `(workload, ISA)` group,
+//!   broadcast to all member simulators (byte-identical, and the functional
+//!   work drops by the factor reported in `meta.shared_passes`)
+//! * `--sweep-dims SPEC` — override the `sweep` experiment's grid, e.g.
+//!   `rob=16,32:lat=1,50:way=4,8` (axes: `rob`, `lat`, `way`; omitted axes
+//!   keep their defaults)
 //! * `--json FILE` — result file path (single experiment only)
 //! * `--out-dir DIR` — directory for `BENCH_<name>.json` files (default `.`)
 //! * `--results-only` — write only the deterministic results document (no
@@ -33,8 +45,10 @@
 //! `momlab diff` (and `--baseline`) gate on simulated cycles only. When both
 //! documents carry a `meta.throughput` section, the report additionally
 //! prints informational per-cell `insts_per_sec` deltas (`throughput:`
-//! lines) so simulator-performance changes stay visible in CI logs without
-//! wall-clock noise ever affecting the exit code.
+//! lines), and when both carry `meta.shared_passes` it prints the
+//! functional-sharing factors (`sharing:` line) — so simulator-performance
+//! changes stay visible in CI logs without wall-clock noise ever affecting
+//! the exit code.
 //!
 //! `MOM_BENCH_FAST=1` selects the same reduced workload subsets as the legacy
 //! experiment binaries.
@@ -48,7 +62,8 @@ use mom_isa::trace::IsaKind;
 use mom_kernels::KernelKind;
 use mom_lab::baseline::{diff_documents, DEFAULT_TOLERANCE};
 use mom_lab::json::Value;
-use mom_lab::spec::{ExperimentKind, ExperimentSpec, BUILTIN_EXPERIMENTS};
+use mom_lab::runner::ExecMode;
+use mom_lab::spec::{sweep_spec, ExperimentKind, ExperimentSpec, SweepDims, BUILTIN_EXPERIMENTS};
 use mom_lab::{report, runner};
 
 fn main() -> ExitCode {
@@ -67,18 +82,26 @@ fn main() -> ExitCode {
 const USAGE: &str = "\
 Usage:
   momlab list [--experiment NAME]...
+  momlab describe <NAME>... [--sweep-dims SPEC]
   momlab run <NAME>... | --all [--experiment NAME]... [--kernel K]... [--app A]...
-             [--isa I]... [--scale N] [--workers N] [--streamed] [--json FILE]
-             [--out-dir DIR] [--results-only] [--no-json] [--quiet]
-             [--baseline FILE] [--tolerance F]
+             [--isa I]... [--scale N] [--workers N] [--streamed] [--materialized]
+             [--sweep-dims SPEC] [--json FILE] [--out-dir DIR] [--results-only]
+             [--no-json] [--quiet] [--baseline FILE] [--tolerance F]
   momlab --all
   momlab diff <NEW.json> --baseline <OLD.json> [--tolerance F]
 
 Built-in experiments: table1 table2 table3 isa_inventory figure5
-                      latency_tolerance figure7 stress
+                      latency_tolerance figure7 stress sweep
+
+Execution modes: the default fan-out runner shares one functional pass per
+(workload, ISA) group across all member machines; --streamed runs the fused
+per-cell pipeline; --materialized builds and replays traces. All three are
+byte-identical in their results.
+
+--sweep-dims overrides the sweep grid, e.g. rob=16,32:lat=1,50:way=4,8.
 
 MOM_BENCH_FAST=1 selects the reduced fast-mode workload subsets.
-MOM_LAB_STREAM=1 enables the fused streaming pipeline by default.";
+MOM_LAB_STREAM=1 enables the fused per-cell streaming pipeline by default.";
 
 /// Everything `momlab run` / `momlab list` / `momlab diff` accept.
 #[derive(Debug, Default)]
@@ -92,6 +115,8 @@ struct Options {
     scale: usize,
     workers: Option<usize>,
     streamed: bool,
+    materialized: bool,
+    sweep_dims: Option<String>,
     json: Option<PathBuf>,
     out_dir: PathBuf,
     results_only: bool,
@@ -140,6 +165,8 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                 )
             }
             "--streamed" => opts.streamed = true,
+            "--materialized" => opts.materialized = true,
+            "--sweep-dims" => opts.sweep_dims = Some(value("--sweep-dims")?.to_string()),
             "--json" => opts.json = Some(PathBuf::from(value("--json")?)),
             "--out-dir" => opts.out_dir = PathBuf::from(value("--out-dir")?),
             "--results-only" => opts.results_only = true,
@@ -178,6 +205,7 @@ fn run_cli(args: &[String]) -> Result<ExitCode, String> {
             Ok(ExitCode::SUCCESS)
         }
         Some("list") => cmd_list(&parse_options(&args[1..])?),
+        Some("describe") => cmd_describe(&parse_options(&args[1..])?),
         Some("run") => cmd_run(&parse_options(&args[1..])?),
         Some("diff") => cmd_diff(&parse_options(&args[1..])?),
         // `momlab --all` is a shorthand for `momlab run --all`.
@@ -206,11 +234,19 @@ fn selected_specs(opts: &Options) -> Result<Vec<ExperimentSpec>, String> {
             names.retain(|n| opts.experiments.contains(n));
         }
     }
+    if opts.sweep_dims.is_some() && !names.iter().any(|n| n == "sweep") {
+        return Err("--sweep-dims applies to the sweep experiment; select it explicitly".into());
+    }
     let mut specs = Vec::new();
     for name in &names {
-        let mut spec = ExperimentSpec::builtin(name, opts.scale, fast).ok_or_else(|| {
-            format!("unknown experiment {name:?} (try: {})", BUILTIN_EXPERIMENTS.join(", "))
-        })?;
+        let mut spec = if name == "sweep" && opts.sweep_dims.is_some() {
+            let dims = SweepDims::parse(opts.sweep_dims.as_deref().unwrap_or_default(), fast)?;
+            sweep_spec(&dims, opts.scale, fast)
+        } else {
+            ExperimentSpec::builtin(name, opts.scale, fast).ok_or_else(|| {
+                format!("unknown experiment {name:?} (try: {})", BUILTIN_EXPERIMENTS.join(", "))
+            })?
+        };
         if let ExperimentKind::Grid(grid) = &mut spec.kind {
             if !opts.kernels.is_empty() {
                 grid.retain_kernels(&opts.kernels);
@@ -245,6 +281,20 @@ fn cmd_list(opts: &Options) -> Result<ExitCode, String> {
     Ok(ExitCode::SUCCESS)
 }
 
+fn cmd_describe(opts: &Options) -> Result<ExitCode, String> {
+    if opts.names.is_empty() && opts.experiments.is_empty() && !opts.all {
+        return Err("describe takes at least one experiment name".into());
+    }
+    let specs = selected_specs(opts)?;
+    for (i, spec) in specs.iter().enumerate() {
+        if i > 0 {
+            println!();
+        }
+        print!("{}", report::describe(spec));
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
 fn read_document(path: &Path) -> Result<Value, String> {
     let text = std::fs::read_to_string(path)
         .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
@@ -260,11 +310,20 @@ fn cmd_run(opts: &Options) -> Result<ExitCode, String> {
         return Err("--baseline applies to a single experiment; use `momlab diff` per file".into());
     }
     let workers = opts.workers.unwrap_or_else(runner::default_workers);
-    let streamed = opts.streamed || mom_lab::stream_mode();
+    if opts.streamed && opts.materialized {
+        return Err("--streamed and --materialized are mutually exclusive".into());
+    }
+    let mode = if opts.materialized {
+        ExecMode::Materialized
+    } else if opts.streamed || mom_lab::stream_mode() {
+        ExecMode::Streamed
+    } else {
+        ExecMode::Fanout
+    };
 
     let mut exit = ExitCode::SUCCESS;
     for (i, spec) in specs.iter().enumerate() {
-        let result = runner::run_with_mode(spec, workers, streamed);
+        let result = runner::run_with_mode(spec, workers, mode);
         if !opts.quiet {
             if i > 0 {
                 println!();
@@ -291,13 +350,19 @@ fn cmd_run(opts: &Options) -> Result<ExitCode, String> {
                 .total_insts_per_sec()
                 .map(|ips| format!(", {:.1} Minst/s", ips / 1e6))
                 .unwrap_or_default();
+            let sharing = result
+                .sharing_factor()
+                .filter(|&f| f > 1.0)
+                .map(|f| format!(", {f:.1}x shared functional pass"))
+                .unwrap_or_default();
             eprintln!(
-                "wrote {} ({} workers, {} ms{}{})",
+                "wrote {} ({} workers, {} ms, {}{}{})",
                 path.display(),
                 result.workers,
                 result.wall_ms,
-                if result.streamed { ", streamed" } else { "" },
+                result.mode.label(),
                 throughput,
+                sharing,
             );
         }
         if let Some(baseline_path) = &opts.baseline {

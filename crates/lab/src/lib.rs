@@ -42,8 +42,8 @@ pub mod runner;
 pub mod spec;
 pub mod tables;
 
-pub use runner::{run, run_streamed, run_with, run_with_mode, CellResult, RunResult};
-pub use spec::{ExperimentSpec, GridSpec, Workload, BUILTIN_EXPERIMENTS};
+pub use runner::{run, run_streamed, run_with, run_with_mode, CellResult, ExecMode, RunResult};
+pub use spec::{ExperimentSpec, GridSpec, SweepDims, Workload, BUILTIN_EXPERIMENTS};
 
 use std::sync::OnceLock;
 

@@ -11,7 +11,7 @@ use mom_isa::trace::IsaKind;
 use mom_mem::MemModelKind;
 
 use crate::runner::{CellResult, RunData, RunResult};
-use crate::spec::{ExperimentSpec, GridSpec};
+use crate::spec::{BaselinePolicy, ExperimentSpec, GridSpec};
 use crate::tables::StaticRows;
 
 /// Header suffix marking reduced runs, so saved fast-mode output can never be
@@ -35,10 +35,14 @@ pub fn render(result: &RunResult) -> String {
             // paired configs are a latency study, application workloads use
             // the wide config-label columns of Figure 7, and everything else
             // (Figure 5 and custom kernel grids) gets the per-ISA width table.
-            if matches!(grid.baseline, crate::spec::BaselinePolicy::PairedPrevious) {
+            if matches!(grid.baseline, BaselinePolicy::PairedPrevious) {
                 render_latency(&result.spec, grid, cells)
             } else if grid.workloads.iter().any(|w| matches!(w, crate::spec::Workload::App(_))) {
                 render_config_table(&result.spec, grid, cells)
+            } else if matches!(grid.baseline, BaselinePolicy::None) {
+                // No baseline means no speed-up column; grids like the
+                // design-space sweep print IPC instead.
+                render_ipc_table(&result.spec, grid, cells)
             } else {
                 render_width_table(&result.spec, grid, cells)
             }
@@ -195,6 +199,72 @@ fn render_width_table(spec: &ExperimentSpec, grid: &GridSpec, cells: &[CellResul
     out
 }
 
+/// The baseline-free layout (the design-space sweep): one section per
+/// workload, one row per config, one IPC column per width.
+fn render_ipc_table(spec: &ExperimentSpec, grid: &GridSpec, cells: &[CellResult]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{}{}", spec.title, fast_marker(spec.fast));
+    let label_width = grid.configs.iter().map(|c| c.label.len()).max().unwrap_or(8).max(8);
+    for workload in &grid.workloads {
+        let _ = writeln!(out);
+        let _ = writeln!(out, "{workload} (IPC)");
+        let mut header = format!("{:<label_width$}", "config");
+        for way in &grid.widths {
+            header.push_str(&format!(" {:>10}", format!("{way}-way")));
+        }
+        let _ = writeln!(out, "{header}");
+        for config in &grid.configs {
+            let mut row = format!("{:<label_width$}", config.label);
+            for &way in &grid.widths {
+                let value = find_cell(cells, workload.label(), &config.label, way)
+                    .map(|c| c.ipc())
+                    .unwrap_or(f64::NAN);
+                row.push_str(&format!(" {value:>10.3}"));
+            }
+            let _ = writeln!(out, "{row}");
+        }
+    }
+    out
+}
+
+/// Render the resolved machine grid of an experiment: one line per cell with
+/// the full [`mom_cpu::MachineDescriptor`] the runner would instantiate
+/// (`momlab describe`). Static experiments have no machine grid.
+pub fn describe(spec: &ExperimentSpec) -> String {
+    let mut out = String::new();
+    let Some(grid) = spec.grid() else {
+        let _ = writeln!(out, "{}: static experiment (no machine grid)", spec.name);
+        return out;
+    };
+    let cells = grid.cells();
+    // The shared-pass count comes from the fan-out runner's own grouping
+    // function, so the printed number can never drift from what runs.
+    let passes = crate::runner::fanout_groups(grid, &cells).len();
+    let _ = writeln!(
+        out,
+        "{}: {} cells over {} shared functional passes{}",
+        spec.name,
+        cells.len(),
+        passes,
+        fast_marker(spec.fast)
+    );
+    let workload_width =
+        grid.workloads.iter().map(|w| w.label().len()).max().unwrap_or(8).max(8);
+    let label_width = grid.configs.iter().map(|c| c.label.len()).max().unwrap_or(6).max(6);
+    for (i, cell) in cells.iter().enumerate() {
+        let config = &grid.configs[cell.config];
+        let descriptor = config.descriptor(cell.way);
+        let _ = writeln!(
+            out,
+            "{i:>4}  {:<workload_width$}  {:<label_width$}  {}",
+            cell.workload.label(),
+            config.label,
+            descriptor.summary(),
+        );
+    }
+    out
+}
+
 /// The latency-tolerance layout: per-kernel slow-down rows plus per-ISA
 /// bands. Slow-downs are re-derived from the raw cycle counts of the paired
 /// `lat1`/`lat50` cells.
@@ -303,5 +373,46 @@ mod tests {
     fn fast_marker_toggles() {
         assert_eq!(fast_marker(false), "");
         assert!(fast_marker(true).contains("fast mode"));
+    }
+
+    #[test]
+    fn describe_prints_one_descriptor_line_per_cell() {
+        let spec = ExperimentSpec::builtin("figure5", 1, true).unwrap();
+        let grid = spec.grid().unwrap();
+        let text = describe(&spec);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 1 + grid.cells().len(), "header + one line per cell");
+        assert!(lines[0].contains("32 cells over 8 shared functional passes"), "{}", lines[0]);
+        // Every cell line carries the resolved descriptor summary.
+        assert!(lines[1].contains("1-way alpha"), "{}", lines[1]);
+        assert!(lines[1].contains("rob=8"), "{}", lines[1]);
+        assert!(lines[1].contains("mem=perfect-1"), "{}", lines[1]);
+        // Apps group per workload (scalar phases shared across ISA lanes).
+        let fig7 = ExperimentSpec::builtin("figure7", 1, true).unwrap();
+        assert!(
+            describe(&fig7).starts_with("figure7: 10 cells over 2 shared functional passes"),
+            "{}",
+            describe(&fig7)
+        );
+        // The sweep's ROB override shows up in the resolved grid.
+        let sweep = ExperimentSpec::builtin("sweep", 1, true).unwrap();
+        let sweep_text = describe(&sweep);
+        assert!(sweep_text.contains("rob=16"), "{sweep_text}");
+        assert!(sweep_text.contains("rob=64"), "{sweep_text}");
+        assert!(sweep_text.contains("lat50"), "{sweep_text}");
+        // Static experiments have no machine grid.
+        let table = ExperimentSpec::builtin("table1", 1, true).unwrap();
+        assert!(describe(&table).contains("static experiment"));
+    }
+
+    #[test]
+    fn baseline_free_grids_render_ipc_tables() {
+        let spec = ExperimentSpec::builtin("sweep", 1, true).unwrap();
+        let result = run_with(&spec, 2);
+        let text = render(&result);
+        assert!(text.starts_with("Design-space sweep"), "{text}");
+        assert!(text.contains("(IPC)"), "{text}");
+        assert!(text.contains("mom/rob64/lat1"), "{text}");
+        assert!(!text.contains("NaN"), "no speed-up NaNs in a baseline-free grid:\n{text}");
     }
 }

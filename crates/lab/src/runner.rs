@@ -1,21 +1,33 @@
 //! The parallel experiment runner.
 //!
-//! Grid experiments run in two parallel stages over scoped worker threads:
+//! Grid experiments run in one of three execution modes ([`ExecMode`]):
 //!
-//! 1. **Trace building** — every distinct `(workload, ISA)` pair is executed
-//!    once by the functional interpreter (kernels are verified against the
-//!    golden reference while doing so);
-//! 2. **Timing simulation** — every grid cell simulates its pre-built trace
-//!    on its own core + memory-system instance.
+//! * [`ExecMode::Fanout`] — **the default**: the grid's cells are regrouped
+//!   into `(workload, ISA)` groups; each group runs **one** functional
+//!   interpretation of its workload (kernels verified against the golden
+//!   reference) whose graduated instructions fan out through a
+//!   `Broadcast` sink to the streaming timing simulators of every member
+//!   machine configuration. The interpreter's work is amortized across the
+//!   whole group — Figure 5's 128 cells cost 32 functional passes — and no
+//!   trace is ever materialized: peak memory per group is
+//!   `members x O(ROB)`.
+//! * [`ExecMode::Streamed`] — the fused per-cell pipeline of the streaming
+//!   era: every cell re-interprets its workload and graduates instructions
+//!   straight into its own simulator, O(ROB) per cell.
+//! * [`ExecMode::Materialized`] — the classic two-stage path: build every
+//!   distinct `(workload, ISA)` trace once, then replay it per cell.
 //!
-//! [`run_streamed`] (and [`run_with_mode`] with `streamed = true`) replaces
-//! both stages with the **fused streaming pipeline**: every cell
-//! re-interprets its workload and graduates instructions straight into the
-//! timing simulator's O(ROB) engine, so no dynamic trace is ever
-//! materialized and per-cell memory is independent of workload scale. The
-//! two modes are byte-identical in their results — the determinism guarantee
-//! below covers the execution mode as well as the worker count — and the
-//! chosen mode is recorded only in the JSON `meta` section.
+//! All three modes are **byte-identical** in their results — the determinism
+//! guarantee below covers the execution mode as well as the worker count —
+//! and the chosen mode is recorded only in the JSON `meta` section, along
+//! with the functional-sharing accounting (`meta.shared_passes`).
+//!
+//! Machines are built from the declarative [`MachineDescriptor`] resolved by
+//! each grid cell and **reused across work units**: every worker keeps a
+//! pool of instantiated machines keyed by descriptor and `reset()`s them
+//! between cells instead of reallocating predictor tables, ring buffers and
+//! cache arrays (a reset machine is bit-identical to a fresh one; the
+//! `mom-cpu`/`mom-mem` test suites pin that property).
 //!
 //! Work is distributed by a shared atomic cursor (idle workers steal the next
 //! unclaimed index), and every result is written back to the slot of its cell
@@ -28,23 +40,63 @@
 //!
 //! # Determinism
 //!
-//! For any spec `s` and worker counts `a, b >= 1`:
-//! `run_with(&s, a).results_json() == run_with(&s, b).results_json()` —
-//! byte-for-byte. Only the `meta` section of the full document (wall-clock,
-//! worker count) may differ between runs.
+//! For any spec `s`, worker counts `a, b >= 1` and execution modes `m, n`:
+//! `run_with_mode(&s, a, m).results_json() ==
+//! run_with_mode(&s, b, n).results_json()` — byte-for-byte. Only the `meta`
+//! section of the full document (wall-clock, worker count, mode, sharing
+//! accounting) may differ between runs.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 
-use mom_apps::{build_app, run_app_streamed, AppParams};
-use mom_cpu::{CoreConfig, OooCore, SimResult};
-use mom_isa::trace::{IsaKind, Trace};
+use mom_apps::{stream_app, stream_app_multi, AppParams};
+use mom_cpu::{MachineDescriptor, SimMachine, SimResult, SimStream};
+use mom_isa::trace::{Broadcast, IsaKind, Trace, TraceSink};
 use mom_kernels::{build_kernel, KernelParams};
-use mom_mem::{build_memory, MemModelKind};
+use mom_mem::MemModelKind;
 
 use crate::json::Value;
-use crate::spec::{BaselinePolicy, ExperimentKind, ExperimentSpec, GridSpec, Workload};
+use crate::spec::{BaselinePolicy, Cell, ExperimentKind, ExperimentSpec, GridSpec, Workload};
 use crate::tables::{static_rows, StaticRows};
+
+/// How a grid experiment executes its cells. Results are byte-identical
+/// across modes; the mode only decides how the functional interpreter's work
+/// is scheduled and shared.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecMode {
+    /// Build every distinct `(workload, ISA)` trace once, replay it per cell.
+    Materialized,
+    /// Fused per-cell pipeline: each cell re-interprets its workload straight
+    /// into its simulator (O(ROB) per cell, one functional pass per cell).
+    Streamed,
+    /// Shared-functional-pass fan-out (the default): one interpretation per
+    /// `(workload, ISA)` group broadcast to all member simulators.
+    ///
+    /// Note the parallel work unit coarsens from cells to groups: a grid
+    /// whose group count is below the worker count leaves workers idle
+    /// (the full `sweep` is 4 groups), trading wall-clock parallelism for
+    /// the amortized functional work. On hosts with many cores and
+    /// simulation-bound grids, `Streamed`/`Materialized` keep per-cell
+    /// parallelism at the cost of per-cell interpretation.
+    Fanout,
+}
+
+impl ExecMode {
+    /// The `meta.mode` label of the JSON schema.
+    pub fn label(self) -> &'static str {
+        match self {
+            ExecMode::Materialized => "materialized",
+            ExecMode::Streamed => "streamed",
+            ExecMode::Fanout => "fanout",
+        }
+    }
+
+    /// Whether instructions graduate straight into the simulators without a
+    /// materialized trace (the `meta.streamed` flag of the JSON schema).
+    pub fn is_streamed(self) -> bool {
+        !matches!(self, ExecMode::Materialized)
+    }
+}
 
 /// Results of one simulated grid cell.
 #[derive(Debug, Clone, PartialEq)]
@@ -105,16 +157,31 @@ pub struct RunResult {
     pub workers: usize,
     /// Wall-clock duration of the run in milliseconds.
     pub wall_ms: u64,
-    /// Whether the grid ran through the fused streaming pipeline
-    /// (interpreter feeding the simulator directly, rebuilt per cell) rather
-    /// than pre-built materialized traces. Results are byte-identical either
-    /// way; only `meta` records the difference.
-    pub streamed: bool,
+    /// How the grid executed (recorded in `meta` only; results are
+    /// byte-identical across modes).
+    pub mode: ExecMode,
     /// Per-cell wall-clock simulation time in nanoseconds, parallel to the
     /// grid cells (empty for static experiments). Feeds the `insts_per_sec`
     /// throughput figures of the JSON `meta` section; like all wall-clock
-    /// data it lives outside the deterministic results.
+    /// data it lives outside the deterministic results. In fan-out mode every
+    /// member of a `(workload, ISA)` group carries the group's shared span.
     pub cell_wall_ns: Vec<u64>,
+    /// Total wall-clock nanoseconds of the distinct simulation work units
+    /// (cells, or groups in fan-out mode). Unlike summing `cell_wall_ns`,
+    /// this never counts a shared group span more than once.
+    pub sim_wall_ns: u64,
+    /// Number of functional interpreter passes the run performed: one per
+    /// fan-out group in fan-out mode (per `(kernel, ISA)` for kernels, per
+    /// *app* for applications — their scalar phases interpret once across
+    /// all ISA lanes), one per distinct `(workload, ISA)` pair in
+    /// materialized mode, one per cell in streamed mode. Zero for static
+    /// experiments.
+    pub functional_passes: usize,
+    /// Dynamic instructions the functional interpreter actually executed
+    /// (each shared pass counted once). The cells' own `instructions` sum is
+    /// what per-cell interpretation would have cost; the ratio of the two is
+    /// the `meta.shared_passes.sharing_factor`.
+    pub functional_instructions: u64,
     /// The results.
     pub data: RunData,
 }
@@ -125,38 +192,34 @@ pub fn default_workers() -> usize {
     std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(8)
 }
 
-/// Run an experiment with [`default_workers`] on the materialized-trace path.
+/// Run an experiment with [`default_workers`] in the default
+/// ([`ExecMode::Fanout`]) execution mode.
 pub fn run(spec: &ExperimentSpec) -> RunResult {
     run_with(spec, default_workers())
 }
 
 /// Run an experiment with an explicit worker count (`1` forces a fully
 /// serial run; results are identical either way — see the
-/// [module docs](self#determinism)) on the materialized-trace path.
+/// [module docs](self#determinism)) in the default fan-out mode.
 pub fn run_with(spec: &ExperimentSpec, workers: usize) -> RunResult {
-    run_with_mode(spec, workers, false)
+    run_with_mode(spec, workers, ExecMode::Fanout)
 }
 
-/// Run an experiment through the fused streaming pipeline: each grid cell
-/// re-interprets its workload and feeds the timing simulator directly, so no
-/// trace is ever materialized and peak memory per cell is bounded by the
-/// simulator's O(ROB) window. Results are **byte-identical** to
-/// [`run_with`] — the determinism guarantee extends across execution modes.
+/// Run an experiment through the fused per-cell streaming pipeline
+/// ([`ExecMode::Streamed`]). Results are **byte-identical** to [`run_with`]
+/// — the determinism guarantee extends across execution modes.
 pub fn run_streamed(spec: &ExperimentSpec, workers: usize) -> RunResult {
-    run_with_mode(spec, workers, true)
+    run_with_mode(spec, workers, ExecMode::Streamed)
 }
 
-/// Run an experiment with an explicit worker count and execution mode
-/// (`streamed = false`: build each distinct trace once and replay it per
-/// cell; `streamed = true`: fused interpreter→simulator execution rebuilt
-/// per cell).
-pub fn run_with_mode(spec: &ExperimentSpec, workers: usize, streamed: bool) -> RunResult {
+/// Run an experiment with an explicit worker count and [`ExecMode`].
+pub fn run_with_mode(spec: &ExperimentSpec, workers: usize, mode: ExecMode) -> RunResult {
     let started = Instant::now();
-    let (data, cell_wall_ns) = match &spec.kind {
-        ExperimentKind::Static(kind) => (RunData::Static(static_rows(*kind)), Vec::new()),
+    let (data, timing) = match &spec.kind {
+        ExperimentKind::Static(kind) => (RunData::Static(static_rows(*kind)), GridTiming::default()),
         ExperimentKind::Grid(grid) => {
-            let (cells, timings) = run_grid(grid, workers.max(1), streamed);
-            (RunData::Grid(cells), timings)
+            let (cells, timing) = run_grid(grid, workers.max(1), mode);
+            (RunData::Grid(cells), timing)
         }
     };
     RunResult {
@@ -164,8 +227,11 @@ pub fn run_with_mode(spec: &ExperimentSpec, workers: usize, streamed: bool) -> R
         config_hash: spec.config_hash(),
         workers: workers.max(1),
         wall_ms: started.elapsed().as_millis() as u64,
-        streamed,
-        cell_wall_ns,
+        mode,
+        cell_wall_ns: timing.cell_wall_ns,
+        sim_wall_ns: timing.sim_wall_ns,
+        functional_passes: timing.functional_passes,
+        functional_instructions: timing.functional_instructions,
         data,
     }
 }
@@ -174,110 +240,277 @@ pub fn run_with_mode(spec: &ExperimentSpec, workers: usize, streamed: bool) -> R
 /// against the golden reference; a mismatch is a panic, exactly as in the
 /// legacy harness.
 fn build_trace(workload: Workload, isa: IsaKind, scale: usize, seed: u64) -> Trace {
-    match workload {
-        Workload::Kernel(kernel) => {
-            let params = KernelParams { seed, scale };
-            build_kernel(kernel, isa, &params)
-                .run_verified()
-                .unwrap_or_else(|e| panic!("{kernel} ({isa}) failed verification: {e}"))
-                .trace
-        }
-        Workload::App(app) => {
-            let params = AppParams { seed, scale };
-            build_app(app, isa, &params)
-                .unwrap_or_else(|e| panic!("{app} ({isa}) failed to build: {e}"))
-                .trace
-        }
-    }
+    let mut trace = Trace::new(isa);
+    interpret_into(workload, isa, scale, seed, &mut trace);
+    trace
 }
 
-/// Simulate one pre-built trace on one machine configuration.
-fn simulate(trace: &Trace, way: usize, isa: IsaKind, mem: MemModelKind) -> SimResult {
-    let core = OooCore::new(CoreConfig::for_width(way, isa));
-    let mut memory = build_memory(mem, way);
-    core.simulate(trace, memory.as_mut())
-}
-
-/// Fused streaming execution of one cell: re-interpret the workload and feed
-/// the simulator directly (no materialized trace; peak memory is the
-/// simulator's O(ROB) window). Bit-identical to `simulate(&build_trace(..))`.
-fn simulate_streamed(
+/// Run one workload through the functional interpreter, streaming every
+/// graduated instruction into `sink` (a collecting trace, one simulator, or
+/// a `Broadcast` fan-out to a whole machine group). Kernels are verified
+/// against the golden reference; a failure is a panic, exactly as in the
+/// legacy harness. Returns the number of instructions interpreted.
+fn interpret_into<S: TraceSink + ?Sized>(
     workload: Workload,
-    way: usize,
     isa: IsaKind,
-    mem: MemModelKind,
     scale: usize,
     seed: u64,
-) -> SimResult {
-    let core = OooCore::new(CoreConfig::for_width(way, isa));
-    let mut memory = build_memory(mem, way);
+    sink: &mut S,
+) -> u64 {
     match workload {
         Workload::Kernel(kernel) => {
             let params = KernelParams { seed, scale };
             build_kernel(kernel, isa, &params)
-                .run_streamed(&core, memory.as_mut())
+                .stream_verified(sink)
                 .unwrap_or_else(|e| panic!("{kernel} ({isa}) failed verification: {e}"))
+                as u64
         }
         Workload::App(app) => {
             let params = AppParams { seed, scale };
-            run_app_streamed(app, isa, &params, &core, memory.as_mut())
-                .unwrap_or_else(|e| panic!("{app} ({isa}) failed to build: {e}"))
-                .0
+            let reports = stream_app(app, isa, &params, sink)
+                .unwrap_or_else(|e| panic!("{app} ({isa}) failed to build: {e}"));
+            reports.iter().map(|p| p.instructions as u64).sum()
         }
     }
 }
 
-fn run_grid(grid: &GridSpec, workers: usize, streamed: bool) -> (Vec<CellResult>, Vec<u64>) {
-    let cells = grid.cells();
+/// A worker-local pool of instantiated machines, keyed by descriptor.
+/// Machines are `reset()` on reuse instead of being rebuilt, so predictor
+/// tables, ring buffers and cache arrays are allocated once per
+/// (worker, descriptor) instead of once per cell.
+#[derive(Debug, Default)]
+struct MachinePool {
+    idle: Vec<SimMachine>,
+}
 
-    // Each cell's simulation is timed individually so the JSON `meta`
-    // section can report simulator throughput (insts_per_sec) per cell. In
-    // streamed mode the measured span is the fused interpret+simulate pass;
-    // in materialized mode it is the trace replay alone.
-    let sims: Vec<(SimResult, u64)> = if streamed {
-        // Streamed: no stage 1 — every cell runs the fused pipeline,
-        // rebuilding its workload on the fly.
-        parallel_map(&cells, workers, |cell| {
-            let config = &grid.configs[cell.config];
-            let started = Instant::now();
-            let sim = simulate_streamed(
-                cell.workload,
-                cell.way,
-                config.isa,
-                config.mem,
-                grid.scale,
-                grid.seed,
-            );
-            (sim, started.elapsed().as_nanos() as u64)
-        })
-    } else {
-        // Stage 1: build every distinct (workload, ISA) trace once, in parallel.
-        let mut pairs: Vec<(Workload, IsaKind)> = Vec::new();
-        for cell in &cells {
-            let pair = (cell.workload, grid.configs[cell.config].isa);
-            if !pairs.contains(&pair) {
-                pairs.push(pair);
+impl MachinePool {
+    fn take(&mut self, descriptor: &MachineDescriptor) -> SimMachine {
+        match self.idle.iter().position(|m| m.descriptor() == descriptor) {
+            Some(i) => {
+                let mut machine = self.idle.swap_remove(i);
+                machine.reset();
+                machine
             }
+            None => SimMachine::new(descriptor.clone()),
         }
-        let traces = parallel_map(&pairs, workers, |&(workload, isa)| {
-            build_trace(workload, isa, grid.scale, grid.seed)
-        });
-        let trace_of = |workload: Workload, isa: IsaKind| -> &Trace {
-            let idx = pairs.iter().position(|&p| p == (workload, isa)).expect("trace was built");
-            &traces[idx]
-        };
+    }
 
-        // Stage 2: simulate every cell, in parallel.
-        parallel_map(&cells, workers, |cell| {
-            let config = &grid.configs[cell.config];
-            let trace = trace_of(cell.workload, config.isa);
-            let started = Instant::now();
-            let sim = simulate(trace, cell.way, config.isa, config.mem);
-            (sim, started.elapsed().as_nanos() as u64)
-        })
+    fn put(&mut self, machines: impl IntoIterator<Item = SimMachine>) {
+        self.idle.extend(machines);
+    }
+}
+
+/// Wall-clock and functional-sharing accounting of one grid run (all of it
+/// `meta`-only; none of it deterministic).
+#[derive(Debug, Default)]
+struct GridTiming {
+    cell_wall_ns: Vec<u64>,
+    sim_wall_ns: u64,
+    functional_passes: usize,
+    functional_instructions: u64,
+}
+
+/// One shared-functional-pass work unit of the fan-out runner: a workload
+/// with one or more ISA lanes, each lane listing its member cell indices.
+///
+/// Kernel workloads form one group per `(kernel, ISA)` (a single lane):
+/// every member consumes the identical instruction stream, so one
+/// interpretation feeds them all through a `Broadcast`. Application
+/// workloads form one group per app spanning **all** of its ISAs: the
+/// kernel phases are interpreted per lane, but the scalar phases — identical
+/// across ISAs and the bulk of the Alpha traces — are interpreted once and
+/// fanned out to every lane (see [`stream_app_multi`]).
+#[derive(Debug)]
+pub(crate) struct FanGroup {
+    workload: Workload,
+    lanes: Vec<(IsaKind, Vec<usize>)>,
+}
+
+/// The cells of a grid regrouped into fan-out groups, in first-appearance
+/// order. `report::describe` derives its shared-pass count from the same
+/// function, so the printed grouping can never drift from what runs.
+pub(crate) fn fanout_groups(grid: &GridSpec, cells: &[Cell]) -> Vec<FanGroup> {
+    let mut groups: Vec<FanGroup> = Vec::new();
+    for (i, cell) in cells.iter().enumerate() {
+        let isa = grid.configs[cell.config].isa;
+        let cross_isa = matches!(cell.workload, Workload::App(_));
+        let existing = groups.iter_mut().find(|g| {
+            g.workload == cell.workload && (cross_isa || g.lanes[0].0 == isa)
+        });
+        let group = match existing {
+            Some(g) => g,
+            None => {
+                groups.push(FanGroup { workload: cell.workload, lanes: Vec::new() });
+                groups.last_mut().expect("just pushed")
+            }
+        };
+        match group.lanes.iter_mut().find(|(lane_isa, _)| *lane_isa == isa) {
+            Some((_, members)) => members.push(i),
+            None => group.lanes.push((isa, vec![i])),
+        }
+    }
+    groups
+}
+
+fn run_grid(grid: &GridSpec, workers: usize, mode: ExecMode) -> (Vec<CellResult>, GridTiming) {
+    let cells = grid.cells();
+    let descriptor_of = |cell: &Cell| grid.configs[cell.config].descriptor(cell.way);
+
+    // Each simulation work unit is timed individually so the JSON `meta`
+    // section can report simulator throughput (insts_per_sec) per cell. In
+    // materialized mode the measured span is the trace replay alone; in
+    // streamed mode it is the fused per-cell interpret+simulate pass; in
+    // fan-out mode it is the shared group pass (every member of a group
+    // carries the same span — see EXPERIMENTS.md).
+    let mut timing = GridTiming::default();
+    let sims: Vec<SimResult> = match mode {
+        ExecMode::Fanout => {
+            let groups = fanout_groups(grid, &cells);
+            let outcomes = parallel_map_with(
+                &groups,
+                workers,
+                MachinePool::default,
+                |pool, group| {
+                    let started = Instant::now();
+                    let mut lane_machines: Vec<Vec<SimMachine>> = group
+                        .lanes
+                        .iter()
+                        .map(|(_, members)| {
+                            members
+                                .iter()
+                                .map(|&ci| pool.take(&descriptor_of(&cells[ci])))
+                                .collect()
+                        })
+                        .collect();
+                    let (executed, lane_sims) = match group.workload {
+                        Workload::Kernel(_) => {
+                            // A kernel group is a single lane: one
+                            // interpretation broadcast to every member.
+                            let machines = &mut lane_machines[0];
+                            let streams: Vec<SimStream> =
+                                machines.iter_mut().map(|m| m.sim()).collect();
+                            let mut fan = Broadcast::new(streams);
+                            let executed = interpret_into(
+                                group.workload,
+                                group.lanes[0].0,
+                                grid.scale,
+                                grid.seed,
+                                &mut fan,
+                            );
+                            let sims: Vec<SimResult> =
+                                fan.into_inner().into_iter().map(SimStream::finish).collect();
+                            (executed, vec![sims])
+                        }
+                        Workload::App(app) => {
+                            // An app group spans all of its ISAs: kernel
+                            // phases interpret per lane, scalar phases once
+                            // for all lanes.
+                            let mut lanes: Vec<(IsaKind, Broadcast<SimStream>)> = group
+                                .lanes
+                                .iter()
+                                .zip(lane_machines.iter_mut())
+                                .map(|((isa, _), machines)| {
+                                    (*isa, Broadcast::new(machines.iter_mut().map(|m| m.sim()).collect()))
+                                })
+                                .collect();
+                            let params = AppParams { seed: grid.seed, scale: grid.scale };
+                            let (_, interpreted) = stream_app_multi(app, &params, &mut lanes)
+                                .unwrap_or_else(|e| panic!("{app} failed to build: {e}"));
+                            let sims: Vec<Vec<SimResult>> = lanes
+                                .into_iter()
+                                .map(|(_, fan)| {
+                                    fan.into_inner().into_iter().map(SimStream::finish).collect()
+                                })
+                                .collect();
+                            (interpreted, sims)
+                        }
+                    };
+                    let ns = started.elapsed().as_nanos() as u64;
+                    pool.put(lane_machines.into_iter().flatten());
+                    (lane_sims, ns, executed)
+                },
+            );
+            let mut slots: Vec<Option<SimResult>> = vec![None; cells.len()];
+            timing.cell_wall_ns = vec![0; cells.len()];
+            for (group, (lane_sims, ns, executed)) in groups.iter().zip(outcomes) {
+                timing.sim_wall_ns += ns;
+                timing.functional_passes += 1;
+                timing.functional_instructions += executed;
+                for ((_, members), sims) in group.lanes.iter().zip(lane_sims) {
+                    for (&ci, sim) in members.iter().zip(sims) {
+                        slots[ci] = Some(sim);
+                        timing.cell_wall_ns[ci] = ns;
+                    }
+                }
+            }
+            slots.into_iter().map(|s| s.expect("every cell belongs to one group")).collect()
+        }
+        ExecMode::Streamed => {
+            // No stage 1 — every cell runs the fused pipeline, rebuilding its
+            // workload on the fly.
+            let outcomes = parallel_map_with(&cells, workers, MachinePool::default, |pool, cell| {
+                let config = &grid.configs[cell.config];
+                let started = Instant::now();
+                let mut machine = pool.take(&descriptor_of(cell));
+                let sim = {
+                    let mut stream = machine.sim();
+                    interpret_into(cell.workload, config.isa, grid.scale, grid.seed, &mut stream);
+                    stream.finish()
+                };
+                let ns = started.elapsed().as_nanos() as u64;
+                pool.put([machine]);
+                (sim, ns)
+            });
+            timing.functional_passes = cells.len();
+            let mut sims = Vec::with_capacity(cells.len());
+            for (sim, ns) in outcomes {
+                timing.cell_wall_ns.push(ns);
+                timing.sim_wall_ns += ns;
+                timing.functional_instructions += sim.committed;
+                sims.push(sim);
+            }
+            sims
+        }
+        ExecMode::Materialized => {
+            // Stage 1: build every distinct (workload, ISA) trace once, in parallel.
+            let mut pairs: Vec<(Workload, IsaKind)> = Vec::new();
+            for cell in &cells {
+                let pair = (cell.workload, grid.configs[cell.config].isa);
+                if !pairs.contains(&pair) {
+                    pairs.push(pair);
+                }
+            }
+            let traces = parallel_map(&pairs, workers, |&(workload, isa)| {
+                build_trace(workload, isa, grid.scale, grid.seed)
+            });
+            timing.functional_passes = pairs.len();
+            timing.functional_instructions = traces.iter().map(|t| t.len() as u64).sum();
+            let trace_of = |workload: Workload, isa: IsaKind| -> &Trace {
+                let idx =
+                    pairs.iter().position(|&p| p == (workload, isa)).expect("trace was built");
+                &traces[idx]
+            };
+
+            // Stage 2: simulate every cell, in parallel.
+            let outcomes = parallel_map_with(&cells, workers, MachinePool::default, |pool, cell| {
+                let config = &grid.configs[cell.config];
+                let trace = trace_of(cell.workload, config.isa);
+                let started = Instant::now();
+                let mut machine = pool.take(&descriptor_of(cell));
+                let sim = machine.simulate_trace(trace);
+                let ns = started.elapsed().as_nanos() as u64;
+                pool.put([machine]);
+                (sim, ns)
+            });
+            let mut sims = Vec::with_capacity(cells.len());
+            for (sim, ns) in outcomes {
+                timing.cell_wall_ns.push(ns);
+                timing.sim_wall_ns += ns;
+                sims.push(sim);
+            }
+            sims
+        }
     };
-    let timings: Vec<u64> = sims.iter().map(|(_, ns)| *ns).collect();
-    let sims: Vec<SimResult> = sims.into_iter().map(|(sim, _)| sim).collect();
 
     // Stage 3 (serial, cheap): derive speed-ups against the baseline cells.
     let index_of = |workload: Workload, config: usize, way: usize| -> Option<usize> {
@@ -311,7 +544,7 @@ fn run_grid(grid: &GridSpec, workers: usize, streamed: bool) -> (Vec<CellResult>
             }
         })
         .collect();
-    (results, timings)
+    (results, timing)
 }
 
 /// Map `f` over `items` on `workers` scoped threads with a shared atomic
@@ -323,8 +556,24 @@ fn parallel_map<T: Sync, R: Send>(
     workers: usize,
     f: impl Fn(&T) -> R + Sync,
 ) -> Vec<R> {
+    parallel_map_with(items, workers, || (), |(), item| f(item))
+}
+
+/// [`parallel_map`] with worker-local scratch state: every worker thread
+/// calls `state` once and threads the value through all of its `f` calls.
+/// The runner uses this for the [`MachinePool`] — machines are reused within
+/// a worker, and since a reset machine is bit-identical to a fresh one, the
+/// state never influences results (the determinism guarantee is unaffected
+/// by how items land on workers).
+fn parallel_map_with<T: Sync, R: Send, S>(
+    items: &[T],
+    workers: usize,
+    state: impl Fn() -> S + Sync,
+    f: impl Fn(&mut S, &T) -> R + Sync,
+) -> Vec<R> {
     if workers <= 1 || items.len() <= 1 {
-        return items.iter().map(f).collect();
+        let mut local = state();
+        return items.iter().map(|item| f(&mut local, item)).collect();
     }
     let cursor = AtomicUsize::new(0);
     let mut slots: Vec<Option<R>> = std::iter::repeat_with(|| None).take(items.len()).collect();
@@ -332,13 +581,14 @@ fn parallel_map<T: Sync, R: Send>(
         let handles: Vec<_> = (0..workers.min(items.len()))
             .map(|_| {
                 scope.spawn(|| {
+                    let mut local = state();
                     let mut produced = Vec::new();
                     loop {
                         let i = cursor.fetch_add(1, Ordering::Relaxed);
                         if i >= items.len() {
                             break;
                         }
-                        produced.push((i, f(&items[i])));
+                        produced.push((i, f(&mut local, &items[i])));
                     }
                     produced
                 })
@@ -382,11 +632,17 @@ impl RunResult {
                         grid.configs
                             .iter()
                             .map(|c| {
-                                Value::object(vec![
+                                let mut fields = vec![
                                     ("label", Value::Str(c.label.clone())),
                                     ("isa", Value::Str(c.isa.label().into())),
                                     ("mem", Value::Str(mem_label(c.mem))),
-                                ])
+                                ];
+                                // Overrides appear only when present, so
+                                // pre-override documents stay byte-identical.
+                                if let Some(rob) = c.rob {
+                                    fields.push(("rob", Value::Int(rob as i64)));
+                                }
+                                Value::object(fields)
                             })
                             .collect(),
                     ),
@@ -414,10 +670,35 @@ impl RunResult {
         let mut meta_members = vec![
             ("workers", Value::Int(self.workers as i64)),
             ("wall_ms", Value::Int(self.wall_ms as i64)),
-            ("streamed", Value::Bool(self.streamed)),
+            ("streamed", Value::Bool(self.mode.is_streamed())),
+            ("mode", Value::Str(self.mode.label().into())),
             ("generated_by", Value::Str(format!("momlab {}", env!("CARGO_PKG_VERSION")))),
         ];
         if let Some(cells) = self.cells() {
+            // The functional-sharing accounting: how many interpreter passes
+            // this run performed, how many instructions they executed, and
+            // what per-cell interpretation would have cost instead. The
+            // sharing factor is the instruction-weighted amortization of the
+            // fan-out runner (1.0 in streamed mode by construction).
+            meta_members.push((
+                "shared_passes",
+                Value::object(vec![
+                    ("cells", Value::Int(cells.len() as i64)),
+                    ("functional_passes", Value::Int(self.functional_passes as i64)),
+                    (
+                        "cell_instructions",
+                        Value::Int(cells.iter().map(|c| c.instructions).sum::<u64>() as i64),
+                    ),
+                    (
+                        "functional_instructions",
+                        Value::Int(self.functional_instructions as i64),
+                    ),
+                    (
+                        "sharing_factor",
+                        self.sharing_factor().map(Value::Float).unwrap_or(Value::Null),
+                    ),
+                ]),
+            ));
             if cells.len() == self.cell_wall_ns.len() {
                 meta_members.push(("throughput", Value::Array(
                     cells
@@ -444,15 +725,29 @@ impl RunResult {
 
     /// Aggregate simulator throughput over all grid cells, in dynamic
     /// instructions per wall-clock second (`None` for static experiments or
-    /// when nothing was timed).
+    /// when nothing was timed). The denominator is the sum of the *distinct*
+    /// simulation spans ([`RunResult::sim_wall_ns`]), so a fan-out group's
+    /// shared span is never counted once per member.
     pub fn total_insts_per_sec(&self) -> Option<f64> {
         let cells = self.cells()?;
         if cells.is_empty() || cells.len() != self.cell_wall_ns.len() {
             return None;
         }
         let insts: u64 = cells.iter().map(|c| c.instructions).sum();
-        let ns: u64 = self.cell_wall_ns.iter().sum();
-        Some(insts_per_sec(insts, ns))
+        Some(insts_per_sec(insts, self.sim_wall_ns))
+    }
+
+    /// The instruction-weighted functional-sharing factor: dynamic
+    /// instructions all cells consumed divided by the instructions the
+    /// functional interpreter actually executed (each shared pass counted
+    /// once). `None` for static experiments or empty grids.
+    pub fn sharing_factor(&self) -> Option<f64> {
+        let cells = self.cells()?;
+        if cells.is_empty() || self.functional_instructions == 0 {
+            return None;
+        }
+        let consumed: u64 = cells.iter().map(|c| c.instructions).sum();
+        Some(consumed as f64 / self.functional_instructions as f64)
     }
 
     /// The grid cells, if this was a grid experiment.
@@ -615,5 +910,80 @@ mod tests {
         assert_eq!(mem_label(MemModelKind::Perfect { latency: 1 }), "perfect-1");
         assert_eq!(mem_label(MemModelKind::Perfect { latency: 50 }), "perfect-50");
         assert_eq!(mem_label(MemModelKind::VectorCache), "vector-cache");
+    }
+
+    #[test]
+    fn fanout_amortizes_figure5_groups_by_the_width_count() {
+        // Each (kernel, isa) group of figure5 serves all four widths, so one
+        // functional pass replaces four: sharing factor exactly 4.
+        let spec = figure5_spec(&[KernelKind::Compensation, KernelKind::AddBlock], 1, 1, true);
+        let result = run_with(&spec, 2);
+        assert_eq!(result.mode, ExecMode::Fanout);
+        let cells = result.cells().unwrap();
+        assert_eq!(cells.len(), 2 * 4 * 4);
+        assert_eq!(result.functional_passes, 2 * 4, "one pass per (kernel, isa)");
+        let factor = result.sharing_factor().expect("grid has a sharing factor");
+        assert!((factor - 4.0).abs() < 1e-9, "figure5 sharing factor {factor}");
+        assert_eq!(
+            result.functional_instructions * 4,
+            cells.iter().map(|c| c.instructions).sum::<u64>()
+        );
+        assert_eq!(result.cell_wall_ns.len(), cells.len());
+        // Members of one group share the same measured span.
+        let group: Vec<&u64> = result
+            .cell_wall_ns
+            .iter()
+            .take(4 * 4)
+            .collect();
+        let first_group = &group[..4];
+        assert!(first_group.iter().all(|&&ns| ns == *first_group[0]));
+    }
+
+    #[test]
+    fn shared_passes_meta_is_reported() {
+        let spec = figure5_spec(&[KernelKind::Compensation], 1, 1, true);
+        let result = run_with(&spec, 1);
+        let doc = result.document_json();
+        let meta = doc.get("meta").expect("meta present");
+        assert_eq!(meta.get("mode").and_then(Value::as_str), Some("fanout"));
+        assert_eq!(meta.get("streamed"), Some(&Value::Bool(true)));
+        let sp = meta.get("shared_passes").expect("shared_passes present");
+        assert_eq!(sp.get("cells").and_then(Value::as_i64), Some(16));
+        assert_eq!(sp.get("functional_passes").and_then(Value::as_i64), Some(4));
+        let factor = sp.get("sharing_factor").and_then(Value::as_f64).unwrap();
+        assert!((factor - 4.0).abs() < 1e-9);
+        let cell_insts = sp.get("cell_instructions").and_then(Value::as_i64).unwrap();
+        let func_insts = sp.get("functional_instructions").and_then(Value::as_i64).unwrap();
+        assert_eq!(cell_insts, func_insts * 4);
+    }
+
+    #[test]
+    fn sweep_runs_and_reports_its_grid() {
+        let spec = ExperimentSpec::builtin("sweep", 1, true).unwrap();
+        let result = run_with(&spec, 2);
+        let cells = result.cells().unwrap();
+        // Fast dims: 4 ISAs x 2 ROBs x 2 latencies x 1 width.
+        assert_eq!(cells.len(), 16);
+        assert_eq!(result.functional_passes, 4, "one pass per ISA");
+        assert!((result.sharing_factor().unwrap() - 4.0).abs() < 1e-9);
+        assert!(cells.iter().all(|c| c.speedup.is_none()), "sweep has no baseline");
+        // A bigger ROB at the same width/latency never hurts.
+        let cycles_of = |label: &str| {
+            cells.iter().find(|c| c.config_label == label).map(|c| c.cycles).unwrap()
+        };
+        assert!(cycles_of("mom/rob64/lat50") <= cycles_of("mom/rob16/lat50"));
+        // The config array records the ROB override.
+        let doc = result.results_json();
+        let configs = doc.get("configs").and_then(Value::as_array).unwrap();
+        assert!(configs.iter().all(|c| c.get("rob").and_then(Value::as_i64).is_some()));
+    }
+
+    #[test]
+    fn exec_mode_labels() {
+        assert_eq!(ExecMode::Fanout.label(), "fanout");
+        assert_eq!(ExecMode::Streamed.label(), "streamed");
+        assert_eq!(ExecMode::Materialized.label(), "materialized");
+        assert!(ExecMode::Fanout.is_streamed());
+        assert!(!ExecMode::Materialized.is_streamed());
     }
 }

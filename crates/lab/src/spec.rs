@@ -7,14 +7,16 @@
 //! legacy `mom-bench` binaries are thin layers over these.
 
 use mom_apps::AppKind;
+use mom_cpu::MachineDescriptor;
 use mom_isa::trace::IsaKind;
 use mom_kernels::KernelKind;
 use mom_mem::MemModelKind;
 
 /// The names of the built-in experiments: one per table/figure of the paper,
 /// in presentation order, plus the `stress` scale study enabled by the
-/// streaming pipeline.
-pub const BUILTIN_EXPERIMENTS: [&str; 8] = [
+/// streaming pipeline and the `sweep` design-space study enabled by the
+/// shared-functional-pass runner.
+pub const BUILTIN_EXPERIMENTS: [&str; 9] = [
     "table1",
     "table2",
     "table3",
@@ -23,6 +25,7 @@ pub const BUILTIN_EXPERIMENTS: [&str; 8] = [
     "latency_tolerance",
     "figure7",
     "stress",
+    "sweep",
 ];
 
 /// Workload-scale multiplier of the [`stress_spec`] experiment relative to
@@ -63,7 +66,8 @@ impl std::fmt::Display for Workload {
 }
 
 /// One machine configuration of a grid: an ISA paired with a memory model,
-/// under a unique display label (Figure 7's legend entries, for example).
+/// under a unique display label (Figure 7's legend entries, for example),
+/// plus optional overrides of the Table 1 defaults (the `sweep` dimensions).
 #[derive(Debug, Clone, PartialEq)]
 pub struct MachineConfig {
     /// Unique display label within the spec.
@@ -72,6 +76,27 @@ pub struct MachineConfig {
     pub isa: IsaKind,
     /// The memory system the machine uses.
     pub mem: MemModelKind,
+    /// Reorder-buffer size override (`None` keeps the Table 1 size for the
+    /// cell's issue width). Only the `sweep` experiment sets it today.
+    pub rob: Option<usize>,
+}
+
+impl MachineConfig {
+    /// A standard configuration with no overrides.
+    pub fn new(label: impl Into<String>, isa: IsaKind, mem: MemModelKind) -> Self {
+        Self { label: label.into(), isa, mem, rob: None }
+    }
+
+    /// Resolve this configuration at issue width `way` into the fully
+    /// explicit [`MachineDescriptor`] the runner instantiates — the single
+    /// place where a grid cell becomes a machine.
+    pub fn descriptor(&self, way: usize) -> MachineDescriptor {
+        let desc = MachineDescriptor::for_cell(way, self.isa, self.mem);
+        match self.rob {
+            Some(rob) => desc.with_rob(rob),
+            None => desc,
+        }
+    }
 }
 
 /// How the derived `speedup` of each grid cell is computed.
@@ -283,6 +308,7 @@ impl ExperimentSpec {
                 figure7_spec(&app_selection(fast), scale, widths, fast)
             }
             "stress" => stress_spec(scale, fast),
+            "sweep" => sweep_spec(&SweepDims::for_mode(fast), scale, fast),
             _ => return None,
         };
         Some(spec)
@@ -323,6 +349,12 @@ impl ExperimentSpec {
                     h.update(c.label.as_bytes());
                     h.update(c.isa.label().as_bytes());
                     h.update(format!("{:?}", c.mem).as_bytes());
+                    // Overrides contribute only when present, so documents of
+                    // the pre-override era keep their exact hashes.
+                    if let Some(rob) = c.rob {
+                        h.update(b"rob");
+                        h.update(&rob.to_le_bytes());
+                    }
                     h.update(b"|");
                 }
                 for w in &g.widths {
@@ -366,10 +398,8 @@ pub fn figure5_spec(kernels: &[KernelKind], scale: usize, mem_latency: u64, fast
             workloads: kernels.iter().map(|&k| Workload::Kernel(k)).collect(),
             configs: IsaKind::ALL
                 .iter()
-                .map(|&isa| MachineConfig {
-                    label: isa.label().to_string(),
-                    isa,
-                    mem: MemModelKind::Perfect { latency: mem_latency },
+                .map(|&isa| {
+                    MachineConfig::new(isa.label(), isa, MemModelKind::Perfect { latency: mem_latency })
                 })
                 .collect(),
             widths: vec![1, 2, 4, 8],
@@ -385,16 +415,16 @@ pub fn figure5_spec(kernels: &[KernelKind], scale: usize, mem_latency: u64, fast
 pub fn latency_spec(kernels: &[KernelKind], scale: usize, way: usize, fast: bool) -> ExperimentSpec {
     let mut configs = Vec::new();
     for &isa in &IsaKind::ALL {
-        configs.push(MachineConfig {
-            label: format!("{}@lat1", isa.label()),
+        configs.push(MachineConfig::new(
+            format!("{}@lat1", isa.label()),
             isa,
-            mem: MemModelKind::Perfect { latency: 1 },
-        });
-        configs.push(MachineConfig {
-            label: format!("{}@lat50", isa.label()),
+            MemModelKind::Perfect { latency: 1 },
+        ));
+        configs.push(MachineConfig::new(
+            format!("{}@lat50", isa.label()),
             isa,
-            mem: MemModelKind::Perfect { latency: 50 },
-        });
+            MemModelKind::Perfect { latency: 50 },
+        ));
     }
     ExperimentSpec {
         name: "latency_tolerance".into(),
@@ -433,11 +463,7 @@ pub fn stress_spec(scale: usize, fast: bool) -> ExperimentSpec {
             workloads: vec![Workload::Kernel(kernel)],
             configs: IsaKind::ALL
                 .iter()
-                .map(|&isa| MachineConfig {
-                    label: isa.label().to_string(),
-                    isa,
-                    mem: MemModelKind::Perfect { latency: 1 },
-                })
+                .map(|&isa| MachineConfig::new(isa.label(), isa, MemModelKind::Perfect { latency: 1 }))
                 .collect(),
             widths: vec![4, 8],
             scale,
@@ -447,34 +473,131 @@ pub fn stress_spec(scale: usize, fast: bool) -> ExperimentSpec {
     }
 }
 
+/// The dimensions of the design-space `sweep` experiment: every combination
+/// of reorder-buffer size x memory latency is a machine configuration, run
+/// at every issue width, for every ISA.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SweepDims {
+    /// Reorder-buffer sizes to sweep.
+    pub robs: Vec<usize>,
+    /// Perfect-memory latencies (cycles) to sweep.
+    pub latencies: Vec<u64>,
+    /// Issue widths to sweep.
+    pub widths: Vec<usize>,
+}
+
+impl SweepDims {
+    /// The default full-mode grid: 3 ROB sizes x 2 latencies x 3 widths
+    /// (x 4 ISAs = 72 cells, all fed by 4 functional passes).
+    pub fn full() -> Self {
+        Self { robs: vec![16, 32, 64], latencies: vec![1, 50], widths: vec![2, 4, 8] }
+    }
+
+    /// The reduced fast-mode grid (a strict subset of [`SweepDims::full`]).
+    pub fn fast() -> Self {
+        Self { robs: vec![16, 64], latencies: vec![1, 50], widths: vec![4] }
+    }
+
+    /// The dims for the given mode.
+    pub fn for_mode(fast: bool) -> Self {
+        if fast {
+            SweepDims::fast()
+        } else {
+            SweepDims::full()
+        }
+    }
+
+    /// Parse the `momlab --sweep-dims` syntax:
+    /// `rob=16,32:lat=1,50:way=4,8` (any subset of the three axes; omitted
+    /// axes keep the mode's defaults).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the offending axis or value.
+    pub fn parse(spec: &str, fast: bool) -> Result<Self, String> {
+        let mut dims = SweepDims::for_mode(fast);
+        for part in spec.split(':').filter(|p| !p.trim().is_empty()) {
+            let (axis, values) = part
+                .split_once('=')
+                .ok_or_else(|| format!("--sweep-dims: expected axis=v1,v2 in {part:?}"))?;
+            let parse_list = |values: &str| -> Result<Vec<u64>, String> {
+                let list: Result<Vec<u64>, _> =
+                    values.split(',').map(|v| v.trim().parse::<u64>()).collect();
+                let list = list.map_err(|e| format!("--sweep-dims: {axis}: {e}"))?;
+                if list.is_empty() || list.contains(&0) {
+                    return Err(format!("--sweep-dims: {axis} values must be >= 1"));
+                }
+                Ok(list)
+            };
+            match axis.trim() {
+                "rob" => dims.robs = parse_list(values)?.into_iter().map(|v| v as usize).collect(),
+                "lat" => dims.latencies = parse_list(values)?,
+                "way" => {
+                    let widths: Vec<usize> =
+                        parse_list(values)?.into_iter().map(|v| v as usize).collect();
+                    if widths.iter().any(|w| ![1, 2, 4, 8].contains(w)) {
+                        return Err("--sweep-dims: way values must be one of 1, 2, 4, 8".into());
+                    }
+                    dims.widths = widths;
+                }
+                other => {
+                    return Err(format!(
+                        "--sweep-dims: unknown axis {other:?} (expected rob, lat or way)"
+                    ))
+                }
+            }
+        }
+        Ok(dims)
+    }
+}
+
+/// The design-space `sweep` experiment: one kernel (`compensation`, the
+/// mid-weight member of the paper's set) evaluated over every combination of
+/// ROB size x memory latency x issue width, per ISA. Each `(kernel, ISA)`
+/// group of the grid shares a **single** functional interpretation fanned out
+/// to all of its machine configurations, which is what makes a 72-cell sweep
+/// cost 4 interpreter passes — the amortization the paper's own evaluation
+/// methodology (one binary, many machines) relied on.
+pub fn sweep_spec(dims: &SweepDims, scale: usize, fast: bool) -> ExperimentSpec {
+    let kernel = KernelKind::Compensation;
+    let mut configs = Vec::new();
+    for &isa in &IsaKind::ALL {
+        for &rob in &dims.robs {
+            for &latency in &dims.latencies {
+                configs.push(MachineConfig {
+                    label: format!("{}/rob{rob}/lat{latency}", isa.label()),
+                    isa,
+                    mem: MemModelKind::Perfect { latency },
+                    rob: Some(rob),
+                });
+            }
+        }
+    }
+    ExperimentSpec {
+        name: "sweep".into(),
+        title: format!(
+            "Design-space sweep: {kernel} IPC over ROB x latency x width (scale {scale})"
+        ),
+        fast,
+        kind: ExperimentKind::Grid(GridSpec {
+            workloads: vec![Workload::Kernel(kernel)],
+            configs,
+            widths: dims.widths.clone(),
+            scale,
+            seed: 42,
+            baseline: BaselinePolicy::None,
+        }),
+    }
+}
+
 /// The five machine configurations of Figure 7, in legend order.
 pub fn figure7_configs() -> Vec<MachineConfig> {
     vec![
-        MachineConfig {
-            label: "Alpha conventional cache".into(),
-            isa: IsaKind::Alpha,
-            mem: MemModelKind::Conventional,
-        },
-        MachineConfig {
-            label: "MMX conventional cache".into(),
-            isa: IsaKind::Mmx,
-            mem: MemModelKind::Conventional,
-        },
-        MachineConfig {
-            label: "MOM multi-address cache".into(),
-            isa: IsaKind::Mom,
-            mem: MemModelKind::MultiAddress,
-        },
-        MachineConfig {
-            label: "MOM vector cache".into(),
-            isa: IsaKind::Mom,
-            mem: MemModelKind::VectorCache,
-        },
-        MachineConfig {
-            label: "MOM collapsing buffer cache".into(),
-            isa: IsaKind::Mom,
-            mem: MemModelKind::CollapsingBuffer,
-        },
+        MachineConfig::new("Alpha conventional cache", IsaKind::Alpha, MemModelKind::Conventional),
+        MachineConfig::new("MMX conventional cache", IsaKind::Mmx, MemModelKind::Conventional),
+        MachineConfig::new("MOM multi-address cache", IsaKind::Mom, MemModelKind::MultiAddress),
+        MachineConfig::new("MOM vector cache", IsaKind::Mom, MemModelKind::VectorCache),
+        MachineConfig::new("MOM collapsing buffer cache", IsaKind::Mom, MemModelKind::CollapsingBuffer),
     ]
 }
 
@@ -582,6 +705,69 @@ mod tests {
         let scaled = ExperimentSpec::builtin("figure5", 2, false).unwrap();
         assert_ne!(a.config_hash(), scaled.config_hash());
         assert!(a.config_hash().starts_with("fnv1a:"));
+    }
+
+    #[test]
+    fn sweep_spec_covers_the_dim_cross_product() {
+        let spec = ExperimentSpec::builtin("sweep", 1, false).unwrap();
+        let grid = spec.grid().unwrap();
+        let dims = SweepDims::full();
+        assert_eq!(grid.configs.len(), 4 * dims.robs.len() * dims.latencies.len());
+        assert_eq!(grid.cells().len(), grid.configs.len() * dims.widths.len());
+        assert_eq!(grid.baseline, BaselinePolicy::None);
+        // Every config carries its ROB override and a distinguishing label.
+        let mut labels: Vec<&str> = grid.configs.iter().map(|c| c.label.as_str()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), grid.configs.len(), "labels are unique");
+        assert!(grid.configs.iter().all(|c| c.rob.is_some()));
+        // Fast dims are a strict subset.
+        let fast = ExperimentSpec::builtin("sweep", 1, true).unwrap();
+        assert!(fast.grid().unwrap().cells().len() < grid.cells().len());
+        assert_ne!(spec.config_hash(), fast.config_hash());
+    }
+
+    #[test]
+    fn sweep_dims_parse_round_trips_and_rejects_garbage() {
+        let dims = SweepDims::parse("rob=8,128:lat=1,10,100:way=2,8", false).unwrap();
+        assert_eq!(dims.robs, [8, 128]);
+        assert_eq!(dims.latencies, [1, 10, 100]);
+        assert_eq!(dims.widths, [2, 8]);
+        // Omitted axes keep the mode defaults.
+        let partial = SweepDims::parse("lat=7", true).unwrap();
+        assert_eq!(partial.latencies, [7]);
+        assert_eq!(partial.robs, SweepDims::fast().robs);
+        assert!(SweepDims::parse("rob=0", false).is_err());
+        assert!(SweepDims::parse("way=3", false).is_err());
+        assert!(SweepDims::parse("depth=2", false).is_err());
+        assert!(SweepDims::parse("rob", false).is_err());
+        assert!(SweepDims::parse("rob=x", false).is_err());
+    }
+
+    #[test]
+    fn machine_config_resolves_to_the_descriptor() {
+        let plain = MachineConfig::new("mom", IsaKind::Mom, MemModelKind::Perfect { latency: 1 });
+        let desc = plain.descriptor(4);
+        assert_eq!(desc.core.way, 4);
+        assert_eq!(desc.core.rob_size, 32, "Table 1 default for 4-way");
+        assert_eq!(desc.mem, MemModelKind::Perfect { latency: 1 });
+        let swept = MachineConfig { rob: Some(16), ..plain };
+        assert_eq!(swept.descriptor(4).core.rob_size, 16, "override wins");
+    }
+
+    #[test]
+    fn rob_override_changes_the_config_hash_only_when_present() {
+        // The override is hashed only when set, so documents from before the
+        // field existed keep their exact config hashes (pinned in the
+        // committed baselines, which CI diffs on every push).
+        let a = ExperimentSpec::builtin("figure5", 1, false).unwrap();
+        assert!(a.grid().unwrap().configs.iter().all(|c| c.rob.is_none()));
+        assert_eq!(a.config_hash(), "fnv1a:96b386bdbfd15a49", "legacy hash drifted");
+        let mut swept = a.clone();
+        if let ExperimentKind::Grid(g) = &mut swept.kind {
+            g.configs[0].rob = Some(32);
+        }
+        assert_ne!(a.config_hash(), swept.config_hash());
     }
 
     #[test]

@@ -41,22 +41,45 @@ fn every_builtin_experiment_is_deterministic_across_worker_counts() {
     }
 }
 
-/// The guarantee also spans the execution mode: the fused streaming pipeline
-/// (interpreter feeding the simulator directly, no materialized traces, one
-/// rebuild per cell) serializes byte-identically to the two-stage
-/// materialized runner for every built-in experiment.
+/// The guarantee also spans the execution mode: the default fan-out runner
+/// (one shared functional pass per `(workload, ISA)` group broadcast to all
+/// member simulators), the fused per-cell streaming pipeline and the
+/// two-stage materialized runner all serialize byte-identically for every
+/// built-in experiment.
 #[test]
-fn streamed_runs_are_byte_identical_to_materialized_runs() {
+fn all_three_execution_modes_are_byte_identical() {
+    use mom_lab::runner::{run_with_mode, ExecMode};
     for name in mom_lab::BUILTIN_EXPERIMENTS {
         let spec = ExperimentSpec::builtin(name, 1, true).expect("built-in spec");
-        let materialized = run_with(&spec, 2);
-        let streamed = mom_lab::runner::run_streamed(&spec, 2);
-        assert!(!materialized.streamed && streamed.streamed);
+        let fanout = run_with_mode(&spec, 2, ExecMode::Fanout);
+        let streamed = run_with_mode(&spec, 2, ExecMode::Streamed);
+        let materialized = run_with_mode(&spec, 2, ExecMode::Materialized);
+        assert_eq!(fanout.mode, ExecMode::Fanout);
+        assert!(fanout.mode.is_streamed() && streamed.mode.is_streamed());
+        assert!(!materialized.mode.is_streamed());
+        let reference = fanout.results_json().to_pretty();
         assert_eq!(
-            materialized.results_json().to_pretty(),
+            reference,
             streamed.results_json().to_pretty(),
-            "{name}: streamed and materialized runs diverged"
+            "{name}: fan-out and streamed runs diverged"
         );
+        assert_eq!(
+            reference,
+            materialized.results_json().to_pretty(),
+            "{name}: fan-out and materialized runs diverged"
+        );
+        // The sharing accounting: fan-out shares functional passes across
+        // grid cells (and scalar app phases across ISA lanes, so it can do
+        // strictly better than materialized stage-1 sharing); the per-cell
+        // streamed mode shares nothing.
+        if let Some(cells) = fanout.cells() {
+            assert!(fanout.functional_passes <= materialized.functional_passes);
+            assert!(materialized.functional_passes <= cells.len());
+            assert_eq!(streamed.functional_passes, cells.len());
+            assert!(fanout.functional_instructions <= materialized.functional_instructions);
+            assert!(fanout.sharing_factor() >= materialized.sharing_factor());
+            assert!(streamed.sharing_factor().is_none_or(|f| (f - 1.0).abs() < 1e-12));
+        }
     }
 }
 

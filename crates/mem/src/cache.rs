@@ -185,6 +185,18 @@ impl Cache {
         LookupResult::Miss { dirty_victim }
     }
 
+    /// Restore the cache to its just-built state — every line invalid,
+    /// statistics zeroed — without reallocating the tag arrays. Part of the
+    /// memory-system `reset()` contract that lets machines be reused across
+    /// experiment cells.
+    pub fn reset(&mut self) {
+        for set in &mut self.sets {
+            set.fill(LineState::default());
+        }
+        self.stats = CacheStats::default();
+        self.use_counter = 0;
+    }
+
     /// Invalidate the line containing `addr` (used by the inclusion/coherence
     /// policy between the scalar L1 and the vector path).
     pub fn invalidate(&mut self, addr: u64) {
@@ -217,6 +229,11 @@ impl MshrFile {
     /// Remove entries whose fill has returned by `cycle`.
     pub fn retire(&mut self, cycle: u64) {
         self.entries.retain(|&(_, ready)| ready > cycle);
+    }
+
+    /// Drop every in-flight miss (the machine-reuse `reset()` path).
+    pub fn reset(&mut self) {
+        self.entries.clear();
     }
 
     /// Number of in-flight misses.
@@ -281,6 +298,13 @@ impl WriteBuffer {
     /// Remove entries that have fully drained by `cycle`.
     pub fn retire(&mut self, cycle: u64) {
         self.entries.retain(|&(_, t)| t > cycle);
+    }
+
+    /// Drop every buffered store and the coalescing count (the machine-reuse
+    /// `reset()` path).
+    pub fn reset(&mut self) {
+        self.entries.clear();
+        self.coalesced = 0;
     }
 
     /// Current occupancy.

@@ -62,6 +62,13 @@ impl Dram {
         self.stats
     }
 
+    /// Return the channel to its just-built idle state with zeroed statistics
+    /// (the machine-reuse `reset()` path).
+    pub fn reset(&mut self) {
+        self.busy_until = 0;
+        self.stats = DramStats::default();
+    }
+
     /// Transfer one line starting no earlier than `cycle`; returns the cycle
     /// at which the data is available.
     pub fn transfer_line(&mut self, cycle: u64) -> u64 {

@@ -314,6 +314,19 @@ impl MemorySystem for Hierarchy {
         self.kind
     }
 
+    fn reset(&mut self) {
+        self.l1.reset();
+        self.l1_mshrs.reset();
+        self.l2.reset();
+        self.l2_mshrs.reset();
+        self.write_buffer.reset();
+        self.dram.reset();
+        self.l1_port_busy.fill(0);
+        self.l1_bank_busy.fill(0);
+        self.vec_port_busy.fill(0);
+        self.stats = MemSystemStats::default();
+    }
+
     fn stats(&self) -> MemSystemStats {
         let mut s = self.stats;
         s.l1 = self.l1.stats();
@@ -443,5 +456,35 @@ mod tests {
     #[should_panic]
     fn perfect_kind_is_rejected() {
         let _ = Hierarchy::new(MemModelKind::Perfect { latency: 1 }, 4);
+    }
+
+    #[test]
+    fn reset_restores_the_just_built_state() {
+        // Replay the same access sequence on a fresh hierarchy and on one
+        // that already served different traffic and was reset: completion
+        // cycles and statistics must be identical at every step.
+        let sequence: Vec<(u64, Vec<MemAccess>, bool)> = vec![
+            (0, vec![load(0x1000)], false),
+            (40, (0..16).map(|i| load(0x8000 + i * 8)).collect(), true),
+            (90, vec![store(0x1000)], false),
+            (130, (0..16).map(|i| load(0x8000 + i * 64)).collect(), true),
+            (400, vec![load(0x1008)], false),
+        ];
+        for kind in [MemModelKind::Conventional, MemModelKind::MultiAddress, MemModelKind::VectorCache, MemModelKind::CollapsingBuffer] {
+            let mut fresh = Hierarchy::new(kind, 4);
+            let mut reused = Hierarchy::new(kind, 4);
+            // Dirty the reused hierarchy with unrelated traffic.
+            for i in 0..32 {
+                let _ = reused.access(i * 3, &[load(0x40000 + i * 128)], false);
+            }
+            reused.reset();
+            assert_eq!(reused.stats(), MemSystemStats::default(), "{kind}: stats cleared");
+            for (cycle, accesses, vector) in &sequence {
+                let a = fresh.access(*cycle, accesses, *vector);
+                let b = reused.access(*cycle, accesses, *vector);
+                assert_eq!(a, b, "{kind}: completion diverged after reset");
+            }
+            assert_eq!(fresh.stats(), reused.stats(), "{kind}: stats diverged after reset");
+        }
     }
 }

@@ -78,6 +78,14 @@ pub trait MemorySystem: std::fmt::Debug + Send {
 
     /// Statistics accumulated so far.
     fn stats(&self) -> MemSystemStats;
+
+    /// Restore the system to its just-built state — tags invalidated, ports
+    /// and channels idle, MSHRs and write buffers empty, statistics zeroed —
+    /// **without reallocating** any of the backing arrays. After `reset()`
+    /// the system behaves exactly like a freshly constructed one, which is
+    /// what lets the experiment runner reuse a machine across grid cells
+    /// instead of rebuilding cache arrays per cell.
+    fn reset(&mut self);
 }
 
 /// Construct the memory system named by `kind` for a machine of issue width

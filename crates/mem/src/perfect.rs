@@ -63,6 +63,11 @@ impl MemorySystem for PerfectMemory {
     fn stats(&self) -> MemSystemStats {
         self.stats
     }
+
+    fn reset(&mut self) {
+        self.ports.fill(0);
+        self.stats = MemSystemStats::default();
+    }
 }
 
 #[cfg(test)]
@@ -114,5 +119,16 @@ mod tests {
     fn kind_reports_latency() {
         let m = PerfectMemory::new(50, 1, 1);
         assert_eq!(m.kind(), MemModelKind::Perfect { latency: 50 });
+    }
+
+    #[test]
+    fn reset_frees_ports_and_clears_stats() {
+        let mut m = PerfectMemory::new(1, 1, 1);
+        let elems: Vec<_> = (0..16).map(|i| acc(i * 32)).collect();
+        assert!(m.access(0, &elems, true).is_some());
+        assert!(m.access(1, &[acc(0)], false).is_none(), "port busy before reset");
+        m.reset();
+        assert_eq!(m.stats(), MemSystemStats::default());
+        assert_eq!(m.access(1, &[acc(0)], false), Some(2), "port idle again after reset");
     }
 }
