@@ -37,6 +37,7 @@
 pub mod scalar_phase;
 
 use mom_cpu::{OooCore, SimResult};
+use mom_isa::pipe::BatchSink;
 use mom_isa::trace::{Broadcast, IsaKind, Trace, TraceSink};
 use mom_kernels::{build_kernel, KernelError, KernelKind, KernelParams};
 use mom_mem::MemorySystem;
@@ -326,6 +327,33 @@ pub fn stream_app_multi<S: TraceSink>(
     Ok((reports, interpreted))
 }
 
+/// The pipelined flavour of [`stream_app_multi`]: each lane's sink is a
+/// [`BatchSink`] publishing batches into bounded channels whose receivers
+/// drain on their own threads (see [`mom_isa::pipe`]).
+///
+/// Identical interpretation to [`stream_app_multi`] — same phase order, same
+/// per-lane streams, scalar phases interpreted once — followed by a
+/// [`BatchSink::finish`] per lane to flush the final partial batches and
+/// close the channels. On a kernel error the lanes are dropped *without*
+/// flushing, which still closes every channel, so blocked consumer threads
+/// always observe end-of-stream and terminate.
+///
+/// # Errors
+///
+/// Returns a [`KernelError`] if any kernel phase of any lane fails to
+/// execute or does not match its golden reference.
+pub fn stream_app_pipelined(
+    kind: AppKind,
+    params: &AppParams,
+    mut lanes: Vec<(IsaKind, BatchSink)>,
+) -> Result<(Vec<Vec<PhaseReport>>, u64), KernelError> {
+    let result = stream_app_multi(kind, params, &mut lanes)?;
+    for (_, sink) in lanes {
+        sink.finish();
+    }
+    Ok(result)
+}
+
 /// Build an application for the given ISA: run every phase functionally
 /// (kernels are verified against their references) and collect the
 /// concatenated trace — the collecting wrapper over [`stream_app`].
@@ -494,6 +522,53 @@ mod tests {
             // The interpreter executed each scalar phase once, not once per
             // lane: exactly 2 lanes' worth of scalar work was saved.
             assert_eq!(interpreted, expected_interpreted - 2 * scalar_once, "{app}");
+        }
+    }
+
+    #[test]
+    fn pipelined_app_stream_is_bit_identical_to_independent_runs() {
+        use mom_isa::pipe::batch_channel;
+        use mom_mem::MemModelKind;
+
+        // One interpreter thread publishing into per-member channels, each
+        // member draining on its own thread, must reproduce the independent
+        // per-ISA materialized runs bit for bit. Tiny batch/capacity keeps the
+        // backpressure path hot.
+        let params = AppParams { seed: 9, scale: 1 };
+        let isas = [IsaKind::Alpha, IsaKind::Mom];
+        let ways = [2usize, 4];
+        let mut lanes = Vec::new();
+        let mut members = Vec::new(); // (isa, way, machine, receiver)
+        for &isa in &isas {
+            let mut senders = Vec::new();
+            for &way in &ways {
+                let (tx, rx) = batch_channel(1);
+                senders.push(tx);
+                let desc =
+                    mom_cpu::MachineDescriptor::for_cell(way, isa, MemModelKind::Conventional);
+                members.push((isa, way, desc.build(), rx));
+            }
+            lanes.push((isa, BatchSink::new(senders, 3)));
+        }
+
+        let results: Vec<(IsaKind, usize, SimResult)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = members
+                .iter_mut()
+                .map(|(isa, way, machine, rx)| {
+                    let (isa, way) = (*isa, *way);
+                    scope.spawn(move || (isa, way, machine.consume_batches(rx)))
+                })
+                .collect();
+            stream_app_pipelined(AppKind::GsmEncode, &params, lanes).expect("pipelined app runs");
+            handles.into_iter().map(|h| h.join().expect("consumer thread")).collect()
+        });
+
+        for (isa, way, got) in results {
+            let built = build_app(AppKind::GsmEncode, isa, &params).expect("app builds");
+            let mut machine =
+                mom_cpu::MachineDescriptor::for_cell(way, isa, MemModelKind::Conventional).build();
+            let reference = machine.simulate_trace(&built.trace);
+            assert_eq!(got, reference, "gsm encode ({isa}, {way}-way): pipelined diverged");
         }
     }
 

@@ -521,6 +521,11 @@ impl<S: TraceSink + ?Sized> TraceSink for &mut S {
 /// `Broadcast` of N streaming simulators is byte-identical to N independent
 /// single-sink passes. The combinator adds no buffering of its own — with
 /// O(ROB) children the whole fan-out stays O(N x ROB), never O(trace).
+///
+/// `Broadcast` drives its children *serially on the producer's thread*. For
+/// the pipelined variant — the producer publishing batches into bounded
+/// channels that each child drains on its own thread — see
+/// [`BatchSink`](crate::pipe::BatchSink).
 #[derive(Debug)]
 pub struct Broadcast<S> {
     sinks: Vec<S>,

@@ -96,6 +96,41 @@ fn cell_key(cell: &Value) -> String {
     format!("{} / {} / {}-way", field("workload"), field("config"), way)
 }
 
+/// A document's cell-like entries indexed by `(workload, config, way)` key:
+/// first-appearance order for deterministic iteration, a hash map for O(1)
+/// lookup (the per-cell linear `find` this replaced made the diff
+/// O(cells²)). Duplicate keys keep their **first** occurrence and push a
+/// warning into `warnings` — silently comparing against the first of several
+/// identical keys hid the later ones entirely.
+struct CellIndex<'a> {
+    ordered: Vec<(String, &'a Value)>,
+    by_key: std::collections::HashMap<String, usize>,
+}
+
+impl<'a> CellIndex<'a> {
+    fn build(entries: &'a [Value], which: &str, warnings: &mut Vec<String>) -> Self {
+        let mut ordered: Vec<(String, &Value)> = Vec::with_capacity(entries.len());
+        let mut by_key = std::collections::HashMap::with_capacity(entries.len());
+        for entry in entries {
+            let key = cell_key(entry);
+            match by_key.entry(key.clone()) {
+                std::collections::hash_map::Entry::Vacant(slot) => {
+                    slot.insert(ordered.len());
+                    ordered.push((key, entry));
+                }
+                std::collections::hash_map::Entry::Occupied(_) => warnings.push(format!(
+                    "duplicate cell key `{key}` in {which} — first occurrence wins"
+                )),
+            }
+        }
+        Self { ordered, by_key }
+    }
+
+    fn get(&self, key: &str) -> Option<&'a Value> {
+        self.by_key.get(key).map(|&i| self.ordered[i].1)
+    }
+}
+
 /// Compare two `momlab/v1` documents.
 ///
 /// # Errors
@@ -139,10 +174,12 @@ pub fn diff_documents(new: &Value, baseline: &Value, tolerance: f64) -> Result<D
     let new_cells = cells(new);
     let base_cells = cells(baseline);
 
-    for base_cell in &base_cells {
-        let key = cell_key(base_cell);
-        let Some(new_cell) = new_cells.iter().find(|c| cell_key(c) == key) else {
-            diff.missing.push(key);
+    let base_index = CellIndex::build(&base_cells, "the baseline document", &mut diff.warnings);
+    let new_index = CellIndex::build(&new_cells, "the new document", &mut diff.warnings);
+
+    for (key, base_cell) in &base_index.ordered {
+        let Some(new_cell) = new_index.get(key) else {
+            diff.missing.push(key.clone());
             continue;
         };
         let old_cycles = base_cell.get("cycles").and_then(Value::as_f64).unwrap_or(f64::NAN);
@@ -166,13 +203,12 @@ pub fn diff_documents(new: &Value, baseline: &Value, tolerance: f64) -> Result<D
             diff.unchanged += 1;
         }
     }
-    for new_cell in &new_cells {
-        let key = cell_key(new_cell);
-        if !base_cells.iter().any(|c| cell_key(c) == key) {
-            diff.added.push(key);
+    for (key, _) in &new_index.ordered {
+        if base_index.get(key).is_none() {
+            diff.added.push(key.clone());
         }
     }
-    diff.throughput = throughput_deltas(new, baseline);
+    diff.throughput = throughput_deltas(new, baseline, &mut diff.warnings);
     diff.sharing = sharing_delta(new, baseline);
     Ok(diff)
 }
@@ -197,8 +233,9 @@ fn sharing_delta(new: &Value, baseline: &Value) -> Option<String> {
 /// Informational `insts_per_sec` deltas between the `meta.throughput`
 /// sections of two documents, matched by `(workload, config, way)`. Empty
 /// when either document lacks throughput metadata (e.g. the committed
-/// `--results-only` baselines). Never contributes to the exit code.
-fn throughput_deltas(new: &Value, baseline: &Value) -> Vec<String> {
+/// `--results-only` baselines). Never contributes to the exit code, though
+/// duplicate keys in the metadata are surfaced through `warnings`.
+fn throughput_deltas(new: &Value, baseline: &Value, warnings: &mut Vec<String>) -> Vec<String> {
     let entries = |doc: &Value| -> Vec<Value> {
         doc.get("meta")
             .and_then(|m| m.get("throughput"))
@@ -211,10 +248,11 @@ fn throughput_deltas(new: &Value, baseline: &Value) -> Vec<String> {
     if new_entries.is_empty() || base_entries.is_empty() {
         return Vec::new();
     }
+    let base_index = CellIndex::build(&base_entries, "baseline throughput metadata", warnings);
+    let new_index = CellIndex::build(&new_entries, "new throughput metadata", warnings);
     let mut out = Vec::new();
-    for base_entry in &base_entries {
-        let key = cell_key(base_entry);
-        let Some(new_entry) = new_entries.iter().find(|e| cell_key(e) == key) else {
+    for (key, base_entry) in &base_index.ordered {
+        let Some(new_entry) = new_index.get(key) else {
             continue;
         };
         let ips = |e: &Value| e.get("insts_per_sec").and_then(Value::as_f64).unwrap_or(f64::NAN);
@@ -372,6 +410,80 @@ mod tests {
         assert!(d.sharing.is_none());
         let d = diff_documents(&doc(1000, "h"), &base, DEFAULT_TOLERANCE).unwrap();
         assert!(d.sharing.is_none());
+    }
+
+    #[test]
+    fn duplicate_cell_keys_warn_and_first_occurrence_wins() {
+        // Two cells with the same (workload, config, way) key: the linear
+        // scan this module used to do silently matched the first one. The
+        // keyed index keeps that first-occurrence behaviour but warns.
+        let mut dup = doc(1000, "h");
+        if let Value::Object(members) = &mut dup {
+            if let Some((_, Value::Array(cells))) = members.iter_mut().find(|(k, _)| k == "cells") {
+                cells.push(Value::object(vec![
+                    ("workload", Value::Str("idct".into())),
+                    ("config", Value::Str("mom".into())),
+                    ("way", Value::Int(4)),
+                    ("cycles", Value::Int(9999)),
+                ]));
+            }
+        }
+        let d = diff_documents(&dup, &doc(1000, "h"), 0.02).unwrap();
+        let warning = d
+            .warnings
+            .iter()
+            .find(|w| w.contains("duplicate cell key"))
+            .expect("duplicate key warned");
+        assert!(warning.contains("idct / mom / 4-way"), "{warning}");
+        assert!(warning.contains("the new document"), "{warning}");
+        // The first occurrence (1000 cycles, identical to baseline) is the
+        // one compared — the shadowed 9999-cycle duplicate does not regress.
+        assert!(!d.has_regressions(), "{:?}", d.regressions);
+        assert_eq!(d.unchanged, 1);
+        assert!(d.added.is_empty() && d.missing.is_empty());
+
+        // Duplicate in the baseline document warns with the other label.
+        let d = diff_documents(&doc(1000, "h"), &dup, 0.02).unwrap();
+        assert!(
+            d.warnings.iter().any(|w| w.contains("the baseline document")),
+            "{:?}",
+            d.warnings
+        );
+        assert!(!d.has_regressions());
+    }
+
+    #[test]
+    fn duplicate_throughput_keys_warn_without_gating() {
+        fn with_dup_throughput(mut document: Value) -> Value {
+            let entry = |ips: f64| {
+                Value::object(vec![
+                    ("workload", Value::Str("idct".into())),
+                    ("config", Value::Str("mom".into())),
+                    ("way", Value::Int(4)),
+                    ("insts_per_sec", Value::Float(ips)),
+                ])
+            };
+            let meta =
+                Value::object(vec![("throughput", Value::Array(vec![entry(10e6), entry(99e6)]))]);
+            if let Value::Object(members) = &mut document {
+                members.push(("meta".into(), meta));
+            }
+            document
+        }
+        let d = diff_documents(
+            &with_dup_throughput(doc(1000, "h")),
+            &with_throughput(doc(1000, "h"), 10e6),
+            0.02,
+        )
+        .unwrap();
+        assert!(
+            d.warnings.iter().any(|w| w.contains("new throughput metadata")),
+            "{:?}",
+            d.warnings
+        );
+        // First occurrence wins: 10 -> 10 Minst/s, not 99.
+        assert!(d.throughput[0].contains("10.0 -> 10.0 Minst/s"), "{:?}", d.throughput);
+        assert!(!d.has_regressions());
     }
 
     #[test]

@@ -18,15 +18,20 @@
 //! * `--kernel K` / `--app A` / `--isa I` — restrict grid experiments
 //!   (repeatable)
 //! * `--scale N` — workload scale (default 1)
-//! * `--workers N` — worker threads (default: min(cpus, 8); 1 = serial)
+//! * `--workers N` — worker threads (default: min(cpus, 8), overridable via
+//!   `MOM_LAB_WORKERS`; 1 = serial)
 //! * `--streamed` — fused *per-cell* streaming: each cell re-interprets its
 //!   workload and feeds its simulator directly (byte-identical results;
 //!   O(ROB) memory per cell). `MOM_LAB_STREAM=1` sets the same default
 //! * `--materialized` — the classic two-stage path: build each distinct
 //!   trace once, replay it per cell. Without either flag the runner uses the
 //!   **fan-out** mode: one functional pass per `(workload, ISA)` group,
-//!   broadcast to all member simulators (byte-identical, and the functional
-//!   work drops by the factor reported in `meta.shared_passes`)
+//!   fanned out to all member simulators (byte-identical, and the functional
+//!   work drops by the factor reported in `meta.shared_passes`). With 2+
+//!   workers the fan-out pipelines: the interpreter publishes instruction
+//!   batches through bounded channels to one consumer thread per member
+//!   (`meta.pipeline` records batch size, channel capacity and occupancy;
+//!   `MOM_LAB_BATCH` / `MOM_LAB_CHANNEL` tune the knobs)
 //! * `--sweep-dims SPEC` — override the `sweep` experiment's grid, e.g.
 //!   `rob=16,32:lat=1,50:way=4,8` (axes: `rob`, `lat`, `way`; omitted axes
 //!   keep their defaults)
@@ -94,14 +99,17 @@ Built-in experiments: table1 table2 table3 isa_inventory figure5
                       latency_tolerance figure7 stress sweep
 
 Execution modes: the default fan-out runner shares one functional pass per
-(workload, ISA) group across all member machines; --streamed runs the fused
-per-cell pipeline; --materialized builds and replays traces. All three are
-byte-identical in their results.
+(workload, ISA) group across all member machines — pipelined across threads
+at 2+ workers; --streamed runs the fused per-cell pipeline; --materialized
+builds and replays traces. All three are byte-identical in their results.
 
 --sweep-dims overrides the sweep grid, e.g. rob=16,32:lat=1,50:way=4,8.
 
 MOM_BENCH_FAST=1 selects the reduced fast-mode workload subsets.
-MOM_LAB_STREAM=1 enables the fused per-cell streaming pipeline by default.";
+MOM_LAB_STREAM=1 enables the fused per-cell streaming pipeline by default.
+MOM_LAB_WORKERS=N overrides the default worker cap (--workers still wins).
+MOM_LAB_BATCH=N / MOM_LAB_CHANNEL=N tune the pipelined fan-out's batch size
+(default 1024 insts) and per-member channel capacity (default 4 batches).";
 
 /// Everything `momlab run` / `momlab list` / `momlab diff` accept.
 #[derive(Debug, Default)]

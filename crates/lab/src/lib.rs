@@ -84,6 +84,52 @@ pub fn stream_mode() -> bool {
     })
 }
 
+/// Worker-count override from the `MOM_LAB_WORKERS` environment variable.
+///
+/// [`runner::default_workers`] caps at 8 threads, which undersizes pipelined
+/// fan-out groups (one interpreter + N member simulators each) on big hosts.
+/// A non-empty value other than `0` that parses as a positive integer
+/// overrides the default; empty, `0` or unparsable values mean "no override"
+/// — the same disable semantics as `MOM_BENCH_FAST` / `MOM_LAB_STREAM`.
+/// Cached in a [`OnceLock`] like [`fast_mode`]. The explicit `--workers`
+/// CLI flag still wins over this variable.
+pub fn worker_override() -> Option<usize> {
+    static WORKERS: OnceLock<Option<usize>> = OnceLock::new();
+    *WORKERS.get_or_init(|| env_positive_usize("MOM_LAB_WORKERS"))
+}
+
+/// Instructions per pipeline batch, from `MOM_LAB_BATCH` (default
+/// [`mom_isa::pipe::DEFAULT_BATCH_INSTS`]).
+///
+/// Same empty/`0` disable semantics and [`OnceLock`] caching as
+/// [`worker_override`]. Larger batches amortize channel synchronization;
+/// smaller ones tighten the pipeline's memory bound (O(batch × capacity ×
+/// members) per group).
+pub fn pipeline_batch_insts() -> usize {
+    static BATCH: OnceLock<usize> = OnceLock::new();
+    *BATCH.get_or_init(|| {
+        env_positive_usize("MOM_LAB_BATCH").unwrap_or(mom_isa::pipe::DEFAULT_BATCH_INSTS)
+    })
+}
+
+/// Per-member channel capacity in batches, from `MOM_LAB_CHANNEL` (default
+/// [`mom_isa::pipe::DEFAULT_CHANNEL_BATCHES`]).
+///
+/// Same empty/`0` disable semantics and [`OnceLock`] caching as
+/// [`worker_override`].
+pub fn pipeline_channel_batches() -> usize {
+    static CHANNEL: OnceLock<usize> = OnceLock::new();
+    *CHANNEL.get_or_init(|| {
+        env_positive_usize("MOM_LAB_CHANNEL").unwrap_or(mom_isa::pipe::DEFAULT_CHANNEL_BATCHES)
+    })
+}
+
+/// Parse an environment variable as a positive integer, treating empty, `0`
+/// and unparsable values as unset.
+fn env_positive_usize(name: &str) -> Option<usize> {
+    std::env::var(name).ok().and_then(|v| v.parse::<usize>().ok()).filter(|&n| n > 0)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -97,5 +143,33 @@ mod tests {
             assert_eq!(fast_mode(), first);
         }
         assert_eq!(fast_mode_marker().is_empty(), !first);
+    }
+
+    #[test]
+    fn pipeline_knobs_are_cached_and_positive() {
+        assert!(pipeline_batch_insts() >= 1);
+        assert!(pipeline_channel_batches() >= 1);
+        for _ in 0..3 {
+            assert_eq!(pipeline_batch_insts(), pipeline_batch_insts());
+            assert_eq!(pipeline_channel_batches(), pipeline_channel_batches());
+            assert_eq!(worker_override(), worker_override());
+        }
+    }
+
+    #[test]
+    fn env_override_parser_treats_empty_zero_and_garbage_as_unset() {
+        // Distinct variable names so the OnceLock-cached accessors above are
+        // unaffected; this tests the shared parser the accessors use.
+        for (name, value, expect) in [
+            ("MOM_LAB_TEST_EMPTY", "", None),
+            ("MOM_LAB_TEST_ZERO", "0", None),
+            ("MOM_LAB_TEST_GARBAGE", "lots", None),
+            ("MOM_LAB_TEST_NEG", "-3", None),
+            ("MOM_LAB_TEST_OK", "12", Some(12)),
+        ] {
+            std::env::set_var(name, value);
+            assert_eq!(env_positive_usize(name), expect, "{name}={value:?}");
+        }
+        assert_eq!(env_positive_usize("MOM_LAB_TEST_UNSET_NEVER"), None);
     }
 }

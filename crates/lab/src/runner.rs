@@ -5,12 +5,16 @@
 //! * [`ExecMode::Fanout`] — **the default**: the grid's cells are regrouped
 //!   into `(workload, ISA)` groups; each group runs **one** functional
 //!   interpretation of its workload (kernels verified against the golden
-//!   reference) whose graduated instructions fan out through a
-//!   `Broadcast` sink to the streaming timing simulators of every member
-//!   machine configuration. The interpreter's work is amortized across the
-//!   whole group — Figure 5's 128 cells cost 32 functional passes — and no
-//!   trace is ever materialized: peak memory per group is
-//!   `members x O(ROB)`.
+//!   reference) whose graduated instructions fan out to the streaming
+//!   timing simulators of every member machine configuration. The
+//!   interpreter's work is amortized across the whole group — Figure 5's
+//!   128 cells cost 32 functional passes — and no trace is ever
+//!   materialized. With 2+ workers the fan-out is **pipelined**: the
+//!   interpreter publishes `DynInst`
+//!   batches into bounded per-member channels and each member simulates on
+//!   its own worker, with backpressure keeping peak memory per group at
+//!   `members x O(ROB + batch x capacity)`. One worker falls back to
+//!   driving a serial `Broadcast` on the interpreter's thread.
 //! * [`ExecMode::Streamed`] — the fused per-cell pipeline of the streaming
 //!   era: every cell re-interprets its workload and graduates instructions
 //!   straight into its own simulator, O(ROB) per cell.
@@ -46,11 +50,14 @@
 //! section of the full document (wall-clock, worker count, mode, sharing
 //! accounting) may differ between runs.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
 use std::time::Instant;
 
-use mom_apps::{stream_app, stream_app_multi, AppParams};
+use mom_apps::{stream_app, stream_app_multi, stream_app_pipelined, AppParams};
 use mom_cpu::{MachineDescriptor, SimMachine, SimResult, SimStream};
+use mom_isa::pipe::{batch_channel, BatchReceiver, BatchSink};
 use mom_isa::trace::{Broadcast, IsaKind, Trace, TraceSink};
 use mom_kernels::{build_kernel, KernelParams};
 use mom_mem::MemModelKind;
@@ -182,13 +189,43 @@ pub struct RunResult {
     /// what per-cell interpretation would have cost; the ratio of the two is
     /// the `meta.shared_passes.sharing_factor`.
     pub functional_instructions: u64,
+    /// Pipelined fan-out accounting (`Some` exactly when the pipelined
+    /// scheduler ran: [`ExecMode::Fanout`] with 2+ workers). All wall-clock
+    /// derived — `meta`-only, never part of the deterministic results.
+    pub pipeline: Option<PipelineStats>,
     /// The results.
     pub data: RunData,
 }
 
+/// Accounting of one pipelined fan-out run, recorded under `meta.pipeline`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PipelineStats {
+    /// Instructions per published batch ([`crate::pipeline_batch_insts`]).
+    pub batch_insts: usize,
+    /// Per-member channel capacity in batches
+    /// ([`crate::pipeline_channel_batches`]).
+    pub channel_batches: usize,
+    /// Groups that ran as interpreter + consumer-shard pipelines.
+    pub pipelined_groups: usize,
+    /// Groups that fell back to the serial one-worker Broadcast path
+    /// (application groups with more ISA lanes than the worker budget).
+    pub serial_groups: usize,
+    /// Fraction of consumer-shard wall-clock spent simulating rather than
+    /// blocked on the channel (`None` when no group pipelined). Low
+    /// occupancy means the interpreter is the bottleneck.
+    pub occupancy: Option<f64>,
+}
+
 /// Default worker count: the machine's available parallelism, capped at 8
-/// (the grids are small; more threads only add scheduling noise).
+/// (the grids are small; more threads only add scheduling noise) — unless
+/// the `MOM_LAB_WORKERS` environment variable overrides the cap (see
+/// [`crate::worker_override`]; pipelined fan-out groups want one worker per
+/// member simulator plus the interpreter, which can exceed 8). The explicit
+/// `--workers` CLI flag bypasses this function entirely.
 pub fn default_workers() -> usize {
+    if let Some(n) = crate::worker_override() {
+        return n;
+    }
     std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(8)
 }
 
@@ -232,6 +269,7 @@ pub fn run_with_mode(spec: &ExperimentSpec, workers: usize, mode: ExecMode) -> R
         sim_wall_ns: timing.sim_wall_ns,
         functional_passes: timing.functional_passes,
         functional_instructions: timing.functional_instructions,
+        pipeline: timing.pipeline,
         data,
     }
 }
@@ -308,6 +346,7 @@ struct GridTiming {
     sim_wall_ns: u64,
     functional_passes: usize,
     functional_instructions: u64,
+    pipeline: Option<PipelineStats>,
 }
 
 /// One shared-functional-pass work unit of the fan-out runner: a workload
@@ -352,6 +391,462 @@ pub(crate) fn fanout_groups(grid: &GridSpec, cells: &[Cell]) -> Vec<FanGroup> {
     groups
 }
 
+/// The `(workload, isa, config)` identity of one grid cell, used to label
+/// work items so a panicking cell names itself in the panic message.
+fn cell_label(grid: &GridSpec, cell: &Cell) -> String {
+    let config = &grid.configs[cell.config];
+    format!("{} / {} / {}-way ({})", cell.workload.label(), config.label, cell.way, config.isa.label())
+}
+
+/// The identity of one fan-out group: workload plus its ISA lanes.
+fn group_label(group: &FanGroup) -> String {
+    let isas: Vec<&str> = group.lanes.iter().map(|(isa, _)| isa.label()).collect();
+    format!("{} [{}]", group.workload.label(), isas.join("+"))
+}
+
+/// The machine descriptor of one grid cell.
+fn descriptor_for(grid: &GridSpec, cells: &[Cell], ci: usize) -> MachineDescriptor {
+    grid.configs[cells[ci].config].descriptor(cells[ci].way)
+}
+
+/// Acquire (from `pool`) one machine per member of every lane of `group`.
+fn take_lane_machines(
+    grid: &GridSpec,
+    cells: &[Cell],
+    group: &FanGroup,
+    pool: &mut MachinePool,
+) -> Vec<Vec<SimMachine>> {
+    group
+        .lanes
+        .iter()
+        .map(|(_, members)| {
+            members.iter().map(|&ci| pool.take(&descriptor_for(grid, cells, ci))).collect()
+        })
+        .collect()
+}
+
+/// Run one fan-out group serially on the calling thread: a single
+/// interpretation broadcast to every member simulator (the one-worker path,
+/// also the fallback work unit of the pipelined scheduler). `lane_machines`
+/// is parallel to `group.lanes`; returns the per-lane member results plus
+/// the number of instructions the interpreter executed.
+fn run_fan_group_serial(
+    grid: &GridSpec,
+    group: &FanGroup,
+    lane_machines: &mut [Vec<SimMachine>],
+) -> (Vec<Vec<SimResult>>, u64) {
+    match group.workload {
+        Workload::Kernel(_) => {
+            // A kernel group is a single lane: one interpretation broadcast
+            // to every member.
+            let machines = &mut lane_machines[0];
+            let streams: Vec<SimStream> = machines.iter_mut().map(|m| m.sim()).collect();
+            let mut fan = Broadcast::new(streams);
+            let executed =
+                interpret_into(group.workload, group.lanes[0].0, grid.scale, grid.seed, &mut fan);
+            let sims: Vec<SimResult> =
+                fan.into_inner().into_iter().map(SimStream::finish).collect();
+            (vec![sims], executed)
+        }
+        Workload::App(app) => {
+            // An app group spans all of its ISAs: kernel phases interpret
+            // per lane, scalar phases once for all lanes.
+            let mut lanes: Vec<(IsaKind, Broadcast<SimStream>)> = group
+                .lanes
+                .iter()
+                .zip(lane_machines.iter_mut())
+                .map(|((isa, _), machines)| {
+                    (*isa, Broadcast::new(machines.iter_mut().map(|m| m.sim()).collect()))
+                })
+                .collect();
+            let params = AppParams { seed: grid.seed, scale: grid.scale };
+            let (_, interpreted) = stream_app_multi(app, &params, &mut lanes)
+                .unwrap_or_else(|e| panic!("{app} failed to build: {e}"));
+            let sims: Vec<Vec<SimResult>> = lanes
+                .into_iter()
+                .map(|(_, fan)| fan.into_inner().into_iter().map(SimStream::finish).collect())
+                .collect();
+            (sims, interpreted)
+        }
+    }
+}
+
+/// One work item of the pipelined fan-out scheduler. Items live in
+/// `Mutex<Option<_>>` slots and are *moved out* when claimed; an item
+/// dropped unexecuted (abort path) closes its channel endpoints, which
+/// unblocks any peer still waiting on them.
+enum PipeItem {
+    /// Run a whole group on one worker via the serial Broadcast path.
+    Serial { gi: usize, label: String },
+    /// Interpret a group once, publishing batches into the member channels.
+    Produce { gi: usize, label: String, lanes: Vec<(IsaKind, BatchSink)> },
+    /// Drain a shard of one lane's members, simulating each batch as it
+    /// arrives. Members are `(cell index, descriptor, receiver)`.
+    Consume { gi: usize, label: String, members: Vec<(usize, MachineDescriptor, BatchReceiver)> },
+}
+
+impl PipeItem {
+    fn label(&self) -> &str {
+        match self {
+            PipeItem::Serial { label, .. }
+            | PipeItem::Produce { label, .. }
+            | PipeItem::Consume { label, .. } => label,
+        }
+    }
+}
+
+/// What one executed [`PipeItem`] reports back (all wall-clock data is
+/// relative to the scheduler's epoch, so group spans can be reconstructed
+/// across threads).
+struct PipeOutcome {
+    gi: usize,
+    /// `(cell index, result)` for every member this item simulated.
+    sims: Vec<(usize, SimResult)>,
+    /// Instructions the interpreter executed (producer / serial items only).
+    executed: u64,
+    start_ns: u64,
+    end_ns: u64,
+    /// Time a consumer shard spent simulating rather than blocked on `recv`
+    /// (zero for non-consumer items; feeds `meta.pipeline.occupancy`).
+    busy_ns: u64,
+    is_consumer: bool,
+}
+
+/// The pipelined fan-out scheduler: overlap each group's interpreter with
+/// its member simulators on separate workers (`ExecMode::Fanout`, 2+
+/// workers).
+///
+/// # Thread accounting
+///
+/// Exactly `workers` scoped threads run; every pipeline role is a work item
+/// claimed in order from a shared cursor, so the pipeline never spawns
+/// beyond the worker budget. A pipelined group costs `1 + K` items — one
+/// interpreter ([`PipeItem::Produce`]) plus `K` consumer shards
+/// ([`PipeItem::Consume`]), `K = min(members, workers - 1)` distributed
+/// across the group's ISA lanes. A group's items are contiguous in claim
+/// order and its team never exceeds `workers`, which guarantees progress:
+/// the earliest unclaimed item always belongs to a team whose predecessors
+/// are fully claimed and therefore terminate, freeing their workers.
+///
+/// Two structural rules keep the channels deadlock-free:
+///
+/// * a consumer shard never spans ISA lanes (application kernel phases
+///   stream lane-by-lane, so a cross-lane shard would block on a silent
+///   lane while its busy lane backs up);
+/// * an application group needs one shard per lane at minimum — when
+///   `workers < lanes + 1` the whole group falls back to a single
+///   [`PipeItem::Serial`] item instead (counted in
+///   `meta.pipeline.serial_groups`).
+///
+/// A shard with several members drains them round-robin, one batch per
+/// member per pass — the same order the producer publishes in, so neither
+/// side can wait on a batch the other has not already had the opportunity
+/// to hand over.
+///
+/// On a panic the failing worker sets the abort flag and the remaining
+/// items are claimed but *dropped unexecuted*: dropping a `Produce` item
+/// closes its senders (consumers see end-of-stream), dropping a `Consume`
+/// item closes its receivers (the producer's sends error out and it skips
+/// the member) — every blocked peer unblocks, and the first failure is
+/// re-raised with its work item's identity.
+fn run_fanout_pipelined(
+    grid: &GridSpec,
+    cells: &[Cell],
+    groups: &[FanGroup],
+    workers: usize,
+    timing: &mut GridTiming,
+) -> Vec<SimResult> {
+    let batch_insts = crate::pipeline_batch_insts();
+    let channel_batches = crate::pipeline_channel_batches();
+
+    // Plan: turn every group into a contiguous run of work items.
+    let mut plan: Vec<PipeItem> = Vec::new();
+    let mut pipelined_groups = 0usize;
+    let mut serial_groups = 0usize;
+    for (gi, group) in groups.iter().enumerate() {
+        let budget = workers - 1;
+        if budget < group.lanes.len() {
+            serial_groups += 1;
+            plan.push(PipeItem::Serial { gi, label: group_label(group) });
+            continue;
+        }
+        pipelined_groups += 1;
+        // Consumer budget: at least one shard per lane, never more shards
+        // than members, extras distributed round-robin over the lanes.
+        let mut shards: Vec<usize> = vec![1; group.lanes.len()];
+        let mut remaining = budget - group.lanes.len();
+        loop {
+            let mut progressed = false;
+            for (li, (_, members)) in group.lanes.iter().enumerate() {
+                if remaining == 0 {
+                    break;
+                }
+                if shards[li] < members.len() {
+                    shards[li] += 1;
+                    remaining -= 1;
+                    progressed = true;
+                }
+            }
+            if remaining == 0 || !progressed {
+                break;
+            }
+        }
+        let mut sink_lanes: Vec<(IsaKind, BatchSink)> = Vec::with_capacity(group.lanes.len());
+        let mut consume_items: Vec<PipeItem> = Vec::new();
+        for (li, (isa, members)) in group.lanes.iter().enumerate() {
+            let mut senders = Vec::with_capacity(members.len());
+            let mut receivers = Vec::with_capacity(members.len());
+            for &ci in members {
+                let (tx, rx) = batch_channel(channel_batches);
+                senders.push(tx);
+                receivers.push((ci, descriptor_for(grid, cells, ci), rx));
+            }
+            sink_lanes.push((*isa, BatchSink::new(senders, batch_insts)));
+            // Split this lane's members contiguously across its shards.
+            let (per, extra) = (members.len() / shards[li], members.len() % shards[li]);
+            let mut iter = receivers.into_iter();
+            for s in 0..shards[li] {
+                let shard: Vec<_> = iter.by_ref().take(per + usize::from(s < extra)).collect();
+                let label = shard
+                    .iter()
+                    .map(|&(ci, _, _)| cell_label(grid, &cells[ci]))
+                    .collect::<Vec<_>>()
+                    .join("; ");
+                consume_items.push(PipeItem::Consume { gi, label, members: shard });
+            }
+        }
+        plan.push(PipeItem::Produce {
+            gi,
+            label: format!("interpret {}", group_label(group)),
+            lanes: sink_lanes,
+        });
+        plan.append(&mut consume_items);
+    }
+
+    // Execute: `workers` threads claim items in order off the cursor.
+    let epoch = Instant::now();
+    let slots: Vec<Mutex<Option<PipeItem>>> =
+        plan.into_iter().map(|item| Mutex::new(Some(item))).collect();
+    let cursor = AtomicUsize::new(0);
+    let abort = AtomicBool::new(false);
+    let failure: Mutex<Option<(String, Box<dyn std::any::Any + Send>)>> = Mutex::new(None);
+    let pool: Mutex<MachinePool> = Mutex::new(MachinePool::default());
+    let outcomes: Vec<PipeOutcome> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers.min(slots.len()))
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut produced: Vec<PipeOutcome> = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= slots.len() {
+                            break;
+                        }
+                        let item = lock_clean(&slots[i]).take();
+                        let Some(item) = item else { continue };
+                        if abort.load(Ordering::Relaxed) {
+                            // Claim-and-drop: dropping the item closes its
+                            // channel endpoints, unblocking peers mid-run.
+                            drop(item);
+                            continue;
+                        }
+                        let label = item.label().to_string();
+                        match catch_unwind(AssertUnwindSafe(|| {
+                            exec_pipe_item(item, grid, cells, groups, &pool, &epoch)
+                        })) {
+                            Ok(outcome) => produced.push(outcome),
+                            Err(payload) => {
+                                abort.store(true, Ordering::Relaxed);
+                                let mut first = lock_clean(&failure);
+                                if first.is_none() {
+                                    *first = Some((label, payload));
+                                }
+                                // Keep claiming so the remaining items are
+                                // dropped and no peer blocks forever.
+                            }
+                        }
+                    }
+                    produced
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("pipeline workers catch their own panics"))
+            .collect()
+    });
+    if let Some((label, payload)) = failure.into_inner().unwrap_or_else(|e| e.into_inner()) {
+        raise_labeled(&label, payload);
+    }
+
+    // Assemble: group spans, per-cell results, occupancy.
+    let mut spans: Vec<(u64, u64)> = vec![(u64::MAX, 0); groups.len()];
+    let mut sim_slots: Vec<Option<SimResult>> = vec![None; cells.len()];
+    let (mut busy_ns, mut consumer_span_ns) = (0u64, 0u64);
+    for outcome in outcomes {
+        let (start, end) = &mut spans[outcome.gi];
+        *start = (*start).min(outcome.start_ns);
+        *end = (*end).max(outcome.end_ns);
+        timing.functional_instructions += outcome.executed;
+        if outcome.is_consumer {
+            busy_ns += outcome.busy_ns;
+            consumer_span_ns += outcome.end_ns.saturating_sub(outcome.start_ns);
+        }
+        for (ci, sim) in outcome.sims {
+            sim_slots[ci] = Some(sim);
+        }
+    }
+    timing.functional_passes += groups.len();
+    timing.cell_wall_ns = vec![0; cells.len()];
+    for (group, &(start, end)) in groups.iter().zip(&spans) {
+        let span = end.saturating_sub(start);
+        timing.sim_wall_ns += span;
+        for (_, members) in &group.lanes {
+            for &ci in members {
+                timing.cell_wall_ns[ci] = span;
+            }
+        }
+    }
+    timing.pipeline = Some(PipelineStats {
+        batch_insts,
+        channel_batches,
+        pipelined_groups,
+        serial_groups,
+        occupancy: (consumer_span_ns > 0).then(|| busy_ns as f64 / consumer_span_ns as f64),
+    });
+    sim_slots.into_iter().map(|s| s.expect("every cell belongs to one group")).collect()
+}
+
+/// Execute one claimed [`PipeItem`] (on the worker's thread).
+fn exec_pipe_item(
+    item: PipeItem,
+    grid: &GridSpec,
+    cells: &[Cell],
+    groups: &[FanGroup],
+    pool: &Mutex<MachinePool>,
+    epoch: &Instant,
+) -> PipeOutcome {
+    let now_ns = || epoch.elapsed().as_nanos() as u64;
+    match item {
+        PipeItem::Serial { gi, .. } => {
+            let group = &groups[gi];
+            let start_ns = now_ns();
+            let mut lane_machines: Vec<Vec<SimMachine>> =
+                take_lane_machines(grid, cells, group, &mut lock_clean(pool));
+            let (lane_sims, executed) = run_fan_group_serial(grid, group, &mut lane_machines);
+            lock_clean(pool).put(lane_machines.into_iter().flatten());
+            let sims = group
+                .lanes
+                .iter()
+                .zip(lane_sims)
+                .flat_map(|((_, members), sims)| members.iter().copied().zip(sims))
+                .collect();
+            PipeOutcome {
+                gi,
+                sims,
+                executed,
+                start_ns,
+                end_ns: now_ns(),
+                busy_ns: 0,
+                is_consumer: false,
+            }
+        }
+        PipeItem::Produce { gi, lanes, .. } => {
+            let group = &groups[gi];
+            let start_ns = now_ns();
+            let executed = match group.workload {
+                Workload::Kernel(_) => {
+                    let (isa, mut sink) =
+                        lanes.into_iter().next().expect("kernel group has one lane");
+                    let executed =
+                        interpret_into(group.workload, isa, grid.scale, grid.seed, &mut sink);
+                    sink.finish();
+                    executed
+                }
+                Workload::App(app) => {
+                    let params = AppParams { seed: grid.seed, scale: grid.scale };
+                    let (_, interpreted) = stream_app_pipelined(app, &params, lanes)
+                        .unwrap_or_else(|e| panic!("{app} failed to build: {e}"));
+                    interpreted
+                }
+            };
+            PipeOutcome {
+                gi,
+                sims: Vec::new(),
+                executed,
+                start_ns,
+                end_ns: now_ns(),
+                busy_ns: 0,
+                is_consumer: false,
+            }
+        }
+        PipeItem::Consume { gi, members, .. } => {
+            let start_ns = now_ns();
+            let mut machines: Vec<SimMachine> = {
+                let mut pool = lock_clean(pool);
+                members.iter().map(|(_, descriptor, _)| pool.take(descriptor)).collect()
+            };
+            let mut wait_ns = 0u64;
+            let results: Vec<SimResult> = {
+                let mut streams: Vec<Option<SimStream>> =
+                    machines.iter_mut().map(|m| Some(m.sim())).collect();
+                let mut done: Vec<Option<SimResult>> = vec![None; members.len()];
+                let mut open = streams.len();
+                // Round-robin: one batch per open member per pass — the same
+                // member order the producer publishes in.
+                while open > 0 {
+                    for (k, slot) in streams.iter_mut().enumerate() {
+                        let Some(stream) = slot else { continue };
+                        let waited = Instant::now();
+                        let next = members[k].2.recv();
+                        wait_ns += waited.elapsed().as_nanos() as u64;
+                        match next {
+                            Some(batch) => {
+                                for inst in batch.iter() {
+                                    stream.feed(inst);
+                                }
+                            }
+                            None => {
+                                done[k] = Some(slot.take().expect("stream still open").finish());
+                                open -= 1;
+                            }
+                        }
+                    }
+                }
+                done.into_iter().map(|r| r.expect("every member finished")).collect()
+            };
+            lock_clean(pool).put(machines);
+            let end_ns = now_ns();
+            PipeOutcome {
+                gi,
+                sims: members.iter().map(|&(ci, ..)| ci).zip(results).collect(),
+                executed: 0,
+                start_ns,
+                end_ns,
+                busy_ns: end_ns.saturating_sub(start_ns).saturating_sub(wait_ns),
+                is_consumer: true,
+            }
+        }
+    }
+}
+
+/// Lock a mutex, tolerating poisoning: a worker that panicked inside a
+/// critical section already recorded its failure through the abort path, so
+/// the data (machine pool, failure slot) is still safe to use.
+fn lock_clean<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// Re-raise a caught worker panic, prefixing the failing work item's
+/// identity so the report names the cell (or group) instead of losing it.
+fn raise_labeled(label: &str, payload: Box<dyn std::any::Any + Send>) -> ! {
+    let msg = payload
+        .downcast_ref::<String>()
+        .map(String::as_str)
+        .or_else(|| payload.downcast_ref::<&str>().copied())
+        .unwrap_or("<non-string panic>");
+    panic!("experiment work item `{label}` panicked: {msg}");
+}
+
 fn run_grid(grid: &GridSpec, workers: usize, mode: ExecMode) -> (Vec<CellResult>, GridTiming) {
     let cells = grid.cells();
     let descriptor_of = |cell: &Cell| grid.configs[cell.config].descriptor(cell.way);
@@ -366,101 +861,65 @@ fn run_grid(grid: &GridSpec, workers: usize, mode: ExecMode) -> (Vec<CellResult>
     let sims: Vec<SimResult> = match mode {
         ExecMode::Fanout => {
             let groups = fanout_groups(grid, &cells);
-            let outcomes = parallel_map_with(
-                &groups,
-                workers,
-                MachinePool::default,
-                |pool, group| {
-                    let started = Instant::now();
-                    let mut lane_machines: Vec<Vec<SimMachine>> = group
-                        .lanes
-                        .iter()
-                        .map(|(_, members)| {
-                            members
-                                .iter()
-                                .map(|&ci| pool.take(&descriptor_of(&cells[ci])))
-                                .collect()
-                        })
-                        .collect();
-                    let (executed, lane_sims) = match group.workload {
-                        Workload::Kernel(_) => {
-                            // A kernel group is a single lane: one
-                            // interpretation broadcast to every member.
-                            let machines = &mut lane_machines[0];
-                            let streams: Vec<SimStream> =
-                                machines.iter_mut().map(|m| m.sim()).collect();
-                            let mut fan = Broadcast::new(streams);
-                            let executed = interpret_into(
-                                group.workload,
-                                group.lanes[0].0,
-                                grid.scale,
-                                grid.seed,
-                                &mut fan,
-                            );
-                            let sims: Vec<SimResult> =
-                                fan.into_inner().into_iter().map(SimStream::finish).collect();
-                            (executed, vec![sims])
+            if workers <= 1 {
+                // One worker: the serial Broadcast path — each group's
+                // interpreter drives all member simulators on this thread,
+                // no channels, no extra threads.
+                let outcomes = parallel_map_with(
+                    &groups,
+                    1,
+                    MachinePool::default,
+                    group_label,
+                    |pool, group| {
+                        let started = Instant::now();
+                        let mut lane_machines = take_lane_machines(grid, &cells, group, pool);
+                        let (lane_sims, executed) =
+                            run_fan_group_serial(grid, group, &mut lane_machines);
+                        let ns = started.elapsed().as_nanos() as u64;
+                        pool.put(lane_machines.into_iter().flatten());
+                        (lane_sims, ns, executed)
+                    },
+                );
+                let mut slots: Vec<Option<SimResult>> = vec![None; cells.len()];
+                timing.cell_wall_ns = vec![0; cells.len()];
+                for (group, (lane_sims, ns, executed)) in groups.iter().zip(outcomes) {
+                    timing.sim_wall_ns += ns;
+                    timing.functional_passes += 1;
+                    timing.functional_instructions += executed;
+                    for ((_, members), sims) in group.lanes.iter().zip(lane_sims) {
+                        for (&ci, sim) in members.iter().zip(sims) {
+                            slots[ci] = Some(sim);
+                            timing.cell_wall_ns[ci] = ns;
                         }
-                        Workload::App(app) => {
-                            // An app group spans all of its ISAs: kernel
-                            // phases interpret per lane, scalar phases once
-                            // for all lanes.
-                            let mut lanes: Vec<(IsaKind, Broadcast<SimStream>)> = group
-                                .lanes
-                                .iter()
-                                .zip(lane_machines.iter_mut())
-                                .map(|((isa, _), machines)| {
-                                    (*isa, Broadcast::new(machines.iter_mut().map(|m| m.sim()).collect()))
-                                })
-                                .collect();
-                            let params = AppParams { seed: grid.seed, scale: grid.scale };
-                            let (_, interpreted) = stream_app_multi(app, &params, &mut lanes)
-                                .unwrap_or_else(|e| panic!("{app} failed to build: {e}"));
-                            let sims: Vec<Vec<SimResult>> = lanes
-                                .into_iter()
-                                .map(|(_, fan)| {
-                                    fan.into_inner().into_iter().map(SimStream::finish).collect()
-                                })
-                                .collect();
-                            (interpreted, sims)
-                        }
-                    };
-                    let ns = started.elapsed().as_nanos() as u64;
-                    pool.put(lane_machines.into_iter().flatten());
-                    (lane_sims, ns, executed)
-                },
-            );
-            let mut slots: Vec<Option<SimResult>> = vec![None; cells.len()];
-            timing.cell_wall_ns = vec![0; cells.len()];
-            for (group, (lane_sims, ns, executed)) in groups.iter().zip(outcomes) {
-                timing.sim_wall_ns += ns;
-                timing.functional_passes += 1;
-                timing.functional_instructions += executed;
-                for ((_, members), sims) in group.lanes.iter().zip(lane_sims) {
-                    for (&ci, sim) in members.iter().zip(sims) {
-                        slots[ci] = Some(sim);
-                        timing.cell_wall_ns[ci] = ns;
                     }
                 }
+                slots.into_iter().map(|s| s.expect("every cell belongs to one group")).collect()
+            } else {
+                run_fanout_pipelined(grid, &cells, &groups, workers, &mut timing)
             }
-            slots.into_iter().map(|s| s.expect("every cell belongs to one group")).collect()
         }
         ExecMode::Streamed => {
             // No stage 1 — every cell runs the fused pipeline, rebuilding its
             // workload on the fly.
-            let outcomes = parallel_map_with(&cells, workers, MachinePool::default, |pool, cell| {
-                let config = &grid.configs[cell.config];
-                let started = Instant::now();
-                let mut machine = pool.take(&descriptor_of(cell));
-                let sim = {
-                    let mut stream = machine.sim();
-                    interpret_into(cell.workload, config.isa, grid.scale, grid.seed, &mut stream);
-                    stream.finish()
-                };
-                let ns = started.elapsed().as_nanos() as u64;
-                pool.put([machine]);
-                (sim, ns)
-            });
+            let outcomes = parallel_map_with(
+                &cells,
+                workers,
+                MachinePool::default,
+                |cell| cell_label(grid, cell),
+                |pool, cell| {
+                    let config = &grid.configs[cell.config];
+                    let started = Instant::now();
+                    let mut machine = pool.take(&descriptor_of(cell));
+                    let sim = {
+                        let mut stream = machine.sim();
+                        interpret_into(cell.workload, config.isa, grid.scale, grid.seed, &mut stream);
+                        stream.finish()
+                    };
+                    let ns = started.elapsed().as_nanos() as u64;
+                    pool.put([machine]);
+                    (sim, ns)
+                },
+            );
             timing.functional_passes = cells.len();
             let mut sims = Vec::with_capacity(cells.len());
             for (sim, ns) in outcomes {
@@ -480,9 +939,13 @@ fn run_grid(grid: &GridSpec, workers: usize, mode: ExecMode) -> (Vec<CellResult>
                     pairs.push(pair);
                 }
             }
-            let traces = parallel_map(&pairs, workers, |&(workload, isa)| {
-                build_trace(workload, isa, grid.scale, grid.seed)
-            });
+            let traces = parallel_map_with(
+                &pairs,
+                workers,
+                || (),
+                |&(workload, isa)| format!("trace {} ({})", workload.label(), isa.label()),
+                |(), &(workload, isa)| build_trace(workload, isa, grid.scale, grid.seed),
+            );
             timing.functional_passes = pairs.len();
             timing.functional_instructions = traces.iter().map(|t| t.len() as u64).sum();
             let trace_of = |workload: Workload, isa: IsaKind| -> &Trace {
@@ -492,16 +955,22 @@ fn run_grid(grid: &GridSpec, workers: usize, mode: ExecMode) -> (Vec<CellResult>
             };
 
             // Stage 2: simulate every cell, in parallel.
-            let outcomes = parallel_map_with(&cells, workers, MachinePool::default, |pool, cell| {
-                let config = &grid.configs[cell.config];
-                let trace = trace_of(cell.workload, config.isa);
-                let started = Instant::now();
-                let mut machine = pool.take(&descriptor_of(cell));
-                let sim = machine.simulate_trace(trace);
-                let ns = started.elapsed().as_nanos() as u64;
-                pool.put([machine]);
-                (sim, ns)
-            });
+            let outcomes = parallel_map_with(
+                &cells,
+                workers,
+                MachinePool::default,
+                |cell| cell_label(grid, cell),
+                |pool, cell| {
+                    let config = &grid.configs[cell.config];
+                    let trace = trace_of(cell.workload, config.isa);
+                    let started = Instant::now();
+                    let mut machine = pool.take(&descriptor_of(cell));
+                    let sim = machine.simulate_trace(trace);
+                    let ns = started.elapsed().as_nanos() as u64;
+                    pool.put([machine]);
+                    (sim, ns)
+                },
+            );
             let mut sims = Vec::with_capacity(cells.len());
             for (sim, ns) in outcomes {
                 timing.cell_wall_ns.push(ns);
@@ -548,34 +1017,41 @@ fn run_grid(grid: &GridSpec, workers: usize, mode: ExecMode) -> (Vec<CellResult>
 }
 
 /// Map `f` over `items` on `workers` scoped threads with a shared atomic
-/// work-stealing cursor. Results land in the slot of their input index, so
-/// the output order — and any serialization of it — is independent of worker
-/// count and scheduling.
-fn parallel_map<T: Sync, R: Send>(
-    items: &[T],
-    workers: usize,
-    f: impl Fn(&T) -> R + Sync,
-) -> Vec<R> {
-    parallel_map_with(items, workers, || (), |(), item| f(item))
-}
-
-/// [`parallel_map`] with worker-local scratch state: every worker thread
-/// calls `state` once and threads the value through all of its `f` calls.
-/// The runner uses this for the [`MachinePool`] — machines are reused within
-/// a worker, and since a reset machine is bit-identical to a fresh one, the
-/// state never influences results (the determinism guarantee is unaffected
-/// by how items land on workers).
+/// work-stealing cursor and worker-local scratch state: every worker thread
+/// calls `state` once and threads the value through all of its `f` calls;
+/// `label` names an item for the panic message should `f` panic on it. The
+/// runner uses the state for the [`MachinePool`] — machines are reused
+/// within a worker, and since a reset machine is bit-identical to a fresh
+/// one, the state never influences results. Results land in the slot of
+/// their input index, so the output order — and any serialization of it —
+/// is independent of worker count and scheduling.
+///
+/// A panic in `f` fails fast: the panicking worker parks the shared cursor
+/// past `items.len()` so idle workers stop claiming new items promptly
+/// (in-flight items still finish; their results are discarded), and the
+/// first failure is re-raised on the caller's thread with the failing item's
+/// `label` — a kernel verification failure names its cell instead of
+/// surfacing as a bare join panic after the surviving workers drained the
+/// whole grid.
 fn parallel_map_with<T: Sync, R: Send, S>(
     items: &[T],
     workers: usize,
     state: impl Fn() -> S + Sync,
+    label: impl Fn(&T) -> String + Sync,
     f: impl Fn(&mut S, &T) -> R + Sync,
 ) -> Vec<R> {
     if workers <= 1 || items.len() <= 1 {
         let mut local = state();
-        return items.iter().map(|item| f(&mut local, item)).collect();
+        return items
+            .iter()
+            .map(|item| {
+                catch_unwind(AssertUnwindSafe(|| f(&mut local, item)))
+                    .unwrap_or_else(|payload| raise_labeled(&label(item), payload))
+            })
+            .collect();
     }
     let cursor = AtomicUsize::new(0);
+    let failure: Mutex<Option<(String, Box<dyn std::any::Any + Send>)>> = Mutex::new(None);
     let mut slots: Vec<Option<R>> = std::iter::repeat_with(|| None).take(items.len()).collect();
     std::thread::scope(|scope| {
         let handles: Vec<_> = (0..workers.min(items.len()))
@@ -588,20 +1064,31 @@ fn parallel_map_with<T: Sync, R: Send, S>(
                         if i >= items.len() {
                             break;
                         }
-                        produced.push((i, f(&mut local, &items[i])));
+                        match catch_unwind(AssertUnwindSafe(|| f(&mut local, &items[i]))) {
+                            Ok(r) => produced.push((i, r)),
+                            Err(payload) => {
+                                cursor.store(items.len(), Ordering::Relaxed);
+                                let mut first = lock_clean(&failure);
+                                if first.is_none() {
+                                    *first = Some((label(&items[i]), payload));
+                                }
+                                break;
+                            }
+                        }
                     }
                     produced
                 })
             })
             .collect();
         for handle in handles {
-            // A panicking worker (e.g. kernel verification failure) propagates
-            // here, preserving the legacy harness's fail-fast behaviour.
-            for (i, r) in handle.join().expect("experiment worker panicked") {
+            for (i, r) in handle.join().expect("map workers catch their own panics") {
                 slots[i] = Some(r);
             }
         }
     });
+    if let Some((who, payload)) = failure.into_inner().unwrap_or_else(|e| e.into_inner()) {
+        raise_labeled(&who, payload);
+    }
     slots.into_iter().map(|slot| slot.expect("every index was claimed")).collect()
 }
 
@@ -674,6 +1161,25 @@ impl RunResult {
             ("mode", Value::Str(self.mode.label().into())),
             ("generated_by", Value::Str(format!("momlab {}", env!("CARGO_PKG_VERSION")))),
         ];
+        if let Some(pipeline) = &self.pipeline {
+            // Pipelined fan-out accounting: batch/channel geometry plus how
+            // much of the consumer shards' wall-clock was spent simulating
+            // (vs blocked on the interpreter). Present exactly when the
+            // pipelined scheduler ran (fanout mode, 2+ workers).
+            meta_members.push((
+                "pipeline",
+                Value::object(vec![
+                    ("batch_insts", Value::Int(pipeline.batch_insts as i64)),
+                    ("channel_batches", Value::Int(pipeline.channel_batches as i64)),
+                    ("pipelined_groups", Value::Int(pipeline.pipelined_groups as i64)),
+                    ("serial_groups", Value::Int(pipeline.serial_groups as i64)),
+                    (
+                        "occupancy",
+                        pipeline.occupancy.map(Value::Float).unwrap_or(Value::Null),
+                    ),
+                ]),
+            ));
+        }
         if let Some(cells) = self.cells() {
             // The functional-sharing accounting: how many interpreter passes
             // this run performed, how many instructions they executed, and
@@ -865,13 +1371,122 @@ mod tests {
     use crate::spec::figure5_spec;
     use mom_kernels::KernelKind;
 
+    fn map_doubled(items: &[usize], workers: usize) -> Vec<usize> {
+        parallel_map_with(items, workers, || (), |&x| format!("item {x}"), |(), &x| x * 2)
+    }
+
     #[test]
     fn parallel_map_preserves_input_order() {
         let items: Vec<usize> = (0..100).collect();
-        let doubled = parallel_map(&items, 4, |&x| x * 2);
+        let doubled = map_doubled(&items, 4);
         assert_eq!(doubled, items.iter().map(|&x| x * 2).collect::<Vec<_>>());
-        let serial = parallel_map(&items, 1, |&x| x * 2);
-        assert_eq!(doubled, serial);
+        assert_eq!(doubled, map_doubled(&items, 1));
+    }
+
+    #[test]
+    fn a_panicking_item_aborts_promptly_and_names_itself() {
+        let items: Vec<usize> = (0..1000).collect();
+        let executed = AtomicUsize::new(0);
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            parallel_map_with(
+                &items,
+                4,
+                || (),
+                |&x| format!("compensation / mom / {x}-way"),
+                |(), &x| {
+                    if x == 3 {
+                        panic!("injected cell failure");
+                    }
+                    executed.fetch_add(1, Ordering::Relaxed);
+                    std::thread::sleep(std::time::Duration::from_millis(1));
+                    x
+                },
+            )
+        }));
+        let payload = caught.expect_err("the worker panic must propagate");
+        let msg = payload.downcast_ref::<String>().expect("formatted panic message");
+        assert!(
+            msg.contains("compensation / mom / 3-way") && msg.contains("injected cell failure"),
+            "panic must name the failing cell: {msg}"
+        );
+        // Fail fast: the parked cursor stops idle workers long before the
+        // 999 surviving items are drained.
+        let ran = executed.load(Ordering::Relaxed);
+        assert!(ran < 900, "{ran} items still ran after the panic");
+    }
+
+    #[test]
+    fn serial_path_also_labels_a_panicking_item() {
+        let items = [1usize, 2];
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            parallel_map_with(
+                &items,
+                1,
+                || (),
+                |&x| format!("item-{x}"),
+                |(), &x| {
+                    if x == 2 {
+                        panic!("boom");
+                    }
+                    x
+                },
+            )
+        }));
+        let payload = caught.expect_err("panic propagates serially too");
+        let msg = payload.downcast_ref::<String>().expect("formatted panic message");
+        assert!(msg.contains("item-2") && msg.contains("boom"), "{msg}");
+    }
+
+    #[test]
+    fn pipelined_fanout_matches_serial_and_reports_pipeline_meta() {
+        let spec = figure5_spec(&[KernelKind::Compensation], 1, 1, true);
+        let serial = run_with(&spec, 1);
+        let piped = run_with(&spec, 3);
+        // Byte-identical results; only meta differs.
+        assert_eq!(
+            serial.results_json().to_pretty(),
+            piped.results_json().to_pretty(),
+            "pipelined fan-out diverged from the serial broadcast"
+        );
+        assert!(serial.pipeline.is_none(), "one worker never pipelines");
+        let stats = piped.pipeline.as_ref().expect("2+ workers run the pipelined scheduler");
+        // Kernel groups (single lane) always pipeline when workers >= 2.
+        assert_eq!(stats.pipelined_groups, 4);
+        assert_eq!(stats.serial_groups, 0);
+        assert_eq!(stats.batch_insts, crate::pipeline_batch_insts());
+        assert_eq!(stats.channel_batches, crate::pipeline_channel_batches());
+        let occupancy = stats.occupancy.expect("pipelined groups report occupancy");
+        assert!((0.0..=1.0).contains(&occupancy), "occupancy {occupancy}");
+        // The meta section carries the same numbers.
+        let doc = piped.document_json();
+        let pipeline = doc.get("meta").and_then(|m| m.get("pipeline")).expect("meta.pipeline");
+        assert_eq!(
+            pipeline.get("batch_insts").and_then(Value::as_i64),
+            Some(stats.batch_insts as i64)
+        );
+        assert_eq!(pipeline.get("pipelined_groups").and_then(Value::as_i64), Some(4));
+        assert!(pipeline.get("occupancy").and_then(Value::as_f64).is_some());
+        // And the serial run's meta has no pipeline section.
+        assert!(serial.document_json().get("meta").and_then(|m| m.get("pipeline")).is_none());
+    }
+
+    #[test]
+    fn app_groups_fall_back_to_serial_when_workers_cannot_cover_their_lanes() {
+        let spec = ExperimentSpec::builtin("figure7", 1, true).expect("figure7 is built in");
+        // figure7 app groups span 4 ISA lanes; 2 workers cannot field an
+        // interpreter plus one shard per lane, so the groups run serially —
+        // but still through the pipelined scheduler's accounting.
+        let narrow = run_with(&spec, 2);
+        let stats = narrow.pipeline.as_ref().expect("pipelined scheduler ran");
+        assert_eq!(stats.pipelined_groups, 0);
+        assert!(stats.serial_groups > 0);
+        assert!(stats.occupancy.is_none(), "no consumer shards ran");
+        // With enough workers the same groups pipeline, byte-identically.
+        let wide = run_with(&spec, 6);
+        let wide_stats = wide.pipeline.as_ref().expect("pipelined scheduler ran");
+        assert_eq!(wide_stats.serial_groups, 0);
+        assert_eq!(wide_stats.pipelined_groups, stats.serial_groups);
+        assert_eq!(narrow.results_json().to_pretty(), wide.results_json().to_pretty());
     }
 
     #[test]
