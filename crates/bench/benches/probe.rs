@@ -1,0 +1,86 @@
+//! Criterion guard on the cycle-attribution probe: simulate the same
+//! pre-interpreted trace through `SimStream` with the probe off
+//! (`NoProbe`, the monomorphized-away default) and on
+//! (`AttributionProbe`), at 1- and 8-way issue.
+//!
+//! The `probe_off` numbers are the regression gate — the generic `Probe`
+//! parameter must keep the unprobed stream as fast as it was before the
+//! probe existed (within Criterion noise). The `probe_on` numbers document
+//! the cost of always-on attribution in the lab runner; the measured
+//! overhead is recorded in `EXPERIMENTS.md`. `MOM_BENCH_FAST=1` shrinks the
+//! trace so the smoke test stays quick.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use mom_core::program::ProgramBuilder;
+use mom_core::state::Machine;
+use mom_cpu::{AttributionProbe, CoreConfig, OooCore};
+use mom_isa::mem::MemImage;
+use mom_isa::regs::r;
+use mom_isa::scalar::{AluOp, Cond, ScalarOp};
+use mom_isa::trace::{IsaKind, Trace};
+use mom_mem::{build_memory, MemModelKind};
+
+const MEM_BASE: u64 = 0x1000;
+const MEM_SIZE: usize = 64 * 1024;
+
+/// A scalar loop with loads, an ALU chain and a conditional branch per
+/// iteration — enough cause diversity (base, redirect, mem, unit) that the
+/// probe's attribution switch runs on every commit slot.
+fn trace(iters: i64) -> Trace {
+    let mut b = ProgramBuilder::new(IsaKind::Alpha);
+    b.push(ScalarOp::Li { rd: r(1), imm: MEM_BASE as i64 });
+    b.push(ScalarOp::Li { rd: r(2), imm: iters });
+    b.push(ScalarOp::Li { rd: r(3), imm: 0 });
+    let top = b.bind_here();
+    b.push(ScalarOp::AluI { op: AluOp::And, rd: r(10), ra: r(2), imm: 0x3ff8 });
+    b.push(ScalarOp::Alu { op: AluOp::Add, rd: r(10), ra: r(10), rb: r(1) });
+    b.push(ScalarOp::Ld { rd: r(11), base: r(10), offset: 0, size: 8, signed: false });
+    b.push(ScalarOp::Alu { op: AluOp::Xor, rd: r(3), ra: r(3), rb: r(11) });
+    b.push(ScalarOp::AluI { op: AluOp::Srl, rd: r(12), ra: r(3), imm: 7 });
+    b.push(ScalarOp::Alu { op: AluOp::Add, rd: r(3), ra: r(3), rb: r(12) });
+    let skip = b.new_label();
+    b.push(ScalarOp::Br { cond: Cond::Eq, ra: r(12), rb: r(31), target: skip });
+    b.push(ScalarOp::St { rs: r(3), base: r(10), offset: 0, size: 8 });
+    b.bind(skip);
+    b.push(ScalarOp::AluI { op: AluOp::Add, rd: r(2), ra: r(2), imm: -1 });
+    b.push(ScalarOp::Br { cond: Cond::Gt, ra: r(2), rb: r(31), target: top });
+    let program = b.build().expect("probe-bench program builds");
+    program
+        .run(&mut Machine::new(MemImage::new(MEM_BASE, MEM_SIZE)))
+        .expect("program terminates")
+}
+
+fn bench_probe(c: &mut Criterion) {
+    let iters: i64 = if mom_bench::fast_mode() { 2_000 } else { 50_000 };
+    let trace = trace(iters);
+    println!("probe: {} dynamic instructions per iteration", trace.len());
+
+    let mut group = c.benchmark_group("probe");
+    group.sample_size(10);
+
+    for way in [1usize, 8] {
+        let core = OooCore::new(CoreConfig::for_width(way, IsaKind::Alpha));
+        group.bench_with_input(BenchmarkId::new("probe_off", way), &trace, |b, trace| {
+            b.iter(|| {
+                let mut mem = build_memory(MemModelKind::Perfect { latency: 4 }, way);
+                black_box(core.simulate(trace, mem.as_mut()))
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("probe_on", way), &trace, |b, trace| {
+            b.iter(|| {
+                let mut mem = build_memory(MemModelKind::Perfect { latency: 4 }, way);
+                let mut sim = core.stream_probed(mem.as_mut(), AttributionProbe::new());
+                for inst in &trace.insts {
+                    sim.feed(inst);
+                }
+                let (sim, probe) = sim.finish_probed();
+                black_box((sim, probe.into_report()))
+            });
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_probe);
+criterion_main!(benches);

@@ -33,6 +33,7 @@
 
 use crate::config::CoreConfig;
 use crate::predictor::BranchPredictor;
+use crate::probe::{NoProbe, Probe, StallCause};
 use mom_isa::trace::{ArchReg, DynInst, InstClass, RegClass, Trace, TraceSink};
 use mom_mem::MemorySystem;
 
@@ -311,7 +312,21 @@ impl OooCore {
     /// and timing simulation without an intermediate trace), then call
     /// [`SimStream::finish`] for the summary.
     pub fn stream<'a>(&'a self, memory: &'a mut dyn MemorySystem) -> SimStream<'a> {
-        SimStream::new(&self.config, &self.latencies, memory)
+        SimStream::new(&self.config, &self.latencies, memory, NoProbe)
+    }
+
+    /// Start a streaming simulation instrumented by `probe` — see
+    /// [`crate::probe`]. With [`crate::AttributionProbe`] the stream
+    /// additionally produces a per-cause [`crate::StallBreakdown`] and an
+    /// interval timeline, retrievable via [`SimStream::finish_probed`]; the
+    /// probe observes timing but never alters it, so the [`SimResult`] is
+    /// bit-identical to an unprobed run of the same sequence.
+    pub fn stream_probed<'a, P: Probe>(
+        &'a self,
+        memory: &'a mut dyn MemorySystem,
+        probe: P,
+    ) -> SimStream<'a, P> {
+        SimStream::new(&self.config, &self.latencies, memory, probe)
     }
 
     /// Start a streaming simulation that borrows a long-lived [`SimState`]
@@ -334,7 +349,23 @@ impl OooCore {
         state: &'a mut SimState,
         memory: &'a mut dyn MemorySystem,
     ) -> SimStream<'a> {
-        SimStream::with_state(&self.config, &self.latencies, memory, state)
+        SimStream::with_state(&self.config, &self.latencies, memory, state, NoProbe)
+    }
+
+    /// The probed variant of [`OooCore::stream_with`]: borrow a long-lived
+    /// [`SimState`] *and* instrument the stream with `probe`.
+    ///
+    /// # Panics
+    ///
+    /// As for [`OooCore::stream_with`]: panics on a state sized for a
+    /// different configuration.
+    pub fn stream_with_probed<'a, P: Probe>(
+        &'a self,
+        state: &'a mut SimState,
+        memory: &'a mut dyn MemorySystem,
+        probe: P,
+    ) -> SimStream<'a, P> {
+        SimStream::with_state(&self.config, &self.latencies, memory, state, probe)
     }
 
     /// Allocate a reusable engine state sized for this core — the companion
@@ -530,17 +561,27 @@ impl StateSlot<'_> {
 /// Feeding the instructions of a collected [`Trace`] in order produces a
 /// result bit-identical to [`OooCore::simulate`] on that trace (which is
 /// itself implemented this way).
+/// The stream is generic over a [`Probe`]; the default [`NoProbe`] disables
+/// every instrumented block at compile time (`P::ENABLED` is an associated
+/// constant), so the classic probe-off stream monomorphizes to exactly the
+/// uninstrumented engine. See [`crate::probe`] for the attribution model.
 #[derive(Debug)]
-pub struct SimStream<'a> {
+pub struct SimStream<'a, P: Probe = NoProbe> {
     config: &'a CoreConfig,
     latencies: &'a Latencies,
     memory: &'a mut dyn MemorySystem,
     state: StateSlot<'a>,
+    probe: P,
 }
 
-impl<'a> SimStream<'a> {
-    fn new(config: &'a CoreConfig, latencies: &'a Latencies, memory: &'a mut dyn MemorySystem) -> Self {
-        Self { state: StateSlot::Owned(Box::new(SimState::new(config))), config, latencies, memory }
+impl<'a, P: Probe> SimStream<'a, P> {
+    fn new(
+        config: &'a CoreConfig,
+        latencies: &'a Latencies,
+        memory: &'a mut dyn MemorySystem,
+        probe: P,
+    ) -> Self {
+        Self { state: StateSlot::Owned(Box::new(SimState::new(config))), config, latencies, memory, probe }
     }
 
     fn with_state(
@@ -548,6 +589,7 @@ impl<'a> SimStream<'a> {
         latencies: &'a Latencies,
         memory: &'a mut dyn MemorySystem,
         state: &'a mut SimState,
+        probe: P,
     ) -> Self {
         // A state sized for a different configuration would read the ring
         // buffers with the wrong windows — plausible-but-wrong cycle counts
@@ -556,7 +598,7 @@ impl<'a> SimStream<'a> {
             state.matches_config(config),
             "SimState was built for a different core configuration"
         );
-        Self { state: StateSlot::Borrowed(state), config, latencies, memory }
+        Self { state: StateSlot::Borrowed(state), config, latencies, memory, probe }
     }
 
     /// Total ring-buffer entries retained — the simulator's bounded lookback
@@ -573,6 +615,13 @@ impl<'a> SimStream<'a> {
 
     /// Retire the next instruction in program order.
     ///
+    /// When the probe is enabled, every stage additionally tracks *which*
+    /// constraint was binding; a later-stage constraint only takes over the
+    /// cause when it is **strictly** later (ties keep the earlier-stage
+    /// cause), which makes the attribution deterministic and lets the commit
+    /// deltas telescope exactly to total cycles. With [`NoProbe`] every one
+    /// of those blocks is `if false { .. }` and vanishes at compile time.
+    ///
     /// # Panics
     ///
     /// Panics if the memory system refuses a request for an implausibly long
@@ -584,12 +633,18 @@ impl<'a> SimStream<'a> {
         let i = st.fed;
 
         // ---------------- Fetch ----------------
-        let mut f = st.redirect_floor.max(st.fetch_break_floor);
-        if i >= cfg.way {
-            f = f.max(st.fetches.nth_back(cfg.way) + 1);
-        }
-        if i > 0 {
-            f = f.max(st.fetches.nth_back(1)); // program order within a fetch group
+        let width_floor = if i >= cfg.way { st.fetches.nth_back(cfg.way) + 1 } else { 0 };
+        // Program order within a fetch group.
+        let order_floor = if i > 0 { st.fetches.nth_back(1) } else { 0 };
+        let f = st
+            .redirect_floor
+            .max(st.fetch_break_floor)
+            .max(width_floor)
+            .max(order_floor);
+        let mut cause = StallCause::Base;
+        if P::ENABLED && st.redirect_floor > st.fetch_break_floor.max(width_floor).max(order_floor)
+        {
+            cause = StallCause::Redirect;
         }
         st.fetches.push(f);
         st.fetch_break_floor = 0;
@@ -597,24 +652,51 @@ impl<'a> SimStream<'a> {
         // ---------------- Dispatch (rename + ROB/LSQ/phys-reg allocation) ----------------
         let mut dispatch = f + cfg.frontend_depth;
         if i >= cfg.rob_size {
-            dispatch = dispatch.max(st.commits.nth_back(cfg.rob_size));
+            let rob_floor = st.commits.nth_back(cfg.rob_size);
+            if rob_floor > dispatch {
+                dispatch = rob_floor;
+                if P::ENABLED {
+                    cause = StallCause::RobFull;
+                }
+            }
         }
         let is_mem = inst.class.is_mem();
         if is_mem && st.mem_commits.len() >= cfg.lsq_size {
-            dispatch = dispatch.max(st.mem_commits.nth_back(cfg.lsq_size));
+            let lsq_floor = st.mem_commits.nth_back(cfg.lsq_size);
+            if lsq_floor > dispatch {
+                dispatch = lsq_floor;
+                if P::ENABLED {
+                    cause = StallCause::LsqFull;
+                }
+            }
         }
         for d in inst.dests() {
             let writers = &st.class_writers[class_idx(d.class)];
             let headroom = cfg.rename_headroom(d.class);
             if writers.len() >= headroom {
-                dispatch = dispatch.max(writers.nth_back(headroom));
+                let rename_floor = writers.nth_back(headroom);
+                if rename_floor > dispatch {
+                    dispatch = rename_floor;
+                    if P::ENABLED {
+                        cause = StallCause::Rename;
+                    }
+                }
             }
         }
 
         // ---------------- Operand readiness ----------------
         let mut ready = dispatch + 1;
         for s in inst.sources() {
-            ready = ready.max(st.reg_ready[reg_slot(s)]);
+            let slot = reg_slot(s);
+            let avail = st.reg_ready[slot];
+            if avail > ready {
+                ready = avail;
+                if P::ENABLED {
+                    // Charge the producer's recorded cause: a chain of DRAM
+                    // misses reads as DRAM time, not dependence time.
+                    cause = self.probe.reg_cause(slot);
+                }
+            }
         }
 
         // ---------------- Execute ----------------
@@ -639,10 +721,18 @@ impl<'a> SimStream<'a> {
                     }
                 };
                 st.result.mem_retries += retries;
+                if P::ENABLED {
+                    // Port-stall retries only shift the access's start, so
+                    // they fold into the completed access's dominant level.
+                    cause = StallCause::from_access(self.memory.last_access_cause());
+                }
                 done
             }
             InstClass::Branch => {
                 let start = st.int_units.reserve(ready, false, 1);
+                if P::ENABLED && start > ready {
+                    cause = StallCause::UnitScalar;
+                }
                 let complete = start + lat.branch;
                 if let Some(b) = inst.branch {
                     let correct =
@@ -660,15 +750,30 @@ impl<'a> SimStream<'a> {
                 complete
             }
             InstClass::Nop => ready,
-            InstClass::IntSimple => st.int_units.reserve(ready, false, 1) + lat.int_simple,
-            InstClass::IntComplex => st.int_units.reserve(ready, true, 1) + lat.int_complex,
-            InstClass::FpSimple => st.fp_units.reserve(ready, false, 1) + lat.fp_simple,
-            InstClass::FpComplex => st.fp_units.reserve(ready, true, 1) + lat.fp_complex,
+            InstClass::IntSimple | InstClass::IntComplex => {
+                let complex = inst.class == InstClass::IntComplex;
+                let start = st.int_units.reserve(ready, complex, 1);
+                if P::ENABLED && start > ready {
+                    cause = StallCause::UnitScalar;
+                }
+                start + if complex { lat.int_complex } else { lat.int_simple }
+            }
+            InstClass::FpSimple | InstClass::FpComplex => {
+                let complex = inst.class == InstClass::FpComplex;
+                let start = st.fp_units.reserve(ready, complex, 1);
+                if P::ENABLED && start > ready {
+                    cause = StallCause::UnitScalar;
+                }
+                start + if complex { lat.fp_complex } else { lat.fp_simple }
+            }
             InstClass::MediaSimple | InstClass::MediaComplex => {
                 let complex = inst.class == InstClass::MediaComplex;
                 let occupancy =
                     (inst.elems as u64).div_ceil(st.media_units.lanes as u64).max(1);
                 let start = st.media_units.reserve(ready, complex, occupancy);
+                if P::ENABLED && start > ready {
+                    cause = StallCause::UnitMedia;
+                }
                 let op_lat = if complex { lat.media_complex } else { lat.media_simple };
                 start + occupancy - 1 + op_lat
             }
@@ -676,16 +781,31 @@ impl<'a> SimStream<'a> {
 
         // ---------------- Writeback ----------------
         for d in inst.dests() {
-            st.reg_ready[reg_slot(d)] = complete;
+            let slot = reg_slot(d);
+            st.reg_ready[slot] = complete;
+            if P::ENABLED {
+                self.probe.set_reg_cause(slot, cause);
+            }
         }
 
         // ---------------- Commit ----------------
         let mut c = complete + 1;
         if i > 0 {
+            // In-order commit: joining the previous commit cycle never adds a
+            // delta, so it never changes the attributed cause.
             c = c.max(st.commits.nth_back(1));
         }
         if i >= cfg.way {
-            c = c.max(st.commits.nth_back(cfg.way) + 1);
+            let width_limit = st.commits.nth_back(cfg.way) + 1;
+            if width_limit > c {
+                c = width_limit;
+                if P::ENABLED {
+                    cause = StallCause::Base;
+                }
+            }
+        }
+        if P::ENABLED {
+            self.probe.on_commit(c, c - st.last_commit, cause);
         }
         st.commits.push(c);
         for d in inst.dests() {
@@ -706,11 +826,24 @@ impl<'a> SimStream<'a> {
     pub fn finish(self) -> SimResult {
         self.state.get().summary()
     }
+
+    /// Finish the simulation and return the timing summary together with the
+    /// probe, which holds whatever it accumulated (for
+    /// [`crate::AttributionProbe`]: the stall breakdown and interval
+    /// timeline).
+    pub fn finish_probed(self) -> (SimResult, P) {
+        (self.state.get().summary(), self.probe)
+    }
+
+    /// The probe instrumenting this stream.
+    pub fn probe(&self) -> &P {
+        &self.probe
+    }
 }
 
 /// The streaming simulator is itself a trace sink, so the functional
 /// interpreter can graduate instructions straight into the timing model.
-impl TraceSink for SimStream<'_> {
+impl<P: Probe> TraceSink for SimStream<'_, P> {
     fn emit(&mut self, inst: DynInst) {
         self.feed(&inst);
     }
@@ -1076,5 +1209,97 @@ mod tests {
         let mut mem = build_memory(MemModelKind::Perfect { latency: 1 }, 1);
         let r = core.stream(mem.as_mut()).finish();
         assert_eq!(r, SimResult::default());
+    }
+
+    use crate::probe::AttributionProbe;
+
+    fn run_probed(trace: &Trace, way: usize, isa: IsaKind, latency: u64) -> (SimResult, crate::probe::ProbeReport) {
+        let core = OooCore::new(CoreConfig::for_width(way, isa));
+        let mut mem = build_memory(MemModelKind::Perfect { latency }, way);
+        let mut sim = core.stream_probed(mem.as_mut(), AttributionProbe::new());
+        for inst in &trace.insts {
+            sim.feed(inst);
+        }
+        let (result, probe) = sim.finish_probed();
+        (result, probe.into_report())
+    }
+
+    #[test]
+    fn probe_observes_without_changing_timing() {
+        // The probed run's SimResult must be bit-identical to the unprobed
+        // one, and its breakdown must sum exactly to total cycles.
+        let t: Trace = Generated { next: 0, total: 5000 }.collect();
+        let core = OooCore::new(CoreConfig::way4(IsaKind::Alpha));
+        let mut mem = build_memory(MemModelKind::Perfect { latency: 4 }, 4);
+        let unprobed = core.simulate(&t, mem.as_mut());
+        let (probed, report) = run_probed(&t, 4, IsaKind::Alpha, 4);
+        assert_eq!(unprobed, probed);
+        assert_eq!(report.breakdown.total_cycles, probed.cycles);
+        assert_eq!(report.breakdown.attributed(), probed.cycles);
+        assert_eq!(
+            report.intervals.windows.iter().map(|w| w.committed).sum::<u64>(),
+            probed.committed
+        );
+        assert_eq!(
+            report.intervals.windows.iter().map(|w| w.cycles).sum::<u64>(),
+            probed.cycles
+        );
+    }
+
+    #[test]
+    fn dependent_load_chain_is_charged_to_memory() {
+        // A serial chain of loads at 50-cycle latency: nearly every cycle is
+        // memory time (perfect memory classifies as L1 — see AccessCause).
+        let t: Trace = (0..64u64)
+            .map(|i| {
+                DynInst::new(InstClass::Load, i)
+                    .with_src(ArchReg::int(1))
+                    .with_dst(ArchReg::int(1))
+                    .with_mem(vec![MemAccess { addr: i * 8, size: 8, kind: MemKind::Load }])
+            })
+            .collect();
+        let (result, report) = run_probed(&t, 4, IsaKind::Alpha, 50);
+        let mem_cycles = report.breakdown.get(crate::probe::StallCause::MemL1);
+        assert!(
+            mem_cycles * 10 >= result.cycles * 9,
+            "memory should dominate: {mem_cycles} of {} cycles",
+            result.cycles
+        );
+        assert_eq!(report.breakdown.top(), Some(crate::probe::StallCause::MemL1));
+    }
+
+    #[test]
+    fn mispredicted_branches_are_charged_to_redirect() {
+        let hard: Trace = (0..2000u64)
+            .map(|i| {
+                DynInst::new(InstClass::Branch, i % 7).with_branch(BranchInfo {
+                    taken: i % 2 == 0,
+                    conditional: true,
+                    pc: i % 7,
+                    target: 0,
+                })
+            })
+            .collect();
+        let (result, report) = run_probed(&hard, 4, IsaKind::Alpha, 1);
+        let redirect = report.breakdown.get(crate::probe::StallCause::Redirect);
+        assert!(redirect > result.cycles / 4, "redirect {redirect} of {} cycles", result.cycles);
+        assert_eq!(report.breakdown.attributed(), result.cycles);
+    }
+
+    #[test]
+    fn media_unit_contention_is_charged_to_the_media_unit() {
+        // Independent 16-element media ops saturate the single media unit's
+        // lanes: most slots wait on unit occupancy.
+        let t: Trace = (0..128u64)
+            .map(|i| {
+                DynInst::new(InstClass::MediaSimple, i)
+                    .with_src(ArchReg::mom(0))
+                    .with_dst(ArchReg::mom(1 + (i % 8) as u8))
+                    .with_elems(16)
+            })
+            .collect();
+        let (result, report) = run_probed(&t, 8, IsaKind::Mom, 1);
+        let media = report.breakdown.get(crate::probe::StallCause::UnitMedia);
+        assert!(media > result.cycles / 3, "unit-media {media} of {} cycles", result.cycles);
     }
 }

@@ -45,8 +45,13 @@ pub mod config;
 pub mod core;
 pub mod machine;
 pub mod predictor;
+pub mod probe;
 
 pub use crate::core::{InstSource, Latencies, OooCore, SimResult, SimState, SimStream};
+pub use crate::probe::{
+    AttributionProbe, IntervalStats, IntervalWindow, NoProbe, Probe, ProbeReport, StallBreakdown,
+    StallCause,
+};
 pub use config::{CoreConfig, FuPool, PhysRegs};
 pub use machine::{MachineDescriptor, RegFileConfig, SimMachine};
 pub use predictor::{BimodalPredictor, BranchPredictor, Btb};

@@ -14,6 +14,7 @@
 
 use crate::config::{CoreConfig, PhysRegs};
 use crate::core::{Latencies, OooCore, SimResult, SimState, SimStream};
+use crate::probe::{AttributionProbe, ProbeReport};
 use mom_isa::pipe::BatchReceiver;
 use mom_isa::trace::{IsaKind, Trace};
 use mom_mem::{build_memory, MemModelKind, MemSystemStats, MemorySystem};
@@ -173,6 +174,15 @@ impl SimMachine {
         self.core.stream_with(&mut self.state, self.memory.as_mut())
     }
 
+    /// Open a streaming simulation instrumented with a fresh
+    /// [`AttributionProbe`] — identical timing to [`SimMachine::sim`], plus a
+    /// per-cause [`crate::StallBreakdown`] and interval timeline available
+    /// from [`SimStream::finish_probed`]. The probe is created per stream, so
+    /// machine pooling/reuse never mixes attribution across cells.
+    pub fn sim_probed(&mut self) -> SimStream<'_, AttributionProbe> {
+        self.core.stream_with_probed(&mut self.state, self.memory.as_mut(), AttributionProbe::new())
+    }
+
     /// Replay a materialized trace on this machine (the batch path of the
     /// experiment runner). Equivalent to feeding every instruction through
     /// [`SimMachine::sim`].
@@ -182,6 +192,17 @@ impl SimMachine {
             sim.feed(inst);
         }
         sim.finish()
+    }
+
+    /// The probed variant of [`SimMachine::simulate_trace`]: same timing,
+    /// plus the verified attribution report.
+    pub fn simulate_trace_probed(&mut self, trace: &Trace) -> (SimResult, ProbeReport) {
+        let mut sim = self.sim_probed();
+        for inst in &trace.insts {
+            sim.feed(inst);
+        }
+        let (result, probe) = sim.finish_probed();
+        (result, probe.into_report())
     }
 
     /// Drain a batch channel to completion: the consumer half of the
@@ -201,6 +222,19 @@ impl SimMachine {
             }
         }
         sim.finish()
+    }
+
+    /// The probed variant of [`SimMachine::consume_batches`]: same timing,
+    /// plus the verified attribution report.
+    pub fn consume_batches_probed(&mut self, rx: &BatchReceiver) -> (SimResult, ProbeReport) {
+        let mut sim = self.sim_probed();
+        while let Some(batch) = rx.recv() {
+            for inst in batch.iter() {
+                sim.feed(inst);
+            }
+        }
+        let (result, probe) = sim.finish_probed();
+        (result, probe.into_report())
     }
 }
 

@@ -47,6 +47,13 @@ pub struct Diff {
     /// it exists so a drop in the fan-out runner's amortization is visible
     /// next to the `insts_per_sec` deltas it would explain.
     pub sharing: Option<String>,
+    /// Informational stall-attribution share shifts (from the per-cell
+    /// `breakdown` objects), present only when **both** documents carry
+    /// them. A line appears when a cause's share of a cell's total cycles
+    /// moved by at least one percentage point — enough to explain *why* a
+    /// cycle regression happened — but the lines never gate:
+    /// [`Diff::has_regressions`] stays a pure cycle comparison.
+    pub breakdown: Vec<String>,
 }
 
 impl Diff {
@@ -73,6 +80,9 @@ impl std::fmt::Display for Diff {
         }
         for a in &self.added {
             writeln!(f, "new cell: {a}")?;
+        }
+        for b in &self.breakdown {
+            writeln!(f, "breakdown: {b}")?;
         }
         for t in &self.throughput {
             writeln!(f, "throughput: {t}")?;
@@ -202,6 +212,7 @@ pub fn diff_documents(new: &Value, baseline: &Value, tolerance: f64) -> Result<D
         } else {
             diff.unchanged += 1;
         }
+        diff.breakdown.extend(breakdown_shifts(key, new_cell, base_cell));
     }
     for (key, _) in &new_index.ordered {
         if base_index.get(key).is_none() {
@@ -211,6 +222,43 @@ pub fn diff_documents(new: &Value, baseline: &Value, tolerance: f64) -> Result<D
     diff.throughput = throughput_deltas(new, baseline, &mut diff.warnings);
     diff.sharing = sharing_delta(new, baseline);
     Ok(diff)
+}
+
+/// Informational stall-attribution comparison between one cell's
+/// `breakdown` objects: one line per cause whose share of the cell's total
+/// cycles moved by at least one percentage point. Empty when either cell
+/// lacks the object (pre-probe baselines). Never contributes to the exit
+/// code — these lines explain cycle deltas, they don't gate on their own.
+fn breakdown_shifts(key: &str, new_cell: &Value, base_cell: &Value) -> Vec<String> {
+    let section = |cell: &Value| cell.get("breakdown").cloned();
+    let (Some(new_b), Some(base_b)) = (section(new_cell), section(base_cell)) else {
+        return Vec::new();
+    };
+    let total = |b: &Value| {
+        b.get("total_cycles").and_then(Value::as_f64).filter(|&t| t > 0.0 && t.is_finite())
+    };
+    let (Some(new_total), Some(base_total)) = (total(&new_b), total(&base_b)) else {
+        return Vec::new();
+    };
+    let Value::Object(members) = &new_b else { return Vec::new() };
+    let mut out = Vec::new();
+    for (cause, cycles) in members {
+        if cause == "total_cycles" {
+            continue;
+        }
+        let new_share = cycles.as_f64().unwrap_or(0.0) / new_total;
+        let base_share =
+            base_b.get(cause).and_then(Value::as_f64).unwrap_or(0.0) / base_total;
+        let shift = (new_share - base_share) * 100.0;
+        if shift.abs() >= 1.0 {
+            out.push(format!(
+                "{key}: {cause} share {:.1}% -> {:.1}% ({shift:+.1}pp)",
+                base_share * 100.0,
+                new_share * 100.0,
+            ));
+        }
+    }
+    out
 }
 
 /// Informational functional-sharing comparison between the
@@ -299,6 +347,53 @@ mod tests {
         assert!(!d.has_regressions());
         assert!(d.improvements.is_empty() && d.warnings.is_empty());
         assert_eq!(d.unchanged, 1);
+    }
+
+    fn doc_with_breakdown(total: i64, base: i64, mem_l1: i64) -> Value {
+        Value::object(vec![
+            ("experiment", Value::Str("figure5".into())),
+            ("config_hash", Value::Str("h".into())),
+            ("fast", Value::Bool(false)),
+            ("scale", Value::Int(1)),
+            ("kind", Value::Str("grid".into())),
+            (
+                "cells",
+                Value::Array(vec![Value::object(vec![
+                    ("workload", Value::Str("idct".into())),
+                    ("config", Value::Str("mom".into())),
+                    ("way", Value::Int(4)),
+                    ("cycles", Value::Int(total)),
+                    (
+                        "breakdown",
+                        Value::object(vec![
+                            ("total_cycles", Value::Int(total)),
+                            ("base", Value::Int(base)),
+                            ("mem-l1", Value::Int(mem_l1)),
+                        ]),
+                    ),
+                ])]),
+            ),
+        ])
+    }
+
+    #[test]
+    fn breakdown_share_shifts_are_informational_only() {
+        let new = doc_with_breakdown(1000, 600, 400);
+        let base = doc_with_breakdown(1000, 700, 300);
+        let d = diff_documents(&new, &base, DEFAULT_TOLERANCE).unwrap();
+        assert!(!d.has_regressions(), "share shifts never gate");
+        assert_eq!(d.breakdown.len(), 2, "{:?}", d.breakdown);
+        assert!(
+            d.breakdown.iter().any(|l| l.contains("mem-l1") && l.contains("+10.0pp")),
+            "{:?}",
+            d.breakdown
+        );
+        assert!(format!("{d}").contains("breakdown: "));
+        // Sub-point moves stay quiet; pre-probe baselines produce no lines.
+        let d = diff_documents(&new, &new, DEFAULT_TOLERANCE).unwrap();
+        assert!(d.breakdown.is_empty(), "{:?}", d.breakdown);
+        let d = diff_documents(&new, &doc(1000, "h"), DEFAULT_TOLERANCE).unwrap();
+        assert!(d.breakdown.is_empty(), "{:?}", d.breakdown);
     }
 
     #[test]

@@ -46,6 +46,9 @@
 //! * `--baseline FILE` — diff the result against a saved JSON document;
 //!   exit code 2 when a regression is found
 //! * `--tolerance F` — relative cycle tolerance for `--baseline` (default 0.02)
+//! * `--trace-out FILE` — write a Chrome trace-event JSON of the runner's
+//!   scheduler spans (one trace process per experiment, one track per worker;
+//!   load it in `chrome://tracing` or Perfetto)
 //!
 //! `momlab diff` (and `--baseline`) gate on simulated cycles only. When both
 //! documents carry a `meta.throughput` section, the report additionally
@@ -92,6 +95,7 @@ Usage:
              [--isa I]... [--scale N] [--workers N] [--streamed] [--materialized]
              [--sweep-dims SPEC] [--json FILE] [--out-dir DIR] [--results-only]
              [--no-json] [--quiet] [--baseline FILE] [--tolerance F]
+             [--trace-out FILE]
   momlab --all
   momlab diff <NEW.json> --baseline <OLD.json> [--tolerance F]
 
@@ -104,6 +108,9 @@ at 2+ workers; --streamed runs the fused per-cell pipeline; --materialized
 builds and replays traces. All three are byte-identical in their results.
 
 --sweep-dims overrides the sweep grid, e.g. rob=16,32:lat=1,50:way=4,8.
+
+--trace-out FILE writes a Chrome trace-event JSON of the runner's scheduler
+spans (one process per experiment; open in chrome://tracing or Perfetto).
 
 MOM_BENCH_FAST=1 selects the reduced fast-mode workload subsets.
 MOM_LAB_STREAM=1 enables the fused per-cell streaming pipeline by default.
@@ -132,6 +139,7 @@ struct Options {
     quiet: bool,
     baseline: Option<PathBuf>,
     tolerance: f64,
+    trace_out: Option<PathBuf>,
 }
 
 fn parse_options(args: &[String]) -> Result<Options, String> {
@@ -181,6 +189,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             "--no-json" => opts.no_json = true,
             "--quiet" => opts.quiet = true,
             "--baseline" => opts.baseline = Some(PathBuf::from(value("--baseline")?)),
+            "--trace-out" => opts.trace_out = Some(PathBuf::from(value("--trace-out")?)),
             "--tolerance" => {
                 opts.tolerance = value("--tolerance")?
                     .parse()
@@ -330,13 +339,21 @@ fn cmd_run(opts: &Options) -> Result<ExitCode, String> {
     };
 
     let mut exit = ExitCode::SUCCESS;
+    let mut trace_processes: Vec<(String, Vec<runner::SpanRec>)> = Vec::new();
     for (i, spec) in specs.iter().enumerate() {
-        let result = runner::run_with_mode(spec, workers, mode);
+        let result = runner::run_with_mode_progress(spec, workers, mode, !opts.quiet);
+        if opts.trace_out.is_some() {
+            trace_processes.push((spec.name.clone(), result.spans.clone()));
+        }
         if !opts.quiet {
             if i > 0 {
                 println!();
             }
             print!("{}", report::render(&result));
+            if let Some(stack) = report::render_breakdown(&result) {
+                println!();
+                print!("{stack}");
+            }
         }
         if !opts.no_json {
             let path = match &opts.json {
@@ -381,6 +398,17 @@ fn cmd_run(opts: &Options) -> Result<ExitCode, String> {
                 exit = ExitCode::from(2);
             }
         }
+    }
+    if let Some(path) = &opts.trace_out {
+        if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+            std::fs::create_dir_all(dir)
+                .map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+        }
+        let document = mom_lab::trace::chrome_trace(&trace_processes);
+        std::fs::write(path, document.to_pretty())
+            .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+        let spans: usize = trace_processes.iter().map(|(_, s)| s.len()).sum();
+        eprintln!("wrote {} ({spans} span(s))", path.display());
     }
     Ok(exit)
 }

@@ -15,7 +15,9 @@
 //!   output byte-for-byte from the structured results;
 //! * [`tables`] — the config-derived static experiments (Tables 1-3, opcode
 //!   inventories);
-//! * [`baseline`] — regression diffing of result files.
+//! * [`baseline`] — regression diffing of result files;
+//! * [`trace`] — Chrome trace-event export of the runner's scheduler spans
+//!   (`momlab run --trace-out <file>`).
 //!
 //! The `momlab` binary is the CLI: `momlab list`, `momlab run figure5 --json
 //! out.json`, `momlab run --all`, `momlab diff new.json --baseline old.json`.
@@ -41,8 +43,12 @@ pub mod report;
 pub mod runner;
 pub mod spec;
 pub mod tables;
+pub mod trace;
 
-pub use runner::{run, run_streamed, run_with, run_with_mode, CellResult, ExecMode, RunResult};
+pub use runner::{
+    run, run_streamed, run_with, run_with_mode, run_with_mode_progress, CellResult, ExecMode,
+    PoolStats, RunResult, SpanRec,
+};
 pub use spec::{ExperimentSpec, GridSpec, SweepDims, Workload, BUILTIN_EXPERIMENTS};
 
 use std::sync::OnceLock;

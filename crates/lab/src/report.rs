@@ -341,6 +341,40 @@ fn render_config_table(spec: &ExperimentSpec, grid: &GridSpec, cells: &[CellResu
     out
 }
 
+/// Render the stall-cycle attribution stack of a grid run: one line per
+/// cell, its total commit-slot cycles and the top three stall causes by
+/// share. Kept separate from [`render`] so the golden-pinned report format
+/// stays untouched; `momlab run` prints this block after the report.
+/// Returns `None` for static experiments.
+pub fn render_breakdown(result: &RunResult) -> Option<String> {
+    let cells = result.cells()?;
+    let mut out = String::new();
+    let _ = writeln!(out, "Stall-cycle attribution (top causes per cell):");
+    for cell in cells {
+        let b = &cell.breakdown;
+        let stack = b
+            .ranked()
+            .into_iter()
+            .filter(|&(_, cycles)| cycles > 0)
+            .take(3)
+            .map(|(cause, cycles)| {
+                format!("{} {:.0}%", cause.label(), cycles as f64 * 100.0 / b.total_cycles.max(1) as f64)
+            })
+            .collect::<Vec<_>>()
+            .join(" | ");
+        let _ = writeln!(
+            out,
+            "  {} / {} ({}-way): {} cycles — {}",
+            cell.workload.label(),
+            cell.config_label,
+            cell.way,
+            b.total_cycles,
+            stack,
+        );
+    }
+    Some(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -403,6 +437,19 @@ mod tests {
         // Static experiments have no machine grid.
         let table = ExperimentSpec::builtin("table1", 1, true).unwrap();
         assert!(describe(&table).contains("static experiment"));
+    }
+
+    #[test]
+    fn breakdown_stack_renders_for_grids_only() {
+        let spec = ExperimentSpec::builtin("figure5", 1, true).unwrap();
+        let result = run_with(&spec, 1);
+        let text = render_breakdown(&result).unwrap();
+        assert!(text.starts_with("Stall-cycle attribution"), "{text}");
+        assert!(text.contains(" cycles — "), "{text}");
+        // Every cell gets a line, and shares are percentages of the total.
+        assert_eq!(text.lines().count(), 1 + result.cells().unwrap().len());
+        let table = ExperimentSpec::builtin("table1", 1, true).unwrap();
+        assert!(render_breakdown(&run_with(&table, 1)).is_none());
     }
 
     #[test]

@@ -56,11 +56,15 @@ use std::sync::Mutex;
 use std::time::Instant;
 
 use mom_apps::{stream_app, stream_app_multi, stream_app_pipelined, AppParams};
-use mom_cpu::{MachineDescriptor, SimMachine, SimResult, SimStream};
+use mom_cpu::{
+    AttributionProbe, IntervalStats, MachineDescriptor, ProbeReport, SimMachine, SimResult,
+    SimStream, StallBreakdown,
+};
 use mom_isa::pipe::{batch_channel, BatchReceiver, BatchSink};
 use mom_isa::trace::{Broadcast, IsaKind, Trace, TraceSink};
 use mom_kernels::{build_kernel, KernelParams};
-use mom_mem::MemModelKind;
+use mom_mem::cache::CacheStats;
+use mom_mem::{MemModelKind, MemSystemStats};
 
 use crate::json::Value;
 use crate::spec::{BaselinePolicy, Cell, ExperimentKind, ExperimentSpec, GridSpec, Workload};
@@ -131,6 +135,18 @@ pub struct CellResult {
     /// Speed-up versus the spec's baseline cell (`None` when the baseline
     /// policy is [`BaselinePolicy::None`]).
     pub speedup: Option<f64>,
+    /// Per-cause stall attribution of every simulated cycle; the components
+    /// sum exactly to `cycles` (the attribution probe pins that invariant)
+    /// and, like every other field of `results`, are byte-identical across
+    /// execution modes and worker counts.
+    pub breakdown: StallBreakdown,
+    /// The windowed timeline of the run: IPC and dominant stall cause per
+    /// fixed-width commit-cycle window.
+    pub intervals: IntervalStats,
+    /// Memory-system statistics of the cell's machine (hit rates, MSHR
+    /// stalls, DRAM traffic), captured before the machine returns to its
+    /// worker pool.
+    pub mem_stats: MemSystemStats,
 }
 
 impl CellResult {
@@ -140,6 +156,15 @@ impl CellResult {
             0.0
         } else {
             self.instructions as f64 / self.cycles as f64
+        }
+    }
+
+    /// Branch misprediction rate in `[0, 1]`; zero when no branches ran.
+    pub fn mispredict_rate(&self) -> f64 {
+        if self.branches == 0 {
+            0.0
+        } else {
+            self.mispredictions as f64 / self.branches as f64
         }
     }
 }
@@ -193,8 +218,51 @@ pub struct RunResult {
     /// scheduler ran: [`ExecMode::Fanout`] with 2+ workers). All wall-clock
     /// derived — `meta`-only, never part of the deterministic results.
     pub pipeline: Option<PipelineStats>,
+    /// Scheduler spans recorded by the fan-out runner: one per work item
+    /// (serial group, interpreter, consumer shard) with wall-clock extent,
+    /// channel wait time and the worker that executed it. Feeds `meta.spans`
+    /// and the Chrome trace export of `momlab run --trace-out`. Wall-clock
+    /// data, so `meta`-only; empty in streamed/materialized modes and for
+    /// static experiments.
+    pub spans: Vec<SpanRec>,
+    /// Machine-pool reuse accounting: machines reset-and-reused versus built
+    /// fresh across all workers (`meta.pool`; wall-clock-free but scheduling
+    /// dependent, so `meta`-only).
+    pub pool: PoolStats,
     /// The results.
     pub data: RunData,
+}
+
+/// One recorded span of the fan-out scheduler: a work item's identity,
+/// wall-clock extent relative to the grid run's epoch, and — for consumer
+/// shards — the time spent blocked on the batch channel.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRec {
+    /// The work item's identity (group label, or the shard's cell labels).
+    pub name: String,
+    /// Span category: `"serial"`, `"produce"` or `"consume"`.
+    pub cat: &'static str,
+    /// Index of the worker thread that executed the item.
+    pub tid: usize,
+    /// Start offset from the grid run's epoch, in nanoseconds.
+    pub start_ns: u64,
+    /// Duration in nanoseconds.
+    pub dur_ns: u64,
+    /// Nanoseconds a consumer shard spent blocked on channel `recv` (zero
+    /// for producer and serial items).
+    pub wait_ns: u64,
+    /// Instructions the functional interpreter executed inside this span
+    /// (zero for consumer shards).
+    pub insts: u64,
+}
+
+/// Machine-pool reuse counters of one run (recorded under `meta.pool`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Machines taken from a pool and `reset()` instead of rebuilt.
+    pub hits: u64,
+    /// Machines built fresh because no pooled machine matched.
+    pub builds: u64,
 }
 
 /// Accounting of one pipelined fan-out run, recorded under `meta.pipeline`.
@@ -251,11 +319,25 @@ pub fn run_streamed(spec: &ExperimentSpec, workers: usize) -> RunResult {
 
 /// Run an experiment with an explicit worker count and [`ExecMode`].
 pub fn run_with_mode(spec: &ExperimentSpec, workers: usize, mode: ExecMode) -> RunResult {
+    run_with_mode_progress(spec, workers, mode, false)
+}
+
+/// Like [`run_with_mode`], optionally emitting live progress lines on stderr
+/// as pipeline work items complete — each names its fan-out group and, for
+/// consumer shards, reports the shard's channel occupancy (`momlab run`
+/// passes its non-quiet flag here). Progress output never touches stdout or
+/// the results.
+pub fn run_with_mode_progress(
+    spec: &ExperimentSpec,
+    workers: usize,
+    mode: ExecMode,
+    progress: bool,
+) -> RunResult {
     let started = Instant::now();
     let (data, timing) = match &spec.kind {
         ExperimentKind::Static(kind) => (RunData::Static(static_rows(*kind)), GridTiming::default()),
         ExperimentKind::Grid(grid) => {
-            let (cells, timing) = run_grid(grid, workers.max(1), mode);
+            let (cells, timing) = run_grid(grid, workers.max(1), mode, progress);
             (RunData::Grid(cells), timing)
         }
     };
@@ -270,6 +352,8 @@ pub fn run_with_mode(spec: &ExperimentSpec, workers: usize, mode: ExecMode) -> R
         functional_passes: timing.functional_passes,
         functional_instructions: timing.functional_instructions,
         pipeline: timing.pipeline,
+        spans: timing.spans,
+        pool: timing.pool,
         data,
     }
 }
@@ -312,30 +396,67 @@ fn interpret_into<S: TraceSink + ?Sized>(
     }
 }
 
+/// Shared hit/build counters behind every [`MachinePool`] of one grid run
+/// (atomics, so worker-local pools report into one place; feeds
+/// [`PoolStats`]).
+#[derive(Debug, Default)]
+struct PoolCounters {
+    hits: AtomicUsize,
+    builds: AtomicUsize,
+}
+
+impl PoolCounters {
+    fn stats(&self) -> PoolStats {
+        PoolStats {
+            hits: self.hits.load(Ordering::Relaxed) as u64,
+            builds: self.builds.load(Ordering::Relaxed) as u64,
+        }
+    }
+}
+
 /// A worker-local pool of instantiated machines, keyed by descriptor.
 /// Machines are `reset()` on reuse instead of being rebuilt, so predictor
 /// tables, ring buffers and cache arrays are allocated once per
 /// (worker, descriptor) instead of once per cell.
-#[derive(Debug, Default)]
-struct MachinePool {
+#[derive(Debug)]
+struct MachinePool<'a> {
     idle: Vec<SimMachine>,
+    counters: &'a PoolCounters,
 }
 
-impl MachinePool {
+impl<'a> MachinePool<'a> {
+    fn new(counters: &'a PoolCounters) -> Self {
+        Self { idle: Vec::new(), counters }
+    }
+
     fn take(&mut self, descriptor: &MachineDescriptor) -> SimMachine {
         match self.idle.iter().position(|m| m.descriptor() == descriptor) {
             Some(i) => {
+                self.counters.hits.fetch_add(1, Ordering::Relaxed);
                 let mut machine = self.idle.swap_remove(i);
                 machine.reset();
                 machine
             }
-            None => SimMachine::new(descriptor.clone()),
+            None => {
+                self.counters.builds.fetch_add(1, Ordering::Relaxed);
+                SimMachine::new(descriptor.clone())
+            }
         }
     }
 
     fn put(&mut self, machines: impl IntoIterator<Item = SimMachine>) {
         self.idle.extend(machines);
     }
+}
+
+/// Everything one simulated cell hands back to the assembly stage: the
+/// timing result, the verified attribution report, and the memory-system
+/// statistics captured before its machine returned to the pool.
+#[derive(Debug, Clone)]
+struct CellSim {
+    sim: SimResult,
+    probe: ProbeReport,
+    mem: MemSystemStats,
 }
 
 /// Wall-clock and functional-sharing accounting of one grid run (all of it
@@ -347,6 +468,8 @@ struct GridTiming {
     functional_passes: usize,
     functional_instructions: u64,
     pipeline: Option<PipelineStats>,
+    spans: Vec<SpanRec>,
+    pool: PoolStats,
 }
 
 /// One shared-functional-pass work unit of the fan-out runner: a workload
@@ -414,7 +537,7 @@ fn take_lane_machines(
     grid: &GridSpec,
     cells: &[Cell],
     group: &FanGroup,
-    pool: &mut MachinePool,
+    pool: &mut MachinePool<'_>,
 ) -> Vec<Vec<SimMachine>> {
     group
         .lanes
@@ -422,6 +545,28 @@ fn take_lane_machines(
         .map(|(_, members)| {
             members.iter().map(|&ci| pool.take(&descriptor_for(grid, cells, ci))).collect()
         })
+        .collect()
+}
+
+/// Finish one probed stream into the `(SimResult, ProbeReport)` pair the
+/// assembly stage wants (checking the sum-to-total invariant on the way).
+fn finish_cell(stream: SimStream<'_, AttributionProbe>) -> (SimResult, ProbeReport) {
+    let (sim, probe) = stream.finish_probed();
+    (sim, probe.into_report())
+}
+
+/// Pair one lane's finished `(SimResult, ProbeReport)`s with the memory
+/// statistics of their machines (readable again now that the streams'
+/// borrows have ended, and *before* the machines return to a pool whose
+/// `reset()` would clear them).
+fn attach_mem_stats(
+    finished: Vec<(SimResult, ProbeReport)>,
+    machines: &[SimMachine],
+) -> Vec<CellSim> {
+    finished
+        .into_iter()
+        .zip(machines.iter())
+        .map(|((sim, probe), machine)| CellSim { sim, probe, mem: machine.mem_stats() })
         .collect()
 }
 
@@ -434,37 +579,43 @@ fn run_fan_group_serial(
     grid: &GridSpec,
     group: &FanGroup,
     lane_machines: &mut [Vec<SimMachine>],
-) -> (Vec<Vec<SimResult>>, u64) {
+) -> (Vec<Vec<CellSim>>, u64) {
     match group.workload {
         Workload::Kernel(_) => {
             // A kernel group is a single lane: one interpretation broadcast
             // to every member.
             let machines = &mut lane_machines[0];
-            let streams: Vec<SimStream> = machines.iter_mut().map(|m| m.sim()).collect();
+            let streams: Vec<SimStream<'_, AttributionProbe>> =
+                machines.iter_mut().map(|m| m.sim_probed()).collect();
             let mut fan = Broadcast::new(streams);
             let executed =
                 interpret_into(group.workload, group.lanes[0].0, grid.scale, grid.seed, &mut fan);
-            let sims: Vec<SimResult> =
-                fan.into_inner().into_iter().map(SimStream::finish).collect();
-            (vec![sims], executed)
+            let finished: Vec<(SimResult, ProbeReport)> =
+                fan.into_inner().into_iter().map(finish_cell).collect();
+            (vec![attach_mem_stats(finished, machines)], executed)
         }
         Workload::App(app) => {
             // An app group spans all of its ISAs: kernel phases interpret
             // per lane, scalar phases once for all lanes.
-            let mut lanes: Vec<(IsaKind, Broadcast<SimStream>)> = group
+            let mut lanes: Vec<(IsaKind, Broadcast<SimStream<'_, AttributionProbe>>)> = group
                 .lanes
                 .iter()
                 .zip(lane_machines.iter_mut())
                 .map(|((isa, _), machines)| {
-                    (*isa, Broadcast::new(machines.iter_mut().map(|m| m.sim()).collect()))
+                    (*isa, Broadcast::new(machines.iter_mut().map(|m| m.sim_probed()).collect()))
                 })
                 .collect();
             let params = AppParams { seed: grid.seed, scale: grid.scale };
             let (_, interpreted) = stream_app_multi(app, &params, &mut lanes)
                 .unwrap_or_else(|e| panic!("{app} failed to build: {e}"));
-            let sims: Vec<Vec<SimResult>> = lanes
+            let finished: Vec<Vec<(SimResult, ProbeReport)>> = lanes
                 .into_iter()
-                .map(|(_, fan)| fan.into_inner().into_iter().map(SimStream::finish).collect())
+                .map(|(_, fan)| fan.into_inner().into_iter().map(finish_cell).collect())
+                .collect();
+            let sims: Vec<Vec<CellSim>> = finished
+                .into_iter()
+                .zip(lane_machines.iter())
+                .map(|(lane, machines)| attach_mem_stats(lane, machines))
                 .collect();
             (sims, interpreted)
         }
@@ -501,7 +652,7 @@ impl PipeItem {
 struct PipeOutcome {
     gi: usize,
     /// `(cell index, result)` for every member this item simulated.
-    sims: Vec<(usize, SimResult)>,
+    sims: Vec<(usize, CellSim)>,
     /// Instructions the interpreter executed (producer / serial items only).
     executed: u64,
     start_ns: u64,
@@ -509,7 +660,15 @@ struct PipeOutcome {
     /// Time a consumer shard spent simulating rather than blocked on `recv`
     /// (zero for non-consumer items; feeds `meta.pipeline.occupancy`).
     busy_ns: u64,
+    /// Time a consumer shard spent blocked on channel `recv`.
+    wait_ns: u64,
     is_consumer: bool,
+    /// Span category of the executed item (`"serial"`/`"produce"`/`"consume"`).
+    kind: &'static str,
+    /// The executed item's label (carried into the span record).
+    label: String,
+    /// Index of the worker thread that executed the item.
+    worker: usize,
 }
 
 /// The pipelined fan-out scheduler: overlap each group's interpreter with
@@ -554,8 +713,10 @@ fn run_fanout_pipelined(
     cells: &[Cell],
     groups: &[FanGroup],
     workers: usize,
+    counters: &PoolCounters,
+    progress: bool,
     timing: &mut GridTiming,
-) -> Vec<SimResult> {
+) -> Vec<CellSim> {
     let batch_insts = crate::pipeline_batch_insts();
     let channel_batches = crate::pipeline_channel_batches();
 
@@ -630,11 +791,13 @@ fn run_fanout_pipelined(
     let cursor = AtomicUsize::new(0);
     let abort = AtomicBool::new(false);
     let failure: Mutex<Option<(String, Box<dyn std::any::Any + Send>)>> = Mutex::new(None);
-    let pool: Mutex<MachinePool> = Mutex::new(MachinePool::default());
+    let pool: Mutex<MachinePool<'_>> = Mutex::new(MachinePool::new(counters));
     let outcomes: Vec<PipeOutcome> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..workers.min(slots.len()))
-            .map(|_| {
-                scope.spawn(|| {
+            .map(|worker| {
+                let (slots, cursor, abort, failure, pool) =
+                    (&slots, &cursor, &abort, &failure, &pool);
+                scope.spawn(move || {
                     let mut produced: Vec<PipeOutcome> = Vec::new();
                     loop {
                         let i = cursor.fetch_add(1, Ordering::Relaxed);
@@ -651,12 +814,17 @@ fn run_fanout_pipelined(
                         }
                         let label = item.label().to_string();
                         match catch_unwind(AssertUnwindSafe(|| {
-                            exec_pipe_item(item, grid, cells, groups, &pool, &epoch)
+                            exec_pipe_item(item, grid, cells, groups, pool, &epoch, worker)
                         })) {
-                            Ok(outcome) => produced.push(outcome),
+                            Ok(outcome) => {
+                                if progress {
+                                    report_progress(groups, &outcome);
+                                }
+                                produced.push(outcome);
+                            }
                             Err(payload) => {
                                 abort.store(true, Ordering::Relaxed);
-                                let mut first = lock_clean(&failure);
+                                let mut first = lock_clean(failure);
                                 if first.is_none() {
                                     *first = Some((label, payload));
                                 }
@@ -678,9 +846,9 @@ fn run_fanout_pipelined(
         raise_labeled(&label, payload);
     }
 
-    // Assemble: group spans, per-cell results, occupancy.
+    // Assemble: group spans, per-cell results, occupancy, span records.
     let mut spans: Vec<(u64, u64)> = vec![(u64::MAX, 0); groups.len()];
-    let mut sim_slots: Vec<Option<SimResult>> = vec![None; cells.len()];
+    let mut sim_slots: Vec<Option<CellSim>> = vec![None; cells.len()];
     let (mut busy_ns, mut consumer_span_ns) = (0u64, 0u64);
     for outcome in outcomes {
         let (start, end) = &mut spans[outcome.gi];
@@ -691,10 +859,22 @@ fn run_fanout_pipelined(
             busy_ns += outcome.busy_ns;
             consumer_span_ns += outcome.end_ns.saturating_sub(outcome.start_ns);
         }
+        timing.spans.push(SpanRec {
+            name: outcome.label,
+            cat: outcome.kind,
+            tid: outcome.worker,
+            start_ns: outcome.start_ns,
+            dur_ns: outcome.end_ns.saturating_sub(outcome.start_ns),
+            wait_ns: outcome.wait_ns,
+            insts: outcome.executed,
+        });
         for (ci, sim) in outcome.sims {
             sim_slots[ci] = Some(sim);
         }
     }
+    // Span order would otherwise follow thread-join order; sort by start time
+    // so the meta section and trace export read chronologically.
+    timing.spans.sort_by(|a, b| a.start_ns.cmp(&b.start_ns).then_with(|| a.name.cmp(&b.name)));
     timing.functional_passes += groups.len();
     timing.cell_wall_ns = vec![0; cells.len()];
     for (group, &(start, end)) in groups.iter().zip(&spans) {
@@ -716,18 +896,38 @@ fn run_fanout_pipelined(
     sim_slots.into_iter().map(|s| s.expect("every cell belongs to one group")).collect()
 }
 
+/// One live stderr progress line per completed pipeline work item: the
+/// group's identity plus — for consumer shards — the shard's occupancy
+/// (share of its span spent simulating rather than blocked on `recv`).
+fn report_progress(groups: &[FanGroup], outcome: &PipeOutcome) {
+    let group = group_label(&groups[outcome.gi]);
+    let ms = outcome.end_ns.saturating_sub(outcome.start_ns) / 1_000_000;
+    if outcome.is_consumer {
+        let span = outcome.end_ns.saturating_sub(outcome.start_ns);
+        let occupancy = if span == 0 { 1.0 } else { outcome.busy_ns as f64 / span as f64 };
+        eprintln!(
+            "  {group}: consumer shard done, {} cell(s), occupancy {:.0}% ({ms} ms)",
+            outcome.sims.len(),
+            occupancy * 100.0
+        );
+    } else {
+        eprintln!("  {group}: {} done ({ms} ms)", outcome.kind);
+    }
+}
+
 /// Execute one claimed [`PipeItem`] (on the worker's thread).
 fn exec_pipe_item(
     item: PipeItem,
     grid: &GridSpec,
     cells: &[Cell],
     groups: &[FanGroup],
-    pool: &Mutex<MachinePool>,
+    pool: &Mutex<MachinePool<'_>>,
     epoch: &Instant,
+    worker: usize,
 ) -> PipeOutcome {
     let now_ns = || epoch.elapsed().as_nanos() as u64;
     match item {
-        PipeItem::Serial { gi, .. } => {
+        PipeItem::Serial { gi, label } => {
             let group = &groups[gi];
             let start_ns = now_ns();
             let mut lane_machines: Vec<Vec<SimMachine>> =
@@ -747,10 +947,14 @@ fn exec_pipe_item(
                 start_ns,
                 end_ns: now_ns(),
                 busy_ns: 0,
+                wait_ns: 0,
                 is_consumer: false,
+                kind: "serial",
+                label,
+                worker,
             }
         }
-        PipeItem::Produce { gi, lanes, .. } => {
+        PipeItem::Produce { gi, lanes, label } => {
             let group = &groups[gi];
             let start_ns = now_ns();
             let executed = match group.workload {
@@ -776,20 +980,24 @@ fn exec_pipe_item(
                 start_ns,
                 end_ns: now_ns(),
                 busy_ns: 0,
+                wait_ns: 0,
                 is_consumer: false,
+                kind: "produce",
+                label,
+                worker,
             }
         }
-        PipeItem::Consume { gi, members, .. } => {
+        PipeItem::Consume { gi, members, label } => {
             let start_ns = now_ns();
             let mut machines: Vec<SimMachine> = {
                 let mut pool = lock_clean(pool);
                 members.iter().map(|(_, descriptor, _)| pool.take(descriptor)).collect()
             };
             let mut wait_ns = 0u64;
-            let results: Vec<SimResult> = {
-                let mut streams: Vec<Option<SimStream>> =
-                    machines.iter_mut().map(|m| Some(m.sim())).collect();
-                let mut done: Vec<Option<SimResult>> = vec![None; members.len()];
+            let finished: Vec<(SimResult, ProbeReport)> = {
+                let mut streams: Vec<Option<SimStream<'_, AttributionProbe>>> =
+                    machines.iter_mut().map(|m| Some(m.sim_probed())).collect();
+                let mut done: Vec<Option<(SimResult, ProbeReport)>> = vec![None; members.len()];
                 let mut open = streams.len();
                 // Round-robin: one batch per open member per pass — the same
                 // member order the producer publishes in.
@@ -806,7 +1014,9 @@ fn exec_pipe_item(
                                 }
                             }
                             None => {
-                                done[k] = Some(slot.take().expect("stream still open").finish());
+                                let (sim, probe) =
+                                    slot.take().expect("stream still open").finish_probed();
+                                done[k] = Some((sim, probe.into_report()));
                                 open -= 1;
                             }
                         }
@@ -814,6 +1024,7 @@ fn exec_pipe_item(
                 }
                 done.into_iter().map(|r| r.expect("every member finished")).collect()
             };
+            let results = attach_mem_stats(finished, &machines);
             lock_clean(pool).put(machines);
             let end_ns = now_ns();
             PipeOutcome {
@@ -823,7 +1034,11 @@ fn exec_pipe_item(
                 start_ns,
                 end_ns,
                 busy_ns: end_ns.saturating_sub(start_ns).saturating_sub(wait_ns),
+                wait_ns,
                 is_consumer: true,
+                kind: "consume",
+                label,
+                worker,
             }
         }
     }
@@ -847,7 +1062,12 @@ fn raise_labeled(label: &str, payload: Box<dyn std::any::Any + Send>) -> ! {
     panic!("experiment work item `{label}` panicked: {msg}");
 }
 
-fn run_grid(grid: &GridSpec, workers: usize, mode: ExecMode) -> (Vec<CellResult>, GridTiming) {
+fn run_grid(
+    grid: &GridSpec,
+    workers: usize,
+    mode: ExecMode,
+    progress: bool,
+) -> (Vec<CellResult>, GridTiming) {
     let cells = grid.cells();
     let descriptor_of = |cell: &Cell| grid.configs[cell.config].descriptor(cell.way);
 
@@ -857,35 +1077,47 @@ fn run_grid(grid: &GridSpec, workers: usize, mode: ExecMode) -> (Vec<CellResult>
     // streamed mode it is the fused per-cell interpret+simulate pass; in
     // fan-out mode it is the shared group pass (every member of a group
     // carries the same span — see EXPERIMENTS.md).
+    let counters = PoolCounters::default();
     let mut timing = GridTiming::default();
-    let sims: Vec<SimResult> = match mode {
+    let sims: Vec<CellSim> = match mode {
         ExecMode::Fanout => {
             let groups = fanout_groups(grid, &cells);
             if workers <= 1 {
                 // One worker: the serial Broadcast path — each group's
                 // interpreter drives all member simulators on this thread,
                 // no channels, no extra threads.
+                let epoch = Instant::now();
                 let outcomes = parallel_map_with(
                     &groups,
                     1,
-                    MachinePool::default,
+                    || MachinePool::new(&counters),
                     group_label,
                     |pool, group| {
+                        let start_ns = epoch.elapsed().as_nanos() as u64;
                         let started = Instant::now();
                         let mut lane_machines = take_lane_machines(grid, &cells, group, pool);
                         let (lane_sims, executed) =
                             run_fan_group_serial(grid, group, &mut lane_machines);
                         let ns = started.elapsed().as_nanos() as u64;
                         pool.put(lane_machines.into_iter().flatten());
-                        (lane_sims, ns, executed)
+                        (lane_sims, ns, executed, start_ns)
                     },
                 );
-                let mut slots: Vec<Option<SimResult>> = vec![None; cells.len()];
+                let mut slots: Vec<Option<CellSim>> = vec![None; cells.len()];
                 timing.cell_wall_ns = vec![0; cells.len()];
-                for (group, (lane_sims, ns, executed)) in groups.iter().zip(outcomes) {
+                for (group, (lane_sims, ns, executed, start_ns)) in groups.iter().zip(outcomes) {
                     timing.sim_wall_ns += ns;
                     timing.functional_passes += 1;
                     timing.functional_instructions += executed;
+                    timing.spans.push(SpanRec {
+                        name: group_label(group),
+                        cat: "serial",
+                        tid: 0,
+                        start_ns,
+                        dur_ns: ns,
+                        wait_ns: 0,
+                        insts: executed,
+                    });
                     for ((_, members), sims) in group.lanes.iter().zip(lane_sims) {
                         for (&ci, sim) in members.iter().zip(sims) {
                             slots[ci] = Some(sim);
@@ -895,7 +1127,7 @@ fn run_grid(grid: &GridSpec, workers: usize, mode: ExecMode) -> (Vec<CellResult>
                 }
                 slots.into_iter().map(|s| s.expect("every cell belongs to one group")).collect()
             } else {
-                run_fanout_pipelined(grid, &cells, &groups, workers, &mut timing)
+                run_fanout_pipelined(grid, &cells, &groups, workers, &counters, progress, &mut timing)
             }
         }
         ExecMode::Streamed => {
@@ -904,29 +1136,31 @@ fn run_grid(grid: &GridSpec, workers: usize, mode: ExecMode) -> (Vec<CellResult>
             let outcomes = parallel_map_with(
                 &cells,
                 workers,
-                MachinePool::default,
+                || MachinePool::new(&counters),
                 |cell| cell_label(grid, cell),
                 |pool, cell| {
                     let config = &grid.configs[cell.config];
                     let started = Instant::now();
                     let mut machine = pool.take(&descriptor_of(cell));
-                    let sim = {
-                        let mut stream = machine.sim();
+                    let (sim, report) = {
+                        let mut stream = machine.sim_probed();
                         interpret_into(cell.workload, config.isa, grid.scale, grid.seed, &mut stream);
-                        stream.finish()
+                        let (sim, probe) = stream.finish_probed();
+                        (sim, probe.into_report())
                     };
+                    let mem = machine.mem_stats();
                     let ns = started.elapsed().as_nanos() as u64;
                     pool.put([machine]);
-                    (sim, ns)
+                    (CellSim { sim, probe: report, mem }, ns)
                 },
             );
             timing.functional_passes = cells.len();
             let mut sims = Vec::with_capacity(cells.len());
-            for (sim, ns) in outcomes {
+            for (cs, ns) in outcomes {
                 timing.cell_wall_ns.push(ns);
                 timing.sim_wall_ns += ns;
-                timing.functional_instructions += sim.committed;
-                sims.push(sim);
+                timing.functional_instructions += cs.sim.committed;
+                sims.push(cs);
             }
             sims
         }
@@ -958,28 +1192,30 @@ fn run_grid(grid: &GridSpec, workers: usize, mode: ExecMode) -> (Vec<CellResult>
             let outcomes = parallel_map_with(
                 &cells,
                 workers,
-                MachinePool::default,
+                || MachinePool::new(&counters),
                 |cell| cell_label(grid, cell),
                 |pool, cell| {
                     let config = &grid.configs[cell.config];
                     let trace = trace_of(cell.workload, config.isa);
                     let started = Instant::now();
                     let mut machine = pool.take(&descriptor_of(cell));
-                    let sim = machine.simulate_trace(trace);
+                    let (sim, report) = machine.simulate_trace_probed(trace);
+                    let mem = machine.mem_stats();
                     let ns = started.elapsed().as_nanos() as u64;
                     pool.put([machine]);
-                    (sim, ns)
+                    (CellSim { sim, probe: report, mem }, ns)
                 },
             );
             let mut sims = Vec::with_capacity(cells.len());
-            for (sim, ns) in outcomes {
+            for (cs, ns) in outcomes {
                 timing.cell_wall_ns.push(ns);
                 timing.sim_wall_ns += ns;
-                sims.push(sim);
+                sims.push(cs);
             }
             sims
         }
     };
+    timing.pool = counters.stats();
 
     // Stage 3 (serial, cheap): derive speed-ups against the baseline cells.
     let index_of = |workload: Workload, config: usize, way: usize| -> Option<usize> {
@@ -988,7 +1224,7 @@ fn run_grid(grid: &GridSpec, workers: usize, mode: ExecMode) -> (Vec<CellResult>
     let results = cells
         .iter()
         .zip(&sims)
-        .map(|(cell, sim)| {
+        .map(|(cell, cs)| {
             let baseline = match grid.baseline {
                 BaselinePolicy::None => None,
                 BaselinePolicy::ConfigAtWidth { config, way } => index_of(cell.workload, config, way),
@@ -1004,12 +1240,15 @@ fn run_grid(grid: &GridSpec, workers: usize, mode: ExecMode) -> (Vec<CellResult>
                 isa: config.isa,
                 mem: config.mem,
                 way: cell.way,
-                cycles: sim.cycles,
-                instructions: sim.committed,
-                branches: sim.branches,
-                mispredictions: sim.mispredictions,
-                mem_accesses: sim.mem_accesses,
-                speedup: baseline.map(|b| sim.speedup_over(&sims[b])),
+                cycles: cs.sim.cycles,
+                instructions: cs.sim.committed,
+                branches: cs.sim.branches,
+                mispredictions: cs.sim.mispredictions,
+                mem_accesses: cs.sim.mem_accesses,
+                speedup: baseline.map(|b| cs.sim.speedup_over(&sims[b].sim)),
+                breakdown: cs.probe.breakdown,
+                intervals: cs.probe.intervals.clone(),
+                mem_stats: cs.mem,
             }
         })
         .collect();
@@ -1221,6 +1460,23 @@ impl RunResult {
                         .collect(),
                 )));
             }
+            // Machine-pool reuse accounting for this run (wall-clock-free but
+            // scheduling-dependent, hence meta).
+            meta_members.push((
+                "pool",
+                Value::object(vec![
+                    ("hits", Value::Int(self.pool.hits as i64)),
+                    ("builds", Value::Int(self.pool.builds as i64)),
+                ]),
+            ));
+        }
+        if !self.spans.is_empty() {
+            // Scheduler span trace (fan-out modes only): one entry per work
+            // item, chronological. Informational — never diffed.
+            meta_members.push((
+                "spans",
+                Value::Array(self.spans.iter().map(span_json).collect()),
+            ));
         }
         let meta = Value::object(meta_members);
         if let Value::Object(members) = &mut doc {
@@ -1295,6 +1551,92 @@ fn cell_json(cell: &CellResult) -> Value {
         ("mem_accesses", Value::Int(cell.mem_accesses as i64)),
         ("ipc", Value::Float(cell.ipc())),
         ("speedup", cell.speedup.map(Value::Float).unwrap_or(Value::Null)),
+        ("mispredict_rate", Value::Float(cell.mispredict_rate())),
+        ("mem", mem_json(&cell.mem_stats)),
+        ("breakdown", breakdown_json(&cell.breakdown)),
+        ("intervals", intervals_json(&cell.intervals)),
+    ])
+}
+
+/// The `mem` member of a cell: per-cell memory-system counters, split by
+/// hierarchy level. Deterministic — diffed at tolerance zero like `cycles`.
+fn mem_json(stats: &MemSystemStats) -> Value {
+    let cache = |c: &CacheStats| {
+        let hit_rate =
+            if c.accesses() == 0 { 0.0 } else { c.hits as f64 / c.accesses() as f64 };
+        Value::object(vec![
+            ("hits", Value::Int(c.hits as i64)),
+            ("misses", Value::Int(c.misses as i64)),
+            ("writebacks", Value::Int(c.writebacks as i64)),
+            ("hit_rate", Value::Float(hit_rate)),
+        ])
+    };
+    Value::object(vec![
+        ("requests", Value::Int(stats.requests as i64)),
+        ("element_accesses", Value::Int(stats.element_accesses as i64)),
+        ("port_stalls", Value::Int(stats.port_stalls as i64)),
+        ("bank_conflicts", Value::Int(stats.bank_conflicts as i64)),
+        ("mshr_stalls", Value::Int(stats.mshr_stalls as i64)),
+        ("vector_transactions", Value::Int(stats.vector_transactions as i64)),
+        ("l1", cache(&stats.l1)),
+        ("l2", cache(&stats.l2)),
+        (
+            "dram",
+            Value::object(vec![
+                ("transfers", Value::Int(stats.dram.transfers as i64)),
+                ("busy_cycles", Value::Int(stats.dram.busy_cycles as i64)),
+                ("queue_cycles", Value::Int(stats.dram.queue_cycles as i64)),
+            ]),
+        ),
+    ])
+}
+
+/// The `breakdown` member of a cell: every commit-slot cycle attributed to
+/// exactly one cause, keyed by [`StallCause::label`]. The components sum to
+/// `total_cycles` — an invariant asserted when the probe is read out.
+fn breakdown_json(b: &StallBreakdown) -> Value {
+    let mut fields = vec![("total_cycles", Value::Int(b.total_cycles as i64))];
+    for (cause, cycles) in b.components() {
+        fields.push((cause.label(), Value::Int(cycles as i64)));
+    }
+    Value::object(fields)
+}
+
+/// The `intervals` member of a cell: the windowed IPC timeline with the
+/// dominant stall cause per window.
+fn intervals_json(iv: &IntervalStats) -> Value {
+    Value::object(vec![
+        ("window_cycles", Value::Int(iv.window_cycles as i64)),
+        (
+            "windows",
+            Value::Array(
+                iv.windows
+                    .iter()
+                    .map(|w| {
+                        Value::object(vec![
+                            ("committed", Value::Int(w.committed as i64)),
+                            ("cycles", Value::Int(w.cycles as i64)),
+                            ("ipc", Value::Float(w.ipc())),
+                            ("top", Value::Str(w.top.label().into())),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// One scheduler span for the `meta.spans` array (wall-clock data: lives in
+/// `meta`, never in `results`).
+fn span_json(span: &SpanRec) -> Value {
+    Value::object(vec![
+        ("name", Value::Str(span.name.clone())),
+        ("cat", Value::Str(span.cat.into())),
+        ("tid", Value::Int(span.tid as i64)),
+        ("start_ns", Value::Int(span.start_ns as i64)),
+        ("dur_ns", Value::Int(span.dur_ns as i64)),
+        ("wait_ns", Value::Int(span.wait_ns as i64)),
+        ("insts", Value::Int(span.insts as i64)),
     ])
 }
 

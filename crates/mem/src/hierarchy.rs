@@ -22,7 +22,7 @@
 use crate::cache::{Cache, CacheConfig, LookupResult, MshrFile, WriteBuffer};
 use crate::config::{MemModelKind, PortConfig};
 use crate::dram::{Dram, DramConfig};
-use crate::{MemSystemStats, MemorySystem};
+use crate::{AccessCause, MemSystemStats, MemorySystem};
 use mom_isa::trace::{MemAccess, MemKind};
 
 /// A realistic two-level hierarchy with a configurable vector-access path.
@@ -40,6 +40,7 @@ pub struct Hierarchy {
     l1_bank_busy: Vec<u64>,
     vec_port_busy: Vec<u64>,
     stats: MemSystemStats,
+    last_cause: AccessCause,
 }
 
 impl Hierarchy {
@@ -79,6 +80,7 @@ impl Hierarchy {
             l1_bank_busy: vec![0; ports.l1_banks.max(1)],
             vec_port_busy: vec![0; ports.l2_vector_ports.max(1)],
             stats: MemSystemStats::default(),
+            last_cause: AccessCause::default(),
         }
     }
 
@@ -103,15 +105,17 @@ impl Hierarchy {
     }
 
     /// Fill from L2 (and DRAM beyond it), returning the cycle the line is
-    /// available at the requesting level.
-    fn fill_from_l2(&mut self, start: u64, addr: u64, is_write: bool) -> u64 {
+    /// available at the requesting level together with the dominant cause of
+    /// that cycle (L2 hit, DRAM transfer, or an L2 MSHR wait).
+    fn fill_from_l2(&mut self, start: u64, addr: u64, is_write: bool) -> (u64, AccessCause) {
         let l2_ready = start + self.ports.l2_latency;
         match self.l2.access(addr, is_write) {
-            LookupResult::Hit => l2_ready,
+            LookupResult::Hit => (l2_ready, AccessCause::L2),
             LookupResult::Miss { dirty_victim } => {
                 let line = self.l2.line_of(addr);
                 if let Some(ready) = self.l2_mshrs.lookup(line) {
-                    return ready.max(l2_ready);
+                    // Merged into an in-flight DRAM fill.
+                    return (ready.max(l2_ready), AccessCause::Dram);
                 }
                 if dirty_victim {
                     // The write-back occupies the channel but does not delay
@@ -123,17 +127,18 @@ impl Hierarchy {
                     let freed = self.l2_mshrs.next_free_cycle(start);
                     let dram_ready = self.dram.transfer_line(freed);
                     self.l2_mshrs.allocate(freed, line, dram_ready);
-                    return dram_ready;
+                    return (dram_ready, AccessCause::MshrFull);
                 }
-                dram_ready
+                (dram_ready, AccessCause::Dram)
             }
         }
     }
 
     /// One element access through the banked L1 (the scalar path, also used
     /// per-element by the multi-address vector path). Returns the completion
-    /// cycle. `start` must already account for port availability.
-    fn l1_element_access(&mut self, start: u64, acc: &MemAccess) -> u64 {
+    /// cycle and its dominant cause. `start` must already account for port
+    /// availability.
+    fn l1_element_access(&mut self, start: u64, acc: &MemAccess) -> (u64, AccessCause) {
         // Bank conflict: serialise on the bank.
         let bank = (self.l1.line_of(acc.addr) % self.l1_bank_busy.len() as u64) as usize;
         let start = start.max(self.l1_bank_busy[bank]);
@@ -151,21 +156,24 @@ impl Hierarchy {
 
         match acc.kind {
             MemKind::Load => match self.l1.access(acc.addr, false) {
-                LookupResult::Hit => start + self.ports.l1_latency + align_penalty,
+                LookupResult::Hit => (start + self.ports.l1_latency + align_penalty, AccessCause::L1),
                 LookupResult::Miss { .. } => {
                     let line = self.l1.line_of(acc.addr);
                     if let Some(ready) = self.l1_mshrs.lookup(line) {
-                        return ready.max(start + self.ports.l1_latency);
+                        // Merged into an in-flight L1 fill (L2 speed or beyond).
+                        return (ready.max(start + self.ports.l1_latency), AccessCause::L2);
                     }
-                    let mshr_start = if self.l1_mshrs.has_free(start) {
-                        start
+                    let (mshr_start, mshr_waited) = if self.l1_mshrs.has_free(start) {
+                        (start, false)
                     } else {
                         self.stats.mshr_stalls += 1;
-                        self.l1_mshrs.next_free_cycle(start)
+                        (self.l1_mshrs.next_free_cycle(start), true)
                     };
-                    let ready = self.fill_from_l2(mshr_start + self.ports.l1_latency, acc.addr, false);
+                    let (ready, fill_cause) =
+                        self.fill_from_l2(mshr_start + self.ports.l1_latency, acc.addr, false);
                     self.l1_mshrs.allocate(mshr_start, line, ready);
-                    ready + align_penalty
+                    let cause = if mshr_waited { AccessCause::MshrFull } else { fill_cause };
+                    (ready + align_penalty, cause)
                 }
             },
             MemKind::Store => {
@@ -178,7 +186,7 @@ impl Hierarchy {
                 let accepted = self.write_buffer.push(start, line);
                 // The write-through traffic eventually updates L2.
                 self.l2.access(acc.addr, true);
-                accepted + 1 + align_penalty
+                (accepted + 1 + align_penalty, AccessCause::WriteBuffer)
             }
         }
     }
@@ -192,17 +200,24 @@ impl Hierarchy {
         }
         let nports = self.l1_port_busy.len();
         let mut completion = cycle;
+        let mut cause = AccessCause::L1;
         let mut port_free = vec![cycle; nports];
         for (i, acc) in accesses.iter().enumerate() {
             let port = i % nports;
             let start = port_free[port];
-            let done = self.l1_element_access(start, acc);
+            let (done, elem_cause) = self.l1_element_access(start, acc);
             port_free[port] = start + 1;
-            completion = completion.max(done);
+            // The binding element (latest completion, first wins ties)
+            // determines the cause of the whole vector access.
+            if done > completion {
+                completion = done;
+                cause = elem_cause;
+            }
         }
         for (p, f) in self.l1_port_busy.iter_mut().zip(port_free) {
             *p = f;
         }
+        self.last_cause = cause;
         Some(completion)
     }
 
@@ -248,11 +263,17 @@ impl Hierarchy {
 
         let is_store = accesses.iter().any(|a| a.kind == MemKind::Store);
         let mut data_ready = cycle;
+        let mut cause = AccessCause::L2;
         for chunk in lines.chunks(self.ports.l2_banks.max(1)) {
             for &line in chunk {
                 let addr = line * line_bytes;
-                let ready = self.fill_from_l2(cycle, addr, is_store);
-                data_ready = data_ready.max(ready);
+                let (ready, fill_cause) = self.fill_from_l2(cycle, addr, is_store);
+                // The binding line (latest ready, first wins ties) determines
+                // the cause of the whole transaction set.
+                if ready > data_ready {
+                    data_ready = ready;
+                    cause = fill_cause;
+                }
                 if is_store {
                     // Exclusive-bit coherence: the scalar L1 must not keep a
                     // stale copy of a line written by the vector path.
@@ -267,6 +288,12 @@ impl Hierarchy {
         let occupancy = (accesses.len().div_ceil(width)).max(transactions) as u64;
         self.vec_port_busy[port_idx] = cycle + occupancy;
 
+        // When port occupancy outlasts the fills, the bottleneck is the L2
+        // vector port's delivery bandwidth, not a particular miss.
+        if cycle + occupancy - 1 > data_ready {
+            cause = AccessCause::L2;
+        }
+        self.last_cause = cause;
         Some(data_ready.max(cycle + occupancy - 1))
     }
 }
@@ -275,6 +302,7 @@ impl MemorySystem for Hierarchy {
     fn access(&mut self, cycle: u64, accesses: &[MemAccess], vector: bool) -> Option<u64> {
         self.write_buffer.retire(cycle);
         if accesses.is_empty() {
+            self.last_cause = AccessCause::L1;
             return Some(cycle);
         }
         self.stats.requests += 1;
@@ -301,7 +329,9 @@ impl MemorySystem for Hierarchy {
                     *p = cycle + 1;
                 }
             }
-            Some(self.l1_element_access(cycle, &accesses[0]))
+            let (done, cause) = self.l1_element_access(cycle, &accesses[0]);
+            self.last_cause = cause;
+            Some(done)
         };
         if completion.is_none() {
             self.stats.requests -= 1;
@@ -312,6 +342,10 @@ impl MemorySystem for Hierarchy {
 
     fn kind(&self) -> MemModelKind {
         self.kind
+    }
+
+    fn last_access_cause(&self) -> AccessCause {
+        self.last_cause
     }
 
     fn reset(&mut self) {
@@ -325,6 +359,7 @@ impl MemorySystem for Hierarchy {
         self.l1_bank_busy.fill(0);
         self.vec_port_busy.fill(0);
         self.stats = MemSystemStats::default();
+        self.last_cause = AccessCause::default();
     }
 
     fn stats(&self) -> MemSystemStats {

@@ -56,6 +56,34 @@ pub struct MemSystemStats {
     pub dram: dram::DramStats,
 }
 
+/// The dominant component of the most recent successful
+/// [`MemorySystem::access`] — which level of the hierarchy (or which
+/// structural buffer) determined the completion cycle it returned.
+///
+/// Implementations record this unconditionally on every access (a single enum
+/// store on an already-taken branch, so the cost is unmeasurable and the
+/// recording path is identical whether or not anyone reads it). The
+/// cycle-attribution probe in `mom-cpu` reads it after each access to charge
+/// memory-bound commit cycles to the right level.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum AccessCause {
+    /// Served at L1 speed — an L1 hit, or any access against an idealised
+    /// fixed-latency memory ([`perfect::PerfectMemory`] reports every access
+    /// as `L1`).
+    #[default]
+    L1,
+    /// Missed L1 and was served from L2 (including merges into an in-flight
+    /// L1 fill, and vector-path transactions bounded by L2 port occupancy).
+    L2,
+    /// Missed both cache levels; the completion waited on a DRAM transfer.
+    Dram,
+    /// The access waited for a miss-status-holding register to free before
+    /// its fill could even start.
+    MshrFull,
+    /// A store whose completion was set by the coalescing write buffer.
+    WriteBuffer,
+}
+
 /// A memory system the timing simulator can issue memory instructions to.
 ///
 /// Implementations own their port/bank/MSHR state; the caller retries a
@@ -75,6 +103,14 @@ pub trait MemorySystem: std::fmt::Debug + Send {
 
     /// Which memory organisation this is.
     fn kind(&self) -> MemModelKind;
+
+    /// The dominant cause of the most recent successful [`access`] — see
+    /// [`AccessCause`]. Undefined-but-harmless (the previous access's value)
+    /// after a rejected access; the simulator only consults it once a request
+    /// has completed.
+    ///
+    /// [`access`]: MemorySystem::access
+    fn last_access_cause(&self) -> AccessCause;
 
     /// Statistics accumulated so far.
     fn stats(&self) -> MemSystemStats;

@@ -7,7 +7,7 @@
 //! and, for MOM, the number of vector elements a port can deliver per cycle
 //! (2 for the 8-way machine of Table 1).
 
-use crate::{MemModelKind, MemSystemStats, MemorySystem};
+use crate::{AccessCause, MemModelKind, MemSystemStats, MemorySystem};
 use mom_isa::trace::MemAccess;
 
 /// Fixed-latency memory with a configurable number of ports.
@@ -58,6 +58,12 @@ impl MemorySystem for PerfectMemory {
 
     fn kind(&self) -> MemModelKind {
         MemModelKind::Perfect { latency: self.latency }
+    }
+
+    fn last_access_cause(&self) -> AccessCause {
+        // There is no hierarchy to miss in: every access completes at the
+        // fixed latency, which the attribution probe reports as L1 time.
+        AccessCause::L1
     }
 
     fn stats(&self) -> MemSystemStats {
