@@ -11,7 +11,14 @@
 //!   and branch-info assembly dominate the legacy path);
 //! * `lane_kernel` — the raw packed-word element kernels (`add`, `abs_diff`,
 //!   `mul_lo`, SAD reduction) over the fixed-array lane API, outside any
-//!   interpreter.
+//!   interpreter. Each shape runs twice: the default engine (SWAR, or SSE2
+//!   under `--features simd`) against the retained `*_scalar` lane-at-a-time
+//!   reference, so the lane-kernel speedup is measured directly.
+//! * `fused`/`unfused` — the same two dispatch workloads through
+//!   pre-decoded programs with superinstruction fusion on
+//!   (`Program::decode`) and off (`Program::decode_unfused`), isolating
+//!   what pair fusion buys on top of threaded dispatch. Decoding happens
+//!   outside the timed region.
 //!
 //! Both interpreter comparisons run the **same** program from the **same**
 //! machine state through `decoded` (`Program::stream`, which lowers through
@@ -177,6 +184,30 @@ fn bench_dispatch(c: &mut Criterion) {
         });
     }
 
+    // Fusion in isolation: both engines are pre-decoded and threaded; the
+    // only difference is whether hot adjacent pairs execute in one dispatch.
+    for (name, program) in
+        [("packed_heavy", packed_heavy_program(iters)), ("branch_heavy", branch_heavy_program(iters))]
+    {
+        let fused = program.decode();
+        let unfused = program.decode_unfused();
+        println!("{name}: {} fused pairs over {} µops", fused.fused_pairs(), fused.len());
+        group.bench_with_input(BenchmarkId::new(name, "fused"), &fused, |b, decoded| {
+            b.iter(|| {
+                let mut sink = Count(0);
+                decoded.stream_with_fuel(&mut machine(), &mut sink, DEFAULT_FUEL).expect("terminates");
+                black_box(sink.0)
+            });
+        });
+        group.bench_with_input(BenchmarkId::new(name, "unfused"), &unfused, |b, decoded| {
+            b.iter(|| {
+                let mut sink = Count(0);
+                decoded.stream_with_fuel(&mut machine(), &mut sink, DEFAULT_FUEL).expect("terminates");
+                black_box(sink.0)
+            });
+        });
+    }
+
     // Lane kernels in isolation: the fixed-array element operations the
     // µop bodies bottom out in.
     let reps = if mom_bench::fast_mode() { 1_000u64 } else { 100_000 };
@@ -184,8 +215,10 @@ fn bench_dispatch(c: &mut Criterion) {
         b.iter(|| {
             let mut acc = 0i64;
             let mut w = PackedWord::new(0x0102_0304_0506_0708);
-            let k = PackedWord::new(0x1122_3344_5566_7788);
-            for _ in 0..reps {
+            for r in 0..reps {
+                // Vary one operand per rep so the loop cannot settle into a
+                // fixed point the optimizer folds away.
+                let k = PackedWord::new(0x1122_3344_5566_7788 ^ r);
                 w = w.add(k, Lane::U8, Saturation::Saturating);
                 w = w.abs_diff(k, Lane::U8);
                 acc += w.sad(k, Lane::U8);
@@ -197,11 +230,40 @@ fn bench_dispatch(c: &mut Criterion) {
         b.iter(|| {
             let mut acc = 0i64;
             let mut w = PackedWord::from_i16_lanes([1, -2, 3, -4]);
-            let k = PackedWord::from_i16_lanes([257, -129, 65, 33]);
-            for _ in 0..reps {
+            for r in 0..reps {
+                let k = PackedWord::new(PackedWord::from_i16_lanes([257, -129, 65, 33]).bits() ^ r);
                 w = w.mul_lo(k, Lane::I16);
                 w = w.add(k, Lane::I16, Saturation::Saturating);
                 acc += w.reduce_sum(Lane::I16);
+            }
+            black_box((w, acc))
+        });
+    });
+
+    // The same element kernels through the retained lane-at-a-time scalar
+    // reference — the denominator of the SWAR/SIMD speedup.
+    group.bench_with_input(BenchmarkId::new("lane_kernel_scalar", "u8x8"), &reps, |b, &reps| {
+        b.iter(|| {
+            let mut acc = 0i64;
+            let mut w = PackedWord::new(0x0102_0304_0506_0708);
+            for r in 0..reps {
+                let k = PackedWord::new(0x1122_3344_5566_7788 ^ r);
+                w = w.add_scalar(k, Lane::U8, Saturation::Saturating);
+                w = w.abs_diff_scalar(k, Lane::U8);
+                acc += w.sad_scalar(k, Lane::U8);
+            }
+            black_box((w, acc))
+        });
+    });
+    group.bench_with_input(BenchmarkId::new("lane_kernel_scalar", "i16x4"), &reps, |b, &reps| {
+        b.iter(|| {
+            let mut acc = 0i64;
+            let mut w = PackedWord::from_i16_lanes([1, -2, 3, -4]);
+            for r in 0..reps {
+                let k = PackedWord::new(PackedWord::from_i16_lanes([257, -129, 65, 33]).bits() ^ r);
+                w = w.mul_lo(k, Lane::I16);
+                w = w.add_scalar(k, Lane::I16, Saturation::Saturating);
+                acc += w.reduce_sum_scalar(Lane::I16);
             }
             black_box((w, acc))
         });

@@ -25,16 +25,32 @@
 //!   base+offset access or a MOM base+stride row plan, sized so vector
 //!   access lists are built in one exact allocation.
 //!
+//! On top of the decoded form, two further engine layers cut per-dynamic-
+//! instruction overhead:
+//!
+//! * **Threaded dispatch** — each µop carries a handler *function pointer*
+//!   resolved at decode time, so the hot loop is load → indirect call →
+//!   advance instead of a ~50-way `match`. The per-µop call sites give the
+//!   branch predictor one target per static instruction rather than one
+//!   shared dispatch point for the whole program.
+//! * **Superinstruction fusion** — hot adjacent µop pairs (ALU/compare +
+//!   branch, load + ALU, accumulate + reduce) are fused at decode into a
+//!   single handler that executes both halves in one dispatch and then emits
+//!   both [`DynInst`]s. The fused variant lives at the *head* slot only; the
+//!   tail slot keeps its unfused µop, so branches into the middle of a pair
+//!   execute exactly as before and no fusion-blocking analysis is needed.
+//!
 //! [`Program::stream`], [`Program::run`] and every path layered on them
 //! (kernel and application execution in `mom-kernels`/`mom-apps`, the fused
 //! `SimStream` cells in `mom-lab`) route through this engine; the original
 //! walk-the-`Inst`-list interpreter survives as
 //! [`Program::stream_with_fuel_legacy`] so differential tests and the
-//! `dispatch` criterion bench can pin the two engines against each other.
+//! `dispatch` criterion bench can pin the two engines against each other,
+//! and [`Program::decode_unfused`] disables fusion for the same purpose.
 //! The decoded engine is **byte-identical** to the legacy interpreter: same
 //! architectural side effects, same emitted [`DynInst`] sequence, same fuel
 //! accounting (`tests/proptest_decoded.rs` enforces this for arbitrary
-//! programs across all four ISAs).
+//! programs across all four ISAs, with and without fusion).
 
 use crate::inst::Inst;
 use crate::matrix::{MomAccReg, MomReg};
@@ -47,8 +63,10 @@ use mom_isa::packed::{Lane, PackedWord, Saturation};
 use mom_isa::regs::{AccReg, IntReg, MediaReg};
 use mom_isa::scalar::{AluOp, Cond, ScalarOp};
 use mom_isa::trace::{
-    BranchInfo, DynInst, IsaKind, MemAccess, MemKind, MemList, Trace, TraceSink,
+    BranchInfo, DynInst, InstClass, IsaKind, MemAccess, MemKind, MemList, Trace, TraceSink,
+    MEM_INLINE,
 };
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// A program lowered into directly executable µops (see the
 /// [module docs](self)).
@@ -64,17 +82,50 @@ pub struct DecodedProgram {
     isa: IsaKind,
 }
 
-/// One decoded µop: the flat executable form plus the pre-built trace
-/// skeleton.
+/// One decoded µop: the flat executable form, its handler function pointer
+/// and the pre-built trace skeleton.
 #[derive(Debug, Clone)]
 struct MicroOp {
     exec: ExecOp,
+    /// Variant handler resolved at decode time — the hot loop dispatches
+    /// with one indirect call instead of matching on `exec`.
+    handler: OpFn,
     /// Pre-assembled [`DynInst`]: class, pc, sources and destinations are
     /// final; `elems`, `mem` and `branch` are patched per execution.
     skeleton: DynInst,
     /// Whether `elems` must be patched with the live vector length.
     is_vector: bool,
+    /// When this µop heads a fused pair, everything needed to execute and
+    /// emit the pair in one dispatch. Boxed to keep the common (unfused)
+    /// µop small.
+    fused: Option<Box<FusedTail>>,
 }
+
+/// The second half of a fused µop pair, stored on the head µop. The tail's
+/// own program slot keeps its unfused [`MicroOp`], so jumps into the middle
+/// of a pair behave exactly as in the unfused engine.
+#[derive(Debug, Clone)]
+struct FusedTail {
+    /// Fused handler executing both halves in one call.
+    pair: PairFn,
+    /// The tail µop's execution form (read by `pair`).
+    exec2: ExecOp,
+    /// The tail µop's trace skeleton.
+    skeleton2: DynInst,
+    /// Whether the tail's `elems` must be patched with the vector length.
+    is_vector2: bool,
+}
+
+/// Threaded-dispatch handler: executes one µop's architectural effects,
+/// patching the dynamic fields of the [`DynInst`] in place. `scratch` is the
+/// hot loop's recycled spill buffer for vector memory access lists; only the
+/// MOM memory handlers touch it.
+type OpFn = fn(&ExecOp, &mut Machine, &mut DynInst, &mut MemList) -> Flow;
+
+/// Fused-pair handler: executes both halves of a fused µop pair in one
+/// dispatch, patching both [`DynInst`]s. Returns the *tail's* control flow
+/// (heads of fused pairs never branch).
+type PairFn = fn(&ExecOp, &ExecOp, &mut Machine, &mut DynInst, &mut DynInst) -> Flow;
 
 /// Where control flow goes after executing a µop.
 #[derive(Debug, Clone, Copy)]
@@ -293,421 +344,643 @@ fn lower_mom(op: &MomOp) -> ExecOp {
     }
 }
 
-impl ExecOp {
-    /// Execute the µop, patching the dynamic fields of `inst` (element memory
-    /// accesses and branch outcome) in place.
-    #[inline]
-    fn execute(&self, st: &mut Machine, inst: &mut DynInst) -> Flow {
-        match self {
-            // ---- scalar baseline ----
-            ExecOp::Li { rd, imm } => {
-                st.core.int.write(*rd, *imm);
-                Flow::Next
-            }
-            ExecOp::Mov { rd, rs } => {
-                let v = st.core.int.read(*rs);
-                st.core.int.write(*rd, v);
-                Flow::Next
-            }
-            ExecOp::Alu { op, rd, ra, rb } => {
-                let v = op.apply(st.core.int.read(*ra), st.core.int.read(*rb));
-                st.core.int.write(*rd, v);
-                Flow::Next
-            }
-            ExecOp::AluI { op, rd, ra, imm } => {
-                let v = op.apply(st.core.int.read(*ra), *imm);
-                st.core.int.write(*rd, v);
-                Flow::Next
-            }
-            ExecOp::CmpSet { cond, rd, ra, rb } => {
-                let v = cond.eval(st.core.int.read(*ra), st.core.int.read(*rb));
-                st.core.int.write(*rd, v as i64);
-                Flow::Next
-            }
-            ExecOp::CMov { rd, rc, rs } => {
-                if st.core.int.read(*rc) != 0 {
-                    let v = st.core.int.read(*rs);
-                    st.core.int.write(*rd, v);
-                }
-                Flow::Next
-            }
-            ExecOp::Abs { rd, ra } => {
-                let v = st.core.int.read(*ra).wrapping_abs();
-                st.core.int.write(*rd, v);
-                Flow::Next
-            }
-            ExecOp::Ld { rd, base, offset, size, signed } => {
-                let addr = (st.core.int.read(*base) + offset) as u64;
-                let v = if *signed {
-                    st.core.mem.read_signed(addr, *size as usize)
-                } else {
-                    st.core.mem.read_unsigned(addr, *size as usize) as i64
+/// Define one handler function per [`ExecOp`] variant plus the
+/// decode-time `dispatch_for` resolver. The first parenthesized group names
+/// the handler parameters at the *invocation* site so the bodies (which are
+/// textually the old `ExecOp::execute` match arms) can refer to them across
+/// the macro hygiene boundary. The generated `dispatch_for` match is
+/// exhaustive, so adding an `ExecOp` variant without a handler is a compile
+/// error.
+macro_rules! handlers {
+    (
+        ($st:ident, $inst:ident, $scratch:ident)
+        $( $fname:ident : $Variant:ident $( { $($field:ident),* $(,)? } )? => $body:block )*
+    ) => {
+        $(
+            #[allow(unused_variables)]
+            fn $fname(exec: &ExecOp, $st: &mut Machine, $inst: &mut DynInst, $scratch: &mut MemList) -> Flow {
+                let ExecOp::$Variant $( { $($field),* } )? = exec else {
+                    unreachable!("µop handler bound to the wrong ExecOp variant")
                 };
-                st.core.int.write(*rd, v);
-                inst.mem = MemList::one(MemAccess { addr, size: *size, kind: MemKind::Load });
-                Flow::Next
+                $body
             }
-            ExecOp::St { rs, base, offset, size } => {
-                let addr = (st.core.int.read(*base) + offset) as u64;
-                st.core.mem.write_value(addr, *size as usize, st.core.int.read(*rs) as u64);
-                inst.mem = MemList::one(MemAccess { addr, size: *size, kind: MemKind::Store });
-                Flow::Next
-            }
-            ExecOp::Br { cond, ra, rb, target } => {
-                let taken = cond.eval(st.core.int.read(*ra), st.core.int.read(*rb));
-                inst.branch = Some(BranchInfo {
-                    taken,
-                    conditional: true,
-                    pc: inst.pc,
-                    target: *target as u64,
-                });
-                if taken {
-                    Flow::Jump(*target)
-                } else {
-                    Flow::Next
-                }
-            }
-            ExecOp::Jmp { target } => {
-                inst.branch = Some(BranchInfo {
-                    taken: true,
-                    conditional: false,
-                    pc: inst.pc,
-                    target: *target as u64,
-                });
-                Flow::Jump(*target)
-            }
-            ExecOp::Nop => Flow::Next,
-            ExecOp::Halt => Flow::Halt,
-            // ---- MMX-like media ----
-            ExecOp::MediaLd { md, base, offset } => {
-                let addr = (st.core.int.read(*base) + offset) as u64;
-                st.core.media.write(*md, PackedWord::new(st.core.mem.read_u64(addr)));
-                inst.mem = MemList::one(MemAccess { addr, size: 8, kind: MemKind::Load });
-                Flow::Next
-            }
-            ExecOp::MediaSt { ms, base, offset } => {
-                let addr = (st.core.int.read(*base) + offset) as u64;
-                st.core.mem.write_u64(addr, st.core.media.read(*ms).bits());
-                inst.mem = MemList::one(MemAccess { addr, size: 8, kind: MemKind::Store });
-                Flow::Next
-            }
-            ExecOp::Splat { md, rs, lane } => {
-                let v = PackedWord::splat(*lane, st.core.int.read(*rs));
-                st.core.media.write(*md, v);
-                Flow::Next
-            }
-            ExecOp::FromInt { md, rs } => {
-                st.core.media.write(*md, PackedWord::new(st.core.int.read(*rs) as u64));
-                Flow::Next
-            }
-            ExecOp::ToInt { rd, ms, lane, idx } => {
-                let v = st.core.media.read(*ms).lane(*lane, *idx as usize);
-                st.core.int.write(*rd, v);
-                Flow::Next
-            }
-            ExecOp::MediaPacked { op, md, ma, mb, lane, sat } => {
-                let v = op.apply(st.core.media.read(*ma), st.core.media.read(*mb), *lane, *sat);
-                st.core.media.write(*md, v);
-                Flow::Next
-            }
-            ExecOp::MediaShift { kind, md, ms, lane, amount } => {
-                let a = st.core.media.read(*ms);
-                let v = match kind {
-                    ShiftKind::LeftLogical => a.shl(*lane, *amount as u32),
-                    ShiftKind::RightLogical => a.shr_logical(*lane, *amount as u32),
-                    ShiftKind::RightArith => a.shr_arith(*lane, *amount as u32),
-                };
-                st.core.media.write(*md, v);
-                Flow::Next
-            }
-            ExecOp::MediaSelect { md, mask, ma, mb, lane } => {
-                let v = PackedWord::select(
-                    st.core.media.read(*mask),
-                    st.core.media.read(*ma),
-                    st.core.media.read(*mb),
-                    *lane,
-                );
-                st.core.media.write(*md, v);
-                Flow::Next
-            }
-            ExecOp::MediaPack { md, ma, mb, from, to_signed } => {
-                let v = st.core.media.read(*ma).pack(st.core.media.read(*mb), *from, *to_signed);
-                st.core.media.write(*md, v);
-                Flow::Next
-            }
-            ExecOp::MediaUnpackLo { md, ma, mb, lane } => {
-                let v = st.core.media.read(*ma).unpack_lo(st.core.media.read(*mb), *lane);
-                st.core.media.write(*md, v);
-                Flow::Next
-            }
-            ExecOp::MediaUnpackHi { md, ma, mb, lane } => {
-                let v = st.core.media.read(*ma).unpack_hi(st.core.media.read(*mb), *lane);
-                st.core.media.write(*md, v);
-                Flow::Next
-            }
-            ExecOp::MediaWidenLo { md, ms, lane } => {
-                let v = st.core.media.read(*ms).widen_lo(*lane);
-                st.core.media.write(*md, v);
-                Flow::Next
-            }
-            ExecOp::MediaWidenHi { md, ms, lane } => {
-                let v = st.core.media.read(*ms).widen_hi(*lane);
-                st.core.media.write(*md, v);
-                Flow::Next
-            }
-            ExecOp::MediaSad { md, ma, mb, lane } => {
-                let s = st.core.media.read(*ma).sad(st.core.media.read(*mb), *lane);
-                st.core.media.write(*md, PackedWord::ZERO.with_lane(Lane::I32, 0, s));
-                Flow::Next
-            }
-            ExecOp::MediaReduceSum { rd, ms, lane } => {
-                let s = st.core.media.read(*ms).reduce_sum(*lane);
-                st.core.int.write(*rd, s);
-                Flow::Next
-            }
-            // ---- MDMX accumulator forms ----
-            ExecOp::AccClear { acc } => {
-                st.core.accs[acc.index()].clear();
-                Flow::Next
-            }
-            ExecOp::Acc { op, acc, ma, mb, lane } => {
-                let a = st.core.media.read(*ma);
-                let b = st.core.media.read(*mb);
-                op.apply(&mut st.core.accs[acc.index()], a, b, *lane);
-                Flow::Next
-            }
-            ExecOp::ReadAcc { md, acc, lane, shift, sat } => {
-                let v = st.core.accs[acc.index()].read_packed(*lane, *shift as u32, *sat);
-                st.core.media.write(*md, v);
-                Flow::Next
-            }
-            ExecOp::ReduceAcc { rd, acc } => {
-                let v = st.core.accs[acc.index()].reduce_sum();
-                st.core.int.write(*rd, v);
-                Flow::Next
-            }
-            // ---- MOM matrix extension ----
-            ExecOp::SetVl { rs } => {
-                let v = st.core.int.read(*rs).max(0) as usize;
-                st.mom.set_vl(v);
-                Flow::Next
-            }
-            ExecOp::SetVlI { vl } => {
-                st.mom.set_vl(*vl as usize);
-                Flow::Next
-            }
-            ExecOp::MomLd { vd, base, stride } => {
-                let vl = st.mom.vl();
-                let base_addr = st.core.int.read(*base) as u64;
-                let stride = st.core.int.read(*stride);
-                let value = st.mom.matrix.get_mut(*vd);
-                let mut accesses = MemList::with_capacity(vl);
-                for k in 0..vl {
-                    let addr = (base_addr as i64 + k as i64 * stride) as u64;
-                    value.set_row(k, PackedWord::new(st.core.mem.read_u64(addr)));
-                    accesses.push(MemAccess { addr, size: 8, kind: MemKind::Load });
-                }
-                inst.mem = accesses;
-                Flow::Next
-            }
-            ExecOp::MomSt { vs, base, stride } => {
-                let vl = st.mom.vl();
-                let base_addr = st.core.int.read(*base) as u64;
-                let stride = st.core.int.read(*stride);
-                let value = st.mom.matrix.get(*vs);
-                let mut accesses = MemList::with_capacity(vl);
-                for k in 0..vl {
-                    let addr = (base_addr as i64 + k as i64 * stride) as u64;
-                    st.core.mem.write_u64(addr, value.row(k).bits());
-                    accesses.push(MemAccess { addr, size: 8, kind: MemKind::Store });
-                }
-                inst.mem = accesses;
-                Flow::Next
-            }
-            ExecOp::MomPacked { op, vd, va, vb, lane, sat } => {
-                let vl = st.mom.vl();
-                let a = st.mom.matrix.read(*va);
-                let b = st.mom.matrix.read(*vb);
-                let out = st.mom.matrix.get_mut(*vd);
-                for r in 0..vl {
-                    out.set_row(r, op.apply(a.row(r), b.row(r), *lane, *sat));
-                }
-                Flow::Next
-            }
-            ExecOp::MomPackedMedia { op, vd, va, mb, lane, sat } => {
-                let vl = st.mom.vl();
-                let a = st.mom.matrix.read(*va);
-                let b = st.core.media.read(*mb);
-                let out = st.mom.matrix.get_mut(*vd);
-                for r in 0..vl {
-                    out.set_row(r, op.apply(a.row(r), b, *lane, *sat));
-                }
-                Flow::Next
-            }
-            ExecOp::MomShift { kind, vd, va, lane, amount } => {
-                let vl = st.mom.vl();
-                let a = st.mom.matrix.read(*va);
-                let out = st.mom.matrix.get_mut(*vd);
-                *out = a;
-                for r in 0..vl {
-                    let w = a.row(r);
-                    out.set_row(
-                        r,
-                        match kind {
-                            ShiftKind::LeftLogical => w.shl(*lane, *amount as u32),
-                            ShiftKind::RightLogical => w.shr_logical(*lane, *amount as u32),
-                            ShiftKind::RightArith => w.shr_arith(*lane, *amount as u32),
-                        },
-                    );
-                }
-                Flow::Next
-            }
-            ExecOp::MomSelect { vd, mask, va, vb, lane } => {
-                let vl = st.mom.vl();
-                let mk = st.mom.matrix.read(*mask);
-                let a = st.mom.matrix.read(*va);
-                let b = st.mom.matrix.read(*vb);
-                let out = st.mom.matrix.get_mut(*vd);
-                for r in 0..vl {
-                    out.set_row(r, PackedWord::select(mk.row(r), a.row(r), b.row(r), *lane));
-                }
-                Flow::Next
-            }
-            ExecOp::MomPack { vd, va, vb, from, to_signed } => {
-                let vl = st.mom.vl();
-                let a = st.mom.matrix.read(*va);
-                let b = st.mom.matrix.read(*vb);
-                let out = st.mom.matrix.get_mut(*vd);
-                for r in 0..vl {
-                    out.set_row(r, a.row(r).pack(b.row(r), *from, *to_signed));
-                }
-                Flow::Next
-            }
-            ExecOp::MomUnpackLo { vd, va, vb, lane } => {
-                let vl = st.mom.vl();
-                let a = st.mom.matrix.read(*va);
-                let b = st.mom.matrix.read(*vb);
-                let out = st.mom.matrix.get_mut(*vd);
-                *out = a;
-                for r in 0..vl {
-                    out.set_row(r, a.row(r).unpack_lo(b.row(r), *lane));
-                }
-                Flow::Next
-            }
-            ExecOp::MomUnpackHi { vd, va, vb, lane } => {
-                let vl = st.mom.vl();
-                let a = st.mom.matrix.read(*va);
-                let b = st.mom.matrix.read(*vb);
-                let out = st.mom.matrix.get_mut(*vd);
-                *out = a;
-                for r in 0..vl {
-                    out.set_row(r, a.row(r).unpack_hi(b.row(r), *lane));
-                }
-                Flow::Next
-            }
-            ExecOp::MomWidenLo { vd, va, lane } => {
-                let vl = st.mom.vl();
-                let a = st.mom.matrix.read(*va);
-                let out = st.mom.matrix.get_mut(*vd);
-                *out = a;
-                for r in 0..vl {
-                    out.set_row(r, a.row(r).widen_lo(*lane));
-                }
-                Flow::Next
-            }
-            ExecOp::MomWidenHi { vd, va, lane } => {
-                let vl = st.mom.vl();
-                let a = st.mom.matrix.read(*va);
-                let out = st.mom.matrix.get_mut(*vd);
-                *out = a;
-                for r in 0..vl {
-                    out.set_row(r, a.row(r).widen_hi(*lane));
-                }
-                Flow::Next
-            }
-            ExecOp::MomTranspose { vd, va, lane } => {
-                let a = st.mom.matrix.read(*va);
-                st.mom.matrix.write(*vd, a.transpose(*lane));
-                Flow::Next
-            }
-            ExecOp::MomTransposePair { vd_lo, vd_hi, va_lo, va_hi } => {
-                let lo = st.mom.matrix.read(*va_lo);
-                let hi = st.mom.matrix.read(*va_hi);
-                let elem = |r: usize, c: usize| {
-                    if c < 4 {
-                        lo.element(Lane::I16, r, c)
-                    } else {
-                        hi.element(Lane::I16, r, c - 4)
-                    }
-                };
-                let mut out_lo = st.mom.matrix.read(*vd_lo);
-                let mut out_hi = st.mom.matrix.read(*vd_hi);
-                for r in 0..8 {
-                    for c in 0..8 {
-                        let value = elem(c, r);
-                        if c < 4 {
-                            out_lo.set_element(Lane::I16, r, c, value);
-                        } else {
-                            out_hi.set_element(Lane::I16, r, c - 4, value);
-                        }
-                    }
-                }
-                st.mom.matrix.write(*vd_lo, out_lo);
-                st.mom.matrix.write(*vd_hi, out_hi);
-                Flow::Next
-            }
-            ExecOp::MomAccClear { acc } => {
-                st.mom.accs[acc.index()].clear();
-                Flow::Next
-            }
-            ExecOp::MomAcc { op, acc, va, vb, lane } => {
-                let vl = st.mom.vl();
-                let a = st.mom.matrix.read(*va);
-                let b = st.mom.matrix.read(*vb);
-                let accu = &mut st.mom.accs[acc.index()];
-                for r in 0..vl {
-                    op.apply(accu, a.row(r), b.row(r), *lane);
-                }
-                Flow::Next
-            }
-            ExecOp::MomAccMedia { op, acc, va, mb, lane } => {
-                let vl = st.mom.vl();
-                let a = st.mom.matrix.read(*va);
-                let b = st.core.media.read(*mb);
-                let accu = &mut st.mom.accs[acc.index()];
-                for r in 0..vl {
-                    op.apply(accu, a.row(r), b, *lane);
-                }
-                Flow::Next
-            }
-            ExecOp::MomReadAcc { md, acc, lane, shift, sat } => {
-                let v = st.mom.accs[acc.index()].read_packed(*lane, *shift as u32, *sat);
-                st.core.media.write(*md, v);
-                Flow::Next
-            }
-            ExecOp::MomReduceAcc { rd, acc } => {
-                let v = st.mom.accs[acc.index()].reduce_sum();
-                st.core.int.write(*rd, v);
-                Flow::Next
-            }
-            ExecOp::RowToMedia { md, vs, row } => {
-                let v = st.mom.matrix.get(*vs).row(*row as usize);
-                st.core.media.write(*md, v);
-                Flow::Next
-            }
-            ExecOp::MediaToRow { vd, row, ms } => {
-                let w = st.core.media.read(*ms);
-                st.mom.matrix.get_mut(*vd).set_row(*row as usize, w);
-                Flow::Next
+        )*
+
+        /// Resolve the threaded-dispatch handler for a µop at decode time.
+        fn dispatch_for(exec: &ExecOp) -> OpFn {
+            match exec {
+                $( ExecOp::$Variant { .. } => $fname, )*
             }
         }
+    };
+}
+
+handlers! {
+    (st, inst, scratch)
+    // ---- scalar baseline ----
+    op_li: Li { rd, imm } => {
+        st.core.int.write(*rd, *imm);
+        Flow::Next
     }
+    op_mov: Mov { rd, rs } => {
+        let v = st.core.int.read(*rs);
+        st.core.int.write(*rd, v);
+        Flow::Next
+    }
+    op_alu: Alu { op, rd, ra, rb } => {
+        let v = op.apply(st.core.int.read(*ra), st.core.int.read(*rb));
+        st.core.int.write(*rd, v);
+        Flow::Next
+    }
+    op_alui: AluI { op, rd, ra, imm } => {
+        let v = op.apply(st.core.int.read(*ra), *imm);
+        st.core.int.write(*rd, v);
+        Flow::Next
+    }
+    op_cmpset: CmpSet { cond, rd, ra, rb } => {
+        let v = cond.eval(st.core.int.read(*ra), st.core.int.read(*rb));
+        st.core.int.write(*rd, v as i64);
+        Flow::Next
+    }
+    op_cmov: CMov { rd, rc, rs } => {
+        if st.core.int.read(*rc) != 0 {
+            let v = st.core.int.read(*rs);
+            st.core.int.write(*rd, v);
+        }
+        Flow::Next
+    }
+    op_abs: Abs { rd, ra } => {
+        let v = st.core.int.read(*ra).wrapping_abs();
+        st.core.int.write(*rd, v);
+        Flow::Next
+    }
+    op_ld: Ld { rd, base, offset, size, signed } => {
+        let addr = (st.core.int.read(*base) + offset) as u64;
+        let v = if *signed {
+            st.core.mem.read_signed(addr, *size as usize)
+        } else {
+            st.core.mem.read_unsigned(addr, *size as usize) as i64
+        };
+        st.core.int.write(*rd, v);
+        inst.mem = MemList::one(MemAccess { addr, size: *size, kind: MemKind::Load });
+        Flow::Next
+    }
+    op_st: St { rs, base, offset, size } => {
+        let addr = (st.core.int.read(*base) + offset) as u64;
+        st.core.mem.write_value(addr, *size as usize, st.core.int.read(*rs) as u64);
+        inst.mem = MemList::one(MemAccess { addr, size: *size, kind: MemKind::Store });
+        Flow::Next
+    }
+    op_br: Br { cond, ra, rb, target } => {
+        let taken = cond.eval(st.core.int.read(*ra), st.core.int.read(*rb));
+        inst.branch = Some(BranchInfo {
+            taken,
+            conditional: true,
+            pc: inst.pc,
+            target: *target as u64,
+        });
+        if taken {
+            Flow::Jump(*target)
+        } else {
+            Flow::Next
+        }
+    }
+    op_jmp: Jmp { target } => {
+        inst.branch = Some(BranchInfo {
+            taken: true,
+            conditional: false,
+            pc: inst.pc,
+            target: *target as u64,
+        });
+        Flow::Jump(*target)
+    }
+    op_nop: Nop => { Flow::Next }
+    op_halt: Halt => { Flow::Halt }
+    // ---- MMX-like media ----
+    op_media_ld: MediaLd { md, base, offset } => {
+        let addr = (st.core.int.read(*base) + offset) as u64;
+        st.core.media.write(*md, PackedWord::new(st.core.mem.read_u64(addr)));
+        inst.mem = MemList::one(MemAccess { addr, size: 8, kind: MemKind::Load });
+        Flow::Next
+    }
+    op_media_st: MediaSt { ms, base, offset } => {
+        let addr = (st.core.int.read(*base) + offset) as u64;
+        st.core.mem.write_u64(addr, st.core.media.read(*ms).bits());
+        inst.mem = MemList::one(MemAccess { addr, size: 8, kind: MemKind::Store });
+        Flow::Next
+    }
+    op_splat: Splat { md, rs, lane } => {
+        let v = PackedWord::splat(*lane, st.core.int.read(*rs));
+        st.core.media.write(*md, v);
+        Flow::Next
+    }
+    op_from_int: FromInt { md, rs } => {
+        st.core.media.write(*md, PackedWord::new(st.core.int.read(*rs) as u64));
+        Flow::Next
+    }
+    op_to_int: ToInt { rd, ms, lane, idx } => {
+        let v = st.core.media.read(*ms).lane(*lane, *idx as usize);
+        st.core.int.write(*rd, v);
+        Flow::Next
+    }
+    op_media_packed: MediaPacked { op, md, ma, mb, lane, sat } => {
+        let v = op.apply(st.core.media.read(*ma), st.core.media.read(*mb), *lane, *sat);
+        st.core.media.write(*md, v);
+        Flow::Next
+    }
+    op_media_shift: MediaShift { kind, md, ms, lane, amount } => {
+        let a = st.core.media.read(*ms);
+        let v = match kind {
+            ShiftKind::LeftLogical => a.shl(*lane, *amount as u32),
+            ShiftKind::RightLogical => a.shr_logical(*lane, *amount as u32),
+            ShiftKind::RightArith => a.shr_arith(*lane, *amount as u32),
+        };
+        st.core.media.write(*md, v);
+        Flow::Next
+    }
+    op_media_select: MediaSelect { md, mask, ma, mb, lane } => {
+        let v = PackedWord::select(
+            st.core.media.read(*mask),
+            st.core.media.read(*ma),
+            st.core.media.read(*mb),
+            *lane,
+        );
+        st.core.media.write(*md, v);
+        Flow::Next
+    }
+    op_media_pack: MediaPack { md, ma, mb, from, to_signed } => {
+        let v = st.core.media.read(*ma).pack(st.core.media.read(*mb), *from, *to_signed);
+        st.core.media.write(*md, v);
+        Flow::Next
+    }
+    op_media_unpack_lo: MediaUnpackLo { md, ma, mb, lane } => {
+        let v = st.core.media.read(*ma).unpack_lo(st.core.media.read(*mb), *lane);
+        st.core.media.write(*md, v);
+        Flow::Next
+    }
+    op_media_unpack_hi: MediaUnpackHi { md, ma, mb, lane } => {
+        let v = st.core.media.read(*ma).unpack_hi(st.core.media.read(*mb), *lane);
+        st.core.media.write(*md, v);
+        Flow::Next
+    }
+    op_media_widen_lo: MediaWidenLo { md, ms, lane } => {
+        let v = st.core.media.read(*ms).widen_lo(*lane);
+        st.core.media.write(*md, v);
+        Flow::Next
+    }
+    op_media_widen_hi: MediaWidenHi { md, ms, lane } => {
+        let v = st.core.media.read(*ms).widen_hi(*lane);
+        st.core.media.write(*md, v);
+        Flow::Next
+    }
+    op_media_sad: MediaSad { md, ma, mb, lane } => {
+        let s = st.core.media.read(*ma).sad(st.core.media.read(*mb), *lane);
+        st.core.media.write(*md, PackedWord::ZERO.with_lane(Lane::I32, 0, s));
+        Flow::Next
+    }
+    op_media_reduce_sum: MediaReduceSum { rd, ms, lane } => {
+        let s = st.core.media.read(*ms).reduce_sum(*lane);
+        st.core.int.write(*rd, s);
+        Flow::Next
+    }
+    // ---- MDMX accumulator forms ----
+    op_acc_clear: AccClear { acc } => {
+        st.core.accs[acc.index()].clear();
+        Flow::Next
+    }
+    op_acc: Acc { op, acc, ma, mb, lane } => {
+        let a = st.core.media.read(*ma);
+        let b = st.core.media.read(*mb);
+        op.apply(&mut st.core.accs[acc.index()], a, b, *lane);
+        Flow::Next
+    }
+    op_read_acc: ReadAcc { md, acc, lane, shift, sat } => {
+        let v = st.core.accs[acc.index()].read_packed(*lane, *shift as u32, *sat);
+        st.core.media.write(*md, v);
+        Flow::Next
+    }
+    op_reduce_acc: ReduceAcc { rd, acc } => {
+        let v = st.core.accs[acc.index()].reduce_sum();
+        st.core.int.write(*rd, v);
+        Flow::Next
+    }
+    // ---- MOM matrix extension ----
+    op_set_vl: SetVl { rs } => {
+        let v = st.core.int.read(*rs).max(0) as usize;
+        st.mom.set_vl(v);
+        Flow::Next
+    }
+    op_set_vl_i: SetVlI { vl } => {
+        st.mom.set_vl(*vl as usize);
+        Flow::Next
+    }
+    op_mom_ld: MomLd { vd, base, stride } => {
+        let vl = st.mom.vl();
+        let base_addr = st.core.int.read(*base) as u64;
+        let stride = st.core.int.read(*stride);
+        let value = st.mom.matrix.get_mut(*vd);
+        // Recycle the loop's spill buffer: steady-state vector loads reuse
+        // one heap allocation instead of paying one per instruction.
+        let mut accesses = std::mem::take(scratch);
+        accesses.clear();
+        if !accesses.is_spilled() && vl > MEM_INLINE {
+            accesses = MemList::with_capacity(vl);
+        }
+        for k in 0..vl {
+            let addr = (base_addr as i64 + k as i64 * stride) as u64;
+            value.set_row(k, PackedWord::new(st.core.mem.read_u64(addr)));
+            accesses.push(MemAccess { addr, size: 8, kind: MemKind::Load });
+        }
+        inst.mem = accesses;
+        Flow::Next
+    }
+    op_mom_st: MomSt { vs, base, stride } => {
+        let vl = st.mom.vl();
+        let base_addr = st.core.int.read(*base) as u64;
+        let stride = st.core.int.read(*stride);
+        let value = st.mom.matrix.get(*vs);
+        let mut accesses = std::mem::take(scratch);
+        accesses.clear();
+        if !accesses.is_spilled() && vl > MEM_INLINE {
+            accesses = MemList::with_capacity(vl);
+        }
+        for k in 0..vl {
+            let addr = (base_addr as i64 + k as i64 * stride) as u64;
+            st.core.mem.write_u64(addr, value.row(k).bits());
+            accesses.push(MemAccess { addr, size: 8, kind: MemKind::Store });
+        }
+        inst.mem = accesses;
+        Flow::Next
+    }
+    op_mom_packed: MomPacked { op, vd, va, vb, lane, sat } => {
+        let vl = st.mom.vl();
+        let a = st.mom.matrix.read(*va);
+        let b = st.mom.matrix.read(*vb);
+        let out = st.mom.matrix.get_mut(*vd);
+        for r in 0..vl {
+            out.set_row(r, op.apply(a.row(r), b.row(r), *lane, *sat));
+        }
+        Flow::Next
+    }
+    op_mom_packed_media: MomPackedMedia { op, vd, va, mb, lane, sat } => {
+        let vl = st.mom.vl();
+        let a = st.mom.matrix.read(*va);
+        let b = st.core.media.read(*mb);
+        let out = st.mom.matrix.get_mut(*vd);
+        for r in 0..vl {
+            out.set_row(r, op.apply(a.row(r), b, *lane, *sat));
+        }
+        Flow::Next
+    }
+    op_mom_shift: MomShift { kind, vd, va, lane, amount } => {
+        let vl = st.mom.vl();
+        let a = st.mom.matrix.read(*va);
+        let out = st.mom.matrix.get_mut(*vd);
+        *out = a;
+        for r in 0..vl {
+            let w = a.row(r);
+            out.set_row(
+                r,
+                match kind {
+                    ShiftKind::LeftLogical => w.shl(*lane, *amount as u32),
+                    ShiftKind::RightLogical => w.shr_logical(*lane, *amount as u32),
+                    ShiftKind::RightArith => w.shr_arith(*lane, *amount as u32),
+                },
+            );
+        }
+        Flow::Next
+    }
+    op_mom_select: MomSelect { vd, mask, va, vb, lane } => {
+        let vl = st.mom.vl();
+        let mk = st.mom.matrix.read(*mask);
+        let a = st.mom.matrix.read(*va);
+        let b = st.mom.matrix.read(*vb);
+        let out = st.mom.matrix.get_mut(*vd);
+        for r in 0..vl {
+            out.set_row(r, PackedWord::select(mk.row(r), a.row(r), b.row(r), *lane));
+        }
+        Flow::Next
+    }
+    op_mom_pack: MomPack { vd, va, vb, from, to_signed } => {
+        let vl = st.mom.vl();
+        let a = st.mom.matrix.read(*va);
+        let b = st.mom.matrix.read(*vb);
+        let out = st.mom.matrix.get_mut(*vd);
+        for r in 0..vl {
+            out.set_row(r, a.row(r).pack(b.row(r), *from, *to_signed));
+        }
+        Flow::Next
+    }
+    op_mom_unpack_lo: MomUnpackLo { vd, va, vb, lane } => {
+        let vl = st.mom.vl();
+        let a = st.mom.matrix.read(*va);
+        let b = st.mom.matrix.read(*vb);
+        let out = st.mom.matrix.get_mut(*vd);
+        *out = a;
+        for r in 0..vl {
+            out.set_row(r, a.row(r).unpack_lo(b.row(r), *lane));
+        }
+        Flow::Next
+    }
+    op_mom_unpack_hi: MomUnpackHi { vd, va, vb, lane } => {
+        let vl = st.mom.vl();
+        let a = st.mom.matrix.read(*va);
+        let b = st.mom.matrix.read(*vb);
+        let out = st.mom.matrix.get_mut(*vd);
+        *out = a;
+        for r in 0..vl {
+            out.set_row(r, a.row(r).unpack_hi(b.row(r), *lane));
+        }
+        Flow::Next
+    }
+    op_mom_widen_lo: MomWidenLo { vd, va, lane } => {
+        let vl = st.mom.vl();
+        let a = st.mom.matrix.read(*va);
+        let out = st.mom.matrix.get_mut(*vd);
+        *out = a;
+        for r in 0..vl {
+            out.set_row(r, a.row(r).widen_lo(*lane));
+        }
+        Flow::Next
+    }
+    op_mom_widen_hi: MomWidenHi { vd, va, lane } => {
+        let vl = st.mom.vl();
+        let a = st.mom.matrix.read(*va);
+        let out = st.mom.matrix.get_mut(*vd);
+        *out = a;
+        for r in 0..vl {
+            out.set_row(r, a.row(r).widen_hi(*lane));
+        }
+        Flow::Next
+    }
+    op_mom_transpose: MomTranspose { vd, va, lane } => {
+        let a = st.mom.matrix.read(*va);
+        st.mom.matrix.write(*vd, a.transpose(*lane));
+        Flow::Next
+    }
+    op_mom_transpose_pair: MomTransposePair { vd_lo, vd_hi, va_lo, va_hi } => {
+        let lo = st.mom.matrix.read(*va_lo);
+        let hi = st.mom.matrix.read(*va_hi);
+        let elem = |r: usize, c: usize| {
+            if c < 4 {
+                lo.element(Lane::I16, r, c)
+            } else {
+                hi.element(Lane::I16, r, c - 4)
+            }
+        };
+        let mut out_lo = st.mom.matrix.read(*vd_lo);
+        let mut out_hi = st.mom.matrix.read(*vd_hi);
+        for r in 0..8 {
+            for c in 0..8 {
+                let value = elem(c, r);
+                if c < 4 {
+                    out_lo.set_element(Lane::I16, r, c, value);
+                } else {
+                    out_hi.set_element(Lane::I16, r, c - 4, value);
+                }
+            }
+        }
+        st.mom.matrix.write(*vd_lo, out_lo);
+        st.mom.matrix.write(*vd_hi, out_hi);
+        Flow::Next
+    }
+    op_mom_acc_clear: MomAccClear { acc } => {
+        st.mom.accs[acc.index()].clear();
+        Flow::Next
+    }
+    op_mom_acc: MomAcc { op, acc, va, vb, lane } => {
+        let vl = st.mom.vl();
+        let a = st.mom.matrix.read(*va);
+        let b = st.mom.matrix.read(*vb);
+        let accu = &mut st.mom.accs[acc.index()];
+        for r in 0..vl {
+            op.apply(accu, a.row(r), b.row(r), *lane);
+        }
+        Flow::Next
+    }
+    op_mom_acc_media: MomAccMedia { op, acc, va, mb, lane } => {
+        let vl = st.mom.vl();
+        let a = st.mom.matrix.read(*va);
+        let b = st.core.media.read(*mb);
+        let accu = &mut st.mom.accs[acc.index()];
+        for r in 0..vl {
+            op.apply(accu, a.row(r), b, *lane);
+        }
+        Flow::Next
+    }
+    op_mom_read_acc: MomReadAcc { md, acc, lane, shift, sat } => {
+        let v = st.mom.accs[acc.index()].read_packed(*lane, *shift as u32, *sat);
+        st.core.media.write(*md, v);
+        Flow::Next
+    }
+    op_mom_reduce_acc: MomReduceAcc { rd, acc } => {
+        let v = st.mom.accs[acc.index()].reduce_sum();
+        st.core.int.write(*rd, v);
+        Flow::Next
+    }
+    op_row_to_media: RowToMedia { md, vs, row } => {
+        let v = st.mom.matrix.get(*vs).row(*row as usize);
+        st.core.media.write(*md, v);
+        Flow::Next
+    }
+    op_media_to_row: MediaToRow { vd, row, ms } => {
+        let w = st.core.media.read(*ms);
+        st.mom.matrix.get_mut(*vd).set_row(*row as usize, w);
+        Flow::Next
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Superinstruction fusion
+// ---------------------------------------------------------------------------
+
+/// Total fused µop pairs created by [`Program::decode`] in this process
+/// (monotonic). The lab runner snapshots a delta around each run to report
+/// how much fusion the executed programs exposed.
+static FUSED_PAIRS_TOTAL: AtomicU64 = AtomicU64::new(0);
+
+/// Running total of fused µop pairs created by decoding, process-wide.
+pub fn fused_pairs_total() -> u64 {
+    FUSED_PAIRS_TOTAL.load(Ordering::Relaxed)
+}
+
+/// Pick the fused handler for an adjacent µop pair, if the combination is
+/// one of the hot patterns worth a superinstruction. First halves never
+/// branch, halt or change the vector length, so executing the pair in one
+/// dispatch is observationally identical to two.
+fn fuse_pair(e1: &ExecOp, e2: &ExecOp) -> Option<PairFn> {
+    Some(match (e1, e2) {
+        (ExecOp::AluI { .. }, ExecOp::Br { .. }) => fused_alui_br,
+        (ExecOp::Alu { .. }, ExecOp::Br { .. }) => fused_alu_br,
+        (ExecOp::CmpSet { .. }, ExecOp::Br { .. }) => fused_cmpset_br,
+        (ExecOp::Ld { .. }, ExecOp::AluI { .. }) => fused_ld_alui,
+        (ExecOp::Acc { .. }, ExecOp::ReduceAcc { .. }) => fused_acc_reduce,
+        (ExecOp::MomAcc { .. }, ExecOp::MomReduceAcc { .. }) => fused_momacc_reduce,
+        _ => return None,
+    })
+}
+
+/// Evaluate a branch tail: patch `i2` and convert the outcome to [`Flow`].
+#[inline(always)]
+fn branch_tail(st: &mut Machine, e2: &ExecOp, i2: &mut DynInst) -> Flow {
+    let ExecOp::Br { cond, ra, rb, target } = e2 else {
+        unreachable!("fused branch tail bound to a non-branch µop")
+    };
+    let taken = cond.eval(st.core.int.read(*ra), st.core.int.read(*rb));
+    i2.branch = Some(BranchInfo {
+        taken,
+        conditional: true,
+        pc: i2.pc,
+        target: *target as u64,
+    });
+    if taken {
+        Flow::Jump(*target)
+    } else {
+        Flow::Next
+    }
+}
+
+/// Fused immediate-ALU + conditional branch (loop back-edges: decrement a
+/// counter and loop while it stays positive).
+fn fused_alui_br(
+    e1: &ExecOp,
+    e2: &ExecOp,
+    st: &mut Machine,
+    _i1: &mut DynInst,
+    i2: &mut DynInst,
+) -> Flow {
+    let ExecOp::AluI { op, rd, ra, imm } = e1 else {
+        unreachable!("fused head bound to the wrong ExecOp variant")
+    };
+    let v = op.apply(st.core.int.read(*ra), *imm);
+    st.core.int.write(*rd, v);
+    branch_tail(st, e2, i2)
+}
+
+/// Fused register-ALU + conditional branch.
+fn fused_alu_br(
+    e1: &ExecOp,
+    e2: &ExecOp,
+    st: &mut Machine,
+    _i1: &mut DynInst,
+    i2: &mut DynInst,
+) -> Flow {
+    let ExecOp::Alu { op, rd, ra, rb } = e1 else {
+        unreachable!("fused head bound to the wrong ExecOp variant")
+    };
+    let v = op.apply(st.core.int.read(*ra), st.core.int.read(*rb));
+    st.core.int.write(*rd, v);
+    branch_tail(st, e2, i2)
+}
+
+/// Fused compare-and-set + conditional branch.
+fn fused_cmpset_br(
+    e1: &ExecOp,
+    e2: &ExecOp,
+    st: &mut Machine,
+    _i1: &mut DynInst,
+    i2: &mut DynInst,
+) -> Flow {
+    let ExecOp::CmpSet { cond, rd, ra, rb } = e1 else {
+        unreachable!("fused head bound to the wrong ExecOp variant")
+    };
+    let v = cond.eval(st.core.int.read(*ra), st.core.int.read(*rb));
+    st.core.int.write(*rd, v as i64);
+    branch_tail(st, e2, i2)
+}
+
+/// Fused scalar load + immediate ALU (pointer bumps and loaded-value
+/// arithmetic).
+fn fused_ld_alui(
+    e1: &ExecOp,
+    e2: &ExecOp,
+    st: &mut Machine,
+    i1: &mut DynInst,
+    _i2: &mut DynInst,
+) -> Flow {
+    let ExecOp::Ld { rd, base, offset, size, signed } = e1 else {
+        unreachable!("fused head bound to the wrong ExecOp variant")
+    };
+    let addr = (st.core.int.read(*base) + offset) as u64;
+    let v = if *signed {
+        st.core.mem.read_signed(addr, *size as usize)
+    } else {
+        st.core.mem.read_unsigned(addr, *size as usize) as i64
+    };
+    st.core.int.write(*rd, v);
+    i1.mem = MemList::one(MemAccess { addr, size: *size, kind: MemKind::Load });
+    let ExecOp::AluI { op, rd, ra, imm } = e2 else {
+        unreachable!("fused tail bound to the wrong ExecOp variant")
+    };
+    let v = op.apply(st.core.int.read(*ra), *imm);
+    st.core.int.write(*rd, v);
+    Flow::Next
+}
+
+/// Fused MDMX accumulate + reduce (the tail of a dot-product or SAD chain).
+fn fused_acc_reduce(
+    e1: &ExecOp,
+    e2: &ExecOp,
+    st: &mut Machine,
+    _i1: &mut DynInst,
+    _i2: &mut DynInst,
+) -> Flow {
+    let ExecOp::Acc { op, acc, ma, mb, lane } = e1 else {
+        unreachable!("fused head bound to the wrong ExecOp variant")
+    };
+    let a = st.core.media.read(*ma);
+    let b = st.core.media.read(*mb);
+    op.apply(&mut st.core.accs[acc.index()], a, b, *lane);
+    let ExecOp::ReduceAcc { rd, acc } = e2 else {
+        unreachable!("fused tail bound to the wrong ExecOp variant")
+    };
+    let v = st.core.accs[acc.index()].reduce_sum();
+    st.core.int.write(*rd, v);
+    Flow::Next
+}
+
+/// Fused MOM matrix accumulate + reduce (the row-streaming accumulator
+/// chains of the motion kernels).
+fn fused_momacc_reduce(
+    e1: &ExecOp,
+    e2: &ExecOp,
+    st: &mut Machine,
+    _i1: &mut DynInst,
+    _i2: &mut DynInst,
+) -> Flow {
+    let ExecOp::MomAcc { op, acc, va, vb, lane } = e1 else {
+        unreachable!("fused head bound to the wrong ExecOp variant")
+    };
+    let vl = st.mom.vl();
+    let a = st.mom.matrix.read(*va);
+    let b = st.mom.matrix.read(*vb);
+    let accu = &mut st.mom.accs[acc.index()];
+    for r in 0..vl {
+        op.apply(accu, a.row(r), b.row(r), *lane);
+    }
+    let ExecOp::MomReduceAcc { rd, acc } = e2 else {
+        unreachable!("fused tail bound to the wrong ExecOp variant")
+    };
+    let v = st.mom.accs[acc.index()].reduce_sum();
+    st.core.int.write(*rd, v);
+    Flow::Next
 }
 
 impl DecodedProgram {
     /// Lower `program` into µops (the implementation of [`Program::decode`]).
     pub(crate) fn new(program: &Program) -> Self {
-        let ops = program
+        Self::build(program, true)
+    }
+
+    /// Lower without the superinstruction fusion pass (the implementation of
+    /// [`Program::decode_unfused`]). Execution still uses the threaded
+    /// dispatch table; only the pairing layer is disabled.
+    pub(crate) fn new_unfused(program: &Program) -> Self {
+        Self::build(program, false)
+    }
+
+    fn build(program: &Program, fuse: bool) -> Self {
+        let mut ops: Vec<MicroOp> = program
             .insts()
             .iter()
             .enumerate()
@@ -719,10 +992,47 @@ impl DecodedProgram {
                 for d in inst.dsts() {
                     skeleton = skeleton.with_dst(d);
                 }
-                MicroOp { exec: lower(inst, program), skeleton, is_vector: inst.is_vector() }
+                let exec = lower(inst, program);
+                let handler = dispatch_for(&exec);
+                MicroOp {
+                    exec,
+                    handler,
+                    skeleton,
+                    is_vector: inst.is_vector(),
+                    fused: None,
+                }
             })
             .collect();
+        if fuse {
+            // Greedy non-overlapping pairing. The fused handler lives in the
+            // *head* slot only; the tail slot keeps its unfused form, so a
+            // branch that targets the tail directly still executes it
+            // normally — no control-flow analysis is needed for correctness.
+            let mut pairs = 0u64;
+            let mut i = 0;
+            while i + 1 < ops.len() {
+                if let Some(pair) = fuse_pair(&ops[i].exec, &ops[i + 1].exec) {
+                    let tail = Box::new(FusedTail {
+                        pair,
+                        exec2: ops[i + 1].exec.clone(),
+                        skeleton2: ops[i + 1].skeleton.clone(),
+                        is_vector2: ops[i + 1].is_vector,
+                    });
+                    ops[i].fused = Some(tail);
+                    pairs += 1;
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+            FUSED_PAIRS_TOTAL.fetch_add(pairs, Ordering::Relaxed);
+        }
         Self { ops, isa: program.isa() }
+    }
+
+    /// Number of adjacent µop pairs the fusion pass combined.
+    pub fn fused_pairs(&self) -> usize {
+        self.ops.iter().filter(|op| op.fused.is_some()).count()
     }
 
     /// Number of µops (equal to the static instruction count of the source
@@ -771,9 +1081,20 @@ impl DecodedProgram {
     }
 
     /// [`DecodedProgram::stream`] with an explicit dynamic-instruction
-    /// budget. This is the hot loop of the whole workspace: clone the µop's
-    /// skeleton, patch the vector length, execute the flat op (which patches
-    /// memory accesses and branch outcome in place), emit, advance.
+    /// budget. This is the hot loop of the whole workspace: refresh a chunk
+    /// slot from the µop's skeleton, patch the vector length, call the
+    /// handler resolved at decode time (which patches memory accesses and
+    /// branch outcome in place), advance. Fused pairs take one dispatch for
+    /// two instructions; a pair's tail is only taken when enough fuel
+    /// remains for both halves, so fuel exhaustion falls out identically to
+    /// the one-µop-at-a-time engine.
+    ///
+    /// Graduated instructions accumulate in a 64-slot chunk buffer that is
+    /// flushed to the sink with one [`TraceSink::emit_batch`] call — when the
+    /// chunk fills, when the program ends, and before a fuel error returns —
+    /// so a streaming consumer retires a run of instructions per call frame
+    /// instead of paying one handoff each. Sinks observe exactly the same
+    /// instructions in the same order as one-at-a-time emission.
     ///
     /// # Errors
     ///
@@ -787,24 +1108,97 @@ impl DecodedProgram {
     ) -> Result<usize, ExecError> {
         let mut pc = 0usize;
         let mut executed = 0usize;
+        // Spill-buffer recycled across vector loads/stores (see the MomLd
+        // handler): when a chunk slot holding a spilled MemList is refreshed
+        // for reuse, the heap buffer migrates here and the next vector
+        // memory handler takes it back, so steady-state loops stop
+        // allocating.
+        let mut scratch = MemList::new();
+        // Persistent output slots refreshed from the skeletons in place —
+        // cheaper than cloning a whole DynInst (whose inline memory buffer
+        // dominates the size) per dynamic instruction.
+        let mut chunk: Vec<DynInst> =
+            (0..CHUNK).map(|_| DynInst::new(InstClass::Nop, 0)).collect();
+        // Filled slots not yet flushed; slots `filled..` hold stale contents
+        // from earlier rounds and are refreshed before the handler runs.
+        let mut filled = 0usize;
         while pc < self.ops.len() {
             if executed >= fuel {
+                sink.emit_batch(&chunk[..filled]);
                 return Err(ExecError::FuelExhausted { executed });
             }
             let op = &self.ops[pc];
-            let mut inst = op.skeleton.clone();
-            if op.is_vector {
-                inst.elems = machine.mom.vl().max(1) as u16;
+            if let Some(tail) = &op.fused {
+                if fuel - executed >= 2 {
+                    if filled + 2 > CHUNK {
+                        sink.emit_batch(&chunk[..filled]);
+                        filled = 0;
+                    }
+                    // Fused heads never change VL, so both element counts
+                    // can be patched up front.
+                    let vl = machine.mom.vl().max(1) as u16;
+                    let (head, rest) = chunk[filled..].split_first_mut().expect("chunk has room");
+                    let next = &mut rest[0];
+                    refresh(head, &op.skeleton, if op.is_vector { vl } else { 1 }, &mut scratch);
+                    refresh(next, &tail.skeleton2, if tail.is_vector2 { vl } else { 1 }, &mut scratch);
+                    executed += 2;
+                    let flow = (tail.pair)(&op.exec, &tail.exec2, machine, head, next);
+                    filled += 2;
+                    pc = match flow {
+                        Flow::Next => pc + 2,
+                        Flow::Jump(target) => target as usize,
+                        Flow::Halt => self.ops.len(),
+                    };
+                    continue;
+                }
+                // Not enough fuel for the pair: execute the head alone; the
+                // loop top raises FuelExhausted before the tail, exactly
+                // like the unfused engine would.
             }
+            if filled == CHUNK {
+                sink.emit_batch(&chunk);
+                filled = 0;
+            }
+            let elems = if op.is_vector { machine.mom.vl().max(1) as u16 } else { 1 };
+            let slot = &mut chunk[filled];
+            refresh(slot, &op.skeleton, elems, &mut scratch);
             executed += 1;
-            let flow = op.exec.execute(machine, &mut inst);
-            sink.emit(inst);
+            let flow = (op.handler)(&op.exec, machine, slot, &mut scratch);
+            filled += 1;
             pc = match flow {
                 Flow::Next => pc + 1,
                 Flow::Jump(target) => target as usize,
                 Flow::Halt => self.ops.len(),
             };
         }
+        sink.emit_batch(&chunk[..filled]);
         Ok(executed)
     }
+}
+
+/// Graduation-chunk size: instructions accumulate in this many persistent
+/// slots before one [`TraceSink::emit_batch`] flush. 64 slots amortize the
+/// per-chunk handoff to well under a nanosecond per instruction while the
+/// buffer stays comfortably cache-resident.
+const CHUNK: usize = 64;
+
+/// Reset a persistent output slot to a µop's skeleton: static fields copied,
+/// dynamic fields (memory accesses, branch outcome) cleared, element count
+/// patched. A spilled memory buffer left in the slot by an earlier round is
+/// reclaimed into the interpreter's scratch slot (unless scratch already
+/// holds one), ready for the next vector load/store to take.
+#[inline(always)]
+fn refresh(dst: &mut DynInst, skel: &DynInst, elems: u16, scratch: &mut MemList) {
+    dst.class = skel.class;
+    dst.srcs = skel.srcs;
+    dst.dsts = skel.dsts;
+    if dst.mem.is_spilled() && !scratch.is_spilled() {
+        dst.mem.clear();
+        *scratch = std::mem::take(&mut dst.mem);
+    } else {
+        dst.mem.clear();
+    }
+    dst.branch = None;
+    dst.elems = elems;
+    dst.pc = skel.pc;
 }

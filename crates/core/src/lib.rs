@@ -76,7 +76,7 @@ pub mod ops;
 pub mod program;
 pub mod state;
 
-pub use decoded::DecodedProgram;
+pub use decoded::{fused_pairs_total, DecodedProgram};
 pub use inst::Inst;
 pub use matrix::{
     MatrixRegFile, MatrixValue, MomAccReg, MomReg, MAX_VL, MOM_ROWS, NUM_MOM_ACCS, NUM_MOM_REGS,

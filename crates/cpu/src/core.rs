@@ -34,8 +34,8 @@
 use crate::config::CoreConfig;
 use crate::predictor::BranchPredictor;
 use crate::probe::{NoProbe, Probe, StallCause};
-use mom_isa::trace::{ArchReg, DynInst, InstClass, RegClass, Trace, TraceSink};
-use mom_mem::MemorySystem;
+use mom_isa::trace::{ArchReg, DynInst, InstClass, MemAccess, RegClass, Trace, TraceSink};
+use mom_mem::{AccessCause, MemorySystem, PerfectMemory};
 
 /// Execution latencies per functional-unit class, in cycles.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -108,17 +108,34 @@ impl SimResult {
     }
 }
 
+/// Largest functional-unit pool any configuration declares (the 8-way
+/// machine's 4 media units). Pools are stored inline at this size so the
+/// per-instruction reservation scan never chases a heap pointer.
+const MAX_UNITS: usize = 4;
+
 /// Pool of functional units of one kind: tracks when each unit is next free.
 #[derive(Debug, Clone)]
 struct UnitPool {
-    simple_free: Vec<u64>,
-    complex_free: Vec<u64>,
+    simple_free: [u64; MAX_UNITS],
+    complex_free: [u64; MAX_UNITS],
+    n_simple: usize,
+    n_complex: usize,
     lanes: usize,
 }
 
 impl UnitPool {
     fn new(simple: usize, complex: usize, lanes: usize) -> Self {
-        Self { simple_free: vec![0; simple], complex_free: vec![0; complex], lanes: lanes.max(1) }
+        assert!(
+            simple <= MAX_UNITS && complex <= MAX_UNITS,
+            "functional-unit pools larger than {MAX_UNITS} are not supported"
+        );
+        Self {
+            simple_free: [0; MAX_UNITS],
+            complex_free: [0; MAX_UNITS],
+            n_simple: simple,
+            n_complex: complex,
+            lanes: lanes.max(1),
+        }
     }
 
     /// Mark every unit idle again (the machine-reuse `reset()` path).
@@ -130,26 +147,35 @@ impl UnitPool {
     /// Reserve a unit able to execute an operation of the given complexity,
     /// starting no earlier than `earliest`, for `occupancy` cycles. Returns
     /// the actual start cycle.
+    ///
+    /// Always inlined: the pools are at most [`MAX_UNITS`] entries and the
+    /// call otherwise stays opaque in `feed`'s already-large frame.
+    #[inline(always)]
     fn reserve(&mut self, earliest: u64, complex_op: bool, occupancy: u64) -> u64 {
         // Complex ops may only use complex-capable units; simple ops prefer
         // whichever unit frees first (ties go to the simple pool, then the
         // lower index — the first minimum in scan order). No per-call
         // allocation: this runs once per simulated instruction.
-        let mut best: Option<(bool, usize, u64)> = None;
+        let mut in_complex = true;
+        let mut idx = usize::MAX;
+        let mut free = u64::MAX;
         if !complex_op {
-            for (i, &free) in self.simple_free.iter().enumerate() {
-                if best.is_none_or(|(_, _, b)| free < b) {
-                    best = Some((false, i, free));
+            for (i, &f) in self.simple_free[..self.n_simple].iter().enumerate() {
+                if f < free {
+                    in_complex = false;
+                    idx = i;
+                    free = f;
                 }
             }
         }
-        for (i, &free) in self.complex_free.iter().enumerate() {
-            if best.is_none_or(|(_, _, b)| free < b) {
-                best = Some((true, i, free));
+        for (i, &f) in self.complex_free[..self.n_complex].iter().enumerate() {
+            if f < free {
+                in_complex = true;
+                idx = i;
+                free = f;
             }
         }
-        let (in_complex, idx, free) =
-            best.expect("functional-unit pool must not be empty for issued class");
+        assert!(idx != usize::MAX, "functional-unit pool must not be empty for issued class");
         let start = earliest.max(free);
         let until = start + occupancy;
         if in_complex {
@@ -227,17 +253,6 @@ fn reg_slot(reg: ArchReg) -> usize {
         RegClass::MomAcc => 5,
     };
     class * 64 + (reg.index as usize % 64)
-}
-
-fn class_idx(class: RegClass) -> usize {
-    match class {
-        RegClass::Int => 0,
-        RegClass::Fp => 1,
-        RegClass::Media => 2,
-        RegClass::Acc => 3,
-        RegClass::Mom => 4,
-        RegClass::MomAcc => 5,
-    }
 }
 
 /// The out-of-order core model.
@@ -423,6 +438,10 @@ pub struct SimState {
     fetch_break_floor: u64,
     fed: usize,
     last_commit: u64,
+    /// Fetch cycle of the most recent instruction — always equal to
+    /// `fetches.nth_back(1)`, kept as a scalar so the program-order floor
+    /// does not need a ring read.
+    last_fetch: u64,
     result: SimResult,
 }
 
@@ -449,6 +468,7 @@ impl SimState {
             fetch_break_floor: 0,
             fed: 0,
             last_commit: 0,
+            last_fetch: 0,
             result: SimResult::default(),
         }
     }
@@ -474,6 +494,7 @@ impl SimState {
         self.fetch_break_floor = 0;
         self.fed = 0;
         self.last_commit = 0;
+        self.last_fetch = 0;
         self.result = SimResult::default();
     }
 
@@ -497,8 +518,8 @@ impl SimState {
     /// `OooCore::stream_with` asserts this.
     pub fn matches_config(&self, config: &CoreConfig) -> bool {
         let pool_matches = |pool: &UnitPool, spec: &crate::config::FuPool| {
-            pool.simple_free.len() == spec.simple
-                && pool.complex_free.len() == spec.complex
+            pool.n_simple == spec.simple
+                && pool.n_complex == spec.complex
                 && pool.lanes == spec.lanes.max(1)
         };
         self.commits.capacity() == config.rob_size.max(1)
@@ -569,9 +590,51 @@ impl StateSlot<'_> {
 pub struct SimStream<'a, P: Probe = NoProbe> {
     config: &'a CoreConfig,
     latencies: &'a Latencies,
-    memory: &'a mut dyn MemorySystem,
+    memory: MemRef<'a>,
     state: StateSlot<'a>,
     probe: P,
+}
+
+/// The stream's handle on its memory system, devirtualized once at
+/// construction via [`MemorySystem::as_perfect`]: the perfect model — every
+/// kernel-level experiment and the throughput stress bench — resolves to the
+/// `Perfect` arm, whose inlined port check replaces two virtual calls per
+/// memory instruction in the retire loop. Any other model goes through the
+/// trait object exactly as before.
+#[derive(Debug)]
+enum MemRef<'a> {
+    Perfect(&'a mut PerfectMemory),
+    Other(&'a mut dyn MemorySystem),
+}
+
+impl<'a> MemRef<'a> {
+    fn new(memory: &'a mut dyn MemorySystem) -> Self {
+        // Probe with a short-lived borrow first: a direct `match` on
+        // `as_perfect()` would hold its borrow into the `None` arm and
+        // conflict with handing `memory` itself to `Other`.
+        if memory.as_perfect().is_some() {
+            MemRef::Perfect(memory.as_perfect().expect("as_perfect just returned Some"))
+        } else {
+            MemRef::Other(memory)
+        }
+    }
+
+    #[inline(always)]
+    fn access(&mut self, cycle: u64, accesses: &[MemAccess], vector: bool) -> Option<u64> {
+        match self {
+            MemRef::Perfect(m) => m.access(cycle, accesses, vector),
+            MemRef::Other(m) => m.access(cycle, accesses, vector),
+        }
+    }
+
+    #[inline(always)]
+    fn last_access_cause(&self) -> AccessCause {
+        match self {
+            // The perfect model reports every access at the fixed latency.
+            MemRef::Perfect(_) => AccessCause::L1,
+            MemRef::Other(m) => m.last_access_cause(),
+        }
+    }
 }
 
 impl<'a, P: Probe> SimStream<'a, P> {
@@ -581,7 +644,13 @@ impl<'a, P: Probe> SimStream<'a, P> {
         memory: &'a mut dyn MemorySystem,
         probe: P,
     ) -> Self {
-        Self { state: StateSlot::Owned(Box::new(SimState::new(config))), config, latencies, memory, probe }
+        Self {
+            state: StateSlot::Owned(Box::new(SimState::new(config))),
+            config,
+            latencies,
+            memory: MemRef::new(memory),
+            probe,
+        }
     }
 
     fn with_state(
@@ -598,7 +667,13 @@ impl<'a, P: Probe> SimStream<'a, P> {
             state.matches_config(config),
             "SimState was built for a different core configuration"
         );
-        Self { state: StateSlot::Borrowed(state), config, latencies, memory, probe }
+        Self {
+            state: StateSlot::Borrowed(state),
+            config,
+            latencies,
+            memory: MemRef::new(memory),
+            probe,
+        }
     }
 
     /// Total ring-buffer entries retained — the simulator's bounded lookback
@@ -627,15 +702,52 @@ impl<'a, P: Probe> SimStream<'a, P> {
     /// Panics if the memory system refuses a request for an implausibly long
     /// time (a broken memory model, not a property of the workload).
     pub fn feed(&mut self, inst: &DynInst) {
-        let cfg = self.config;
-        let lat = self.latencies;
-        let st = self.state.get_mut();
+        Self::feed_one(
+            self.config,
+            self.latencies,
+            &mut self.memory,
+            &mut self.probe,
+            self.state.get_mut(),
+            inst,
+        );
+    }
+
+    /// [`SimStream::feed`]'s body, over pre-split borrows of the stream's
+    /// parts. Always inlined so that the chunked [`TraceSink::emit_batch`]
+    /// loop below gets its own copy: the state, memory and probe arrive as
+    /// distinct `&mut` references resolved once per chunk (no per-call
+    /// [`StateSlot`] match, and LLVM sees they cannot alias), so the
+    /// cross-instruction scalars (`last_fetch`, `last_commit`, `fed`, the
+    /// floors) can live in registers across iterations instead of
+    /// round-tripping through `SimState` on every instruction.
+    #[inline(always)]
+    fn feed_one(
+        cfg: &CoreConfig,
+        lat: &Latencies,
+        memory: &mut MemRef<'_>,
+        probe: &mut P,
+        st: &mut SimState,
+        inst: &DynInst,
+    ) {
         let i = st.fed;
+
+        // Destinations are consulted three times per instruction (rename
+        // check, writeback, per-class commit history); resolve the register
+        // slots once. The class index is recoverable as `slot >> 6`.
+        let mut dest_slots = [0usize; mom_isa::trace::MAX_DSTS];
+        let mut ndests = 0usize;
+        for d in inst.dests() {
+            dest_slots[ndests] = reg_slot(d);
+            ndests += 1;
+        }
+        let dest_slots = &dest_slots[..ndests];
 
         // ---------------- Fetch ----------------
         let width_floor = if i >= cfg.way { st.fetches.nth_back(cfg.way) + 1 } else { 0 };
-        // Program order within a fetch group.
-        let order_floor = if i > 0 { st.fetches.nth_back(1) } else { 0 };
+        // Program order within a fetch group: the previous instruction's
+        // fetch cycle, tracked as a scalar (== `fetches.nth_back(1)`, and 0
+        // before anything was fetched — exactly the old `i > 0` guard).
+        let order_floor = st.last_fetch;
         let f = st
             .redirect_floor
             .max(st.fetch_break_floor)
@@ -647,6 +759,7 @@ impl<'a, P: Probe> SimStream<'a, P> {
             cause = StallCause::Redirect;
         }
         st.fetches.push(f);
+        st.last_fetch = f;
         st.fetch_break_floor = 0;
 
         // ---------------- Dispatch (rename + ROB/LSQ/phys-reg allocation) ----------------
@@ -670,9 +783,11 @@ impl<'a, P: Probe> SimStream<'a, P> {
                 }
             }
         }
-        for d in inst.dests() {
-            let writers = &st.class_writers[class_idx(d.class)];
-            let headroom = cfg.rename_headroom(d.class);
+        for &slot in dest_slots {
+            // The writer history's window is exactly the rename headroom for
+            // its class (`matches_config` pins this).
+            let writers = &st.class_writers[slot >> 6];
+            let headroom = writers.capacity();
             if writers.len() >= headroom {
                 let rename_floor = writers.nth_back(headroom);
                 if rename_floor > dispatch {
@@ -685,18 +800,23 @@ impl<'a, P: Probe> SimStream<'a, P> {
         }
 
         // ---------------- Operand readiness ----------------
+        // One pass tracking the binding producer; the recorded slot is the
+        // first source reaching the maximum, which matches updating on every
+        // strict improvement.
         let mut ready = dispatch + 1;
+        let mut binding_slot = usize::MAX;
         for s in inst.sources() {
             let slot = reg_slot(s);
             let avail = st.reg_ready[slot];
             if avail > ready {
                 ready = avail;
-                if P::ENABLED {
-                    // Charge the producer's recorded cause: a chain of DRAM
-                    // misses reads as DRAM time, not dependence time.
-                    cause = self.probe.reg_cause(slot);
-                }
+                binding_slot = slot;
             }
+        }
+        if P::ENABLED && binding_slot != usize::MAX {
+            // Charge the producer's recorded cause: a chain of DRAM
+            // misses reads as DRAM time, not dependence time.
+            cause = probe.reg_cause(binding_slot);
         }
 
         // ---------------- Execute ----------------
@@ -707,7 +827,7 @@ impl<'a, P: Probe> SimStream<'a, P> {
                 let mut t = ready;
                 let mut retries = 0u64;
                 let done = loop {
-                    match self.memory.access(t, &inst.mem, vector) {
+                    match memory.access(t, &inst.mem, vector) {
                         Some(done) => break done,
                         None => {
                             retries += 1;
@@ -724,7 +844,7 @@ impl<'a, P: Probe> SimStream<'a, P> {
                 if P::ENABLED {
                     // Port-stall retries only shift the access's start, so
                     // they fold into the completed access's dominant level.
-                    cause = StallCause::from_access(self.memory.last_access_cause());
+                    cause = StallCause::from_access(memory.last_access_cause());
                 }
                 done
             }
@@ -768,8 +888,15 @@ impl<'a, P: Probe> SimStream<'a, P> {
             }
             InstClass::MediaSimple | InstClass::MediaComplex => {
                 let complex = inst.class == InstClass::MediaComplex;
-                let occupancy =
-                    (inst.elems as u64).div_ceil(st.media_units.lanes as u64).max(1);
+                // Every Table 1 configuration has 1- or 2-lane media units;
+                // dividing by a runtime lane count would put a hardware
+                // divide on every media instruction, so special-case both.
+                let elems = (inst.elems as u64).max(1);
+                let occupancy = match st.media_units.lanes {
+                    1 => elems,
+                    2 => elems.div_ceil(2),
+                    lanes => elems.div_ceil(lanes as u64),
+                };
                 let start = st.media_units.reserve(ready, complex, occupancy);
                 if P::ENABLED && start > ready {
                     cause = StallCause::UnitMedia;
@@ -780,21 +907,18 @@ impl<'a, P: Probe> SimStream<'a, P> {
         };
 
         // ---------------- Writeback ----------------
-        for d in inst.dests() {
-            let slot = reg_slot(d);
+        for &slot in dest_slots {
             st.reg_ready[slot] = complete;
             if P::ENABLED {
-                self.probe.set_reg_cause(slot, cause);
+                probe.set_reg_cause(slot, cause);
             }
         }
 
         // ---------------- Commit ----------------
-        let mut c = complete + 1;
-        if i > 0 {
-            // In-order commit: joining the previous commit cycle never adds a
-            // delta, so it never changes the attributed cause.
-            c = c.max(st.commits.nth_back(1));
-        }
+        // In-order commit: joining the previous commit cycle never adds a
+        // delta, so it never changes the attributed cause. `last_commit` is
+        // that cycle (0 before anything committed, where the max is a no-op).
+        let mut c = (complete + 1).max(st.last_commit);
         if i >= cfg.way {
             let width_limit = st.commits.nth_back(cfg.way) + 1;
             if width_limit > c {
@@ -805,11 +929,11 @@ impl<'a, P: Probe> SimStream<'a, P> {
             }
         }
         if P::ENABLED {
-            self.probe.on_commit(c, c - st.last_commit, cause);
+            probe.on_commit(c, c - st.last_commit, cause);
         }
         st.commits.push(c);
-        for d in inst.dests() {
-            st.class_writers[class_idx(d.class)].push(c);
+        for &slot in dest_slots {
+            st.class_writers[slot >> 6].push(c);
         }
         if is_mem {
             st.mem_commits.push(c);
@@ -846,6 +970,23 @@ impl<'a, P: Probe> SimStream<'a, P> {
 impl<P: Probe> TraceSink for SimStream<'_, P> {
     fn emit(&mut self, inst: DynInst) {
         self.feed(&inst);
+    }
+
+    fn emit_ref(&mut self, inst: &DynInst) {
+        self.feed(inst);
+    }
+
+    fn emit_batch(&mut self, insts: &[DynInst]) {
+        // Retiring the whole chunk in one frame keeps this stream's state hot
+        // (and the branchy retire path's predictor history coherent) instead
+        // of interleaving with the interpreter — or, under a fan-out, with
+        // the other simulators — on every instruction. The stream's parts
+        // are split into distinct borrows once per chunk, not once per
+        // instruction.
+        let st = self.state.get_mut();
+        for inst in insts {
+            Self::feed_one(self.config, self.latencies, &mut self.memory, &mut self.probe, st, inst);
+        }
     }
 }
 

@@ -42,6 +42,7 @@ impl BimodalPredictor {
     }
 
     /// Update the counter with the actual outcome.
+    #[inline]
     pub fn update(&mut self, pc: u64, taken: bool) {
         let idx = self.index(pc);
         let c = &mut self.counters[idx];
@@ -116,6 +117,7 @@ impl BranchPredictor {
     /// Predict the branch at `pc` and update the tables with the actual
     /// outcome. Returns `true` if the prediction was correct (fetch continues
     /// uninterrupted), `false` on a misprediction.
+    #[inline]
     pub fn predict_and_update(&mut self, pc: u64, conditional: bool, taken: bool, target: u64) -> bool {
         self.predictions += 1;
         let dir_prediction = if conditional { self.bimodal.predict(pc) } else { true };

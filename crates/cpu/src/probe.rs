@@ -298,9 +298,14 @@ const INITIAL_WINDOW: u64 = 1024;
 #[derive(Debug, Clone)]
 pub struct AttributionProbe {
     breakdown: StallBreakdown,
-    reg_cause: Box<[StallCause; 6 * 64]>,
+    reg_cause: [StallCause; 6 * 64],
     window_cycles: u64,
-    windows: Vec<WindowAcc>,
+    /// Window accumulators, inline at the maximum count (`n_windows` are
+    /// live). Inline storage keeps the once-per-instruction `on_commit`
+    /// update free of pointer chases; at ~3 KiB the probe is still cheap to
+    /// move around.
+    windows: [WindowAcc; MAX_WINDOWS],
+    n_windows: usize,
 }
 
 impl Default for AttributionProbe {
@@ -314,9 +319,10 @@ impl AttributionProbe {
     pub fn new() -> Self {
         Self {
             breakdown: StallBreakdown::default(),
-            reg_cause: Box::new([StallCause::Base; 6 * 64]),
+            reg_cause: [StallCause::Base; 6 * 64],
             window_cycles: INITIAL_WINDOW,
-            windows: Vec::new(),
+            windows: [WindowAcc::EMPTY; MAX_WINDOWS],
+            n_windows: 0,
         }
     }
 
@@ -329,8 +335,7 @@ impl AttributionProbe {
     pub fn intervals(&self) -> IntervalStats {
         IntervalStats {
             window_cycles: self.window_cycles,
-            windows: self
-                .windows
+            windows: self.windows[..self.n_windows]
                 .iter()
                 .map(|w| IntervalWindow { committed: w.committed, cycles: w.total(), top: w.top() })
                 .collect(),
@@ -355,21 +360,33 @@ impl AttributionProbe {
         ProbeReport { breakdown: self.breakdown, intervals }
     }
 
-    fn window_index(&mut self, commit_cycle: u64) -> usize {
-        let mut idx = (commit_cycle / self.window_cycles) as usize;
+    /// Slow path of [`Probe::on_commit`]: the commit cycle falls past the
+    /// last materialized window, so extend the timeline (and pair-merge
+    /// whenever it would outgrow `MAX_WINDOWS`). Runs at most once per 1024
+    /// committed cycles — keeping it out of line lets the per-instruction
+    /// hot path inline into `feed`.
+    #[cold]
+    #[inline(never)]
+    fn grow_windows(&mut self, commit_cycle: u64) -> usize {
+        // `window_cycles` is always 1024·2^k, so the division is a shift.
+        let mut idx = (commit_cycle >> self.window_cycles.trailing_zeros()) as usize;
         while idx >= MAX_WINDOWS {
             // Pair-merge: halve the resolution, keep the history exact.
-            let merged = self.windows.len().div_ceil(2);
+            let merged = self.n_windows.div_ceil(2);
             for i in 0..merged {
                 let mut w = self.windows[2 * i];
-                if let Some(odd) = self.windows.get(2 * i + 1) {
-                    w.merge(odd);
+                if 2 * i + 1 < self.n_windows {
+                    w.merge(&self.windows[2 * i + 1]);
                 }
                 self.windows[i] = w;
             }
-            self.windows.truncate(merged);
+            self.windows[merged..self.n_windows].fill(WindowAcc::EMPTY);
+            self.n_windows = merged;
             self.window_cycles *= 2;
-            idx = (commit_cycle / self.window_cycles) as usize;
+            idx = (commit_cycle >> self.window_cycles.trailing_zeros()) as usize;
+        }
+        if self.n_windows <= idx {
+            self.n_windows = idx + 1;
         }
         idx
     }
@@ -378,20 +395,23 @@ impl AttributionProbe {
 impl Probe for AttributionProbe {
     const ENABLED: bool = true;
 
+    #[inline]
     fn reg_cause(&self, slot: usize) -> StallCause {
         self.reg_cause[slot]
     }
 
+    #[inline]
     fn set_reg_cause(&mut self, slot: usize, cause: StallCause) {
         self.reg_cause[slot] = cause;
     }
 
+    #[inline]
     fn on_commit(&mut self, commit_cycle: u64, delta: u64, cause: StallCause) {
         self.breakdown.total_cycles = commit_cycle;
         self.breakdown.add(cause, delta);
-        let idx = self.window_index(commit_cycle);
-        if self.windows.len() <= idx {
-            self.windows.resize(idx + 1, WindowAcc::EMPTY);
+        let mut idx = (commit_cycle >> self.window_cycles.trailing_zeros()) as usize;
+        if idx >= self.n_windows {
+            idx = self.grow_windows(commit_cycle);
         }
         let w = &mut self.windows[idx];
         w.committed += 1;

@@ -1,0 +1,167 @@
+//! x86_64 SSE2 backends for the packed lane kernels (`simd` cargo feature).
+//!
+//! Each function here mirrors one SWAR kernel family in [`crate::swar`] and
+//! must be byte-identical to it — the differential proptests in
+//! `tests/proptest_swar.rs` run against whichever backend is active, so a
+//! `--features simd` test run pins these paths against the scalar reference.
+//!
+//! SSE2 is part of the x86_64 baseline ABI, so no runtime feature detection
+//! is needed. Lane/saturation combinations SSE2 has no instruction for
+//! (32-bit saturating adds, signed averages, unsigned 8-bit compares, …)
+//! fall back to the portable SWAR kernels, which keeps every combination
+//! exact without emulating missing instructions out of multi-op sequences.
+
+use core::arch::x86_64::{
+    __m128i, _mm_add_epi16, _mm_add_epi32, _mm_add_epi8, _mm_adds_epi16, _mm_adds_epi8,
+    _mm_adds_epu16, _mm_adds_epu8, _mm_avg_epu16, _mm_avg_epu8, _mm_cmpeq_epi16, _mm_cmpeq_epi32,
+    _mm_cmpeq_epi8, _mm_cmpgt_epi16, _mm_cmpgt_epi32, _mm_cmpgt_epi8, _mm_cvtsi128_si64,
+    _mm_cvtsi64_si128, _mm_max_epi16, _mm_max_epu8, _mm_min_epi16, _mm_min_epu8, _mm_sad_epu8,
+    _mm_set1_epi16, _mm_set1_epi32, _mm_set1_epi8, _mm_sub_epi16, _mm_sub_epi32, _mm_sub_epi8,
+    _mm_subs_epi16, _mm_subs_epi8, _mm_subs_epu16, _mm_subs_epu8, _mm_xor_si128,
+};
+
+use crate::packed::{by_width, Lane, Saturation};
+
+#[inline(always)]
+fn load(x: u64) -> __m128i {
+    // SAFETY: SSE2 is unconditionally available on x86_64.
+    unsafe { _mm_cvtsi64_si128(x as i64) }
+}
+
+#[inline(always)]
+fn store(v: __m128i) -> u64 {
+    // SAFETY: SSE2 is unconditionally available on x86_64.
+    unsafe { _mm_cvtsi128_si64(v) as u64 }
+}
+
+/// Lane-wise add, wrapping or saturating. 32-bit saturation has no SSE2
+/// instruction and falls back to SWAR.
+pub fn add(a: u64, b: u64, lane: Lane, sat: Saturation) -> u64 {
+    let (va, vb) = (load(a), load(b));
+    // SAFETY: SSE2 baseline.
+    unsafe {
+        match (sat, lane) {
+            (Saturation::Wrapping, Lane::U8 | Lane::I8) => store(_mm_add_epi8(va, vb)),
+            (Saturation::Wrapping, Lane::U16 | Lane::I16) => store(_mm_add_epi16(va, vb)),
+            (Saturation::Wrapping, Lane::U32 | Lane::I32) => store(_mm_add_epi32(va, vb)),
+            (Saturation::Saturating, Lane::U8) => store(_mm_adds_epu8(va, vb)),
+            (Saturation::Saturating, Lane::I8) => store(_mm_adds_epi8(va, vb)),
+            (Saturation::Saturating, Lane::U16) => store(_mm_adds_epu16(va, vb)),
+            (Saturation::Saturating, Lane::I16) => store(_mm_adds_epi16(va, vb)),
+            (Saturation::Saturating, Lane::U32) => crate::swar::add_sat_u::<32>(a, b),
+            (Saturation::Saturating, Lane::I32) => crate::swar::add_sat_s::<32>(a, b),
+        }
+    }
+}
+
+/// Lane-wise subtract, wrapping or saturating. 32-bit saturation falls back
+/// to SWAR.
+pub fn sub(a: u64, b: u64, lane: Lane, sat: Saturation) -> u64 {
+    let (va, vb) = (load(a), load(b));
+    // SAFETY: SSE2 baseline.
+    unsafe {
+        match (sat, lane) {
+            (Saturation::Wrapping, Lane::U8 | Lane::I8) => store(_mm_sub_epi8(va, vb)),
+            (Saturation::Wrapping, Lane::U16 | Lane::I16) => store(_mm_sub_epi16(va, vb)),
+            (Saturation::Wrapping, Lane::U32 | Lane::I32) => store(_mm_sub_epi32(va, vb)),
+            (Saturation::Saturating, Lane::U8) => store(_mm_subs_epu8(va, vb)),
+            (Saturation::Saturating, Lane::I8) => store(_mm_subs_epi8(va, vb)),
+            (Saturation::Saturating, Lane::U16) => store(_mm_subs_epu16(va, vb)),
+            (Saturation::Saturating, Lane::I16) => store(_mm_subs_epi16(va, vb)),
+            (Saturation::Saturating, Lane::U32) => crate::swar::sub_sat_u::<32>(a, b),
+            (Saturation::Saturating, Lane::I32) => crate::swar::sub_sat_s::<32>(a, b),
+        }
+    }
+}
+
+/// Lane-wise rounding average. SSE2 only has the unsigned 8/16-bit forms
+/// (`pavgb`/`pavgw`); everything else falls back to SWAR.
+pub fn avg(a: u64, b: u64, lane: Lane) -> u64 {
+    // SAFETY: SSE2 baseline.
+    unsafe {
+        match lane {
+            Lane::U8 => store(_mm_avg_epu8(load(a), load(b))),
+            Lane::U16 => store(_mm_avg_epu16(load(a), load(b))),
+            _ if lane.is_signed() => by_width!(lane, avg_s(a, b)),
+            _ => by_width!(lane, avg_u(a, b)),
+        }
+    }
+}
+
+/// Lane-wise minimum. SSE2 covers unsigned bytes (`pminub`) and signed
+/// halfwords (`pminsw`); the rest falls back to SWAR.
+pub fn min(a: u64, b: u64, lane: Lane) -> u64 {
+    // SAFETY: SSE2 baseline.
+    unsafe {
+        match lane {
+            Lane::U8 => store(_mm_min_epu8(load(a), load(b))),
+            Lane::I16 => store(_mm_min_epi16(load(a), load(b))),
+            _ if lane.is_signed() => by_width!(lane, min_s(a, b)),
+            _ => by_width!(lane, min_u(a, b)),
+        }
+    }
+}
+
+/// Lane-wise maximum. SSE2 covers unsigned bytes (`pmaxub`) and signed
+/// halfwords (`pmaxsw`); the rest falls back to SWAR.
+pub fn max(a: u64, b: u64, lane: Lane) -> u64 {
+    // SAFETY: SSE2 baseline.
+    unsafe {
+        match lane {
+            Lane::U8 => store(_mm_max_epu8(load(a), load(b))),
+            Lane::I16 => store(_mm_max_epi16(load(a), load(b))),
+            _ if lane.is_signed() => by_width!(lane, max_s(a, b)),
+            _ => by_width!(lane, max_u(a, b)),
+        }
+    }
+}
+
+/// Sum of absolute differences reduced to one scalar. Unsigned bytes use
+/// `psadbw` (the upper 8 register bytes are zero in both operands, so they
+/// contribute nothing); other lane types fall back to SWAR.
+pub fn sad(a: u64, b: u64, lane: Lane) -> i64 {
+    match lane {
+        // SAFETY: SSE2 baseline.
+        Lane::U8 => unsafe { store(_mm_sad_epu8(load(a), load(b))) as i64 },
+        _ if lane.is_signed() => by_width!(lane, sad_s(a, b)),
+        _ => by_width!(lane, sad_u(a, b)),
+    }
+}
+
+/// Lane-wise equality mask. Equality ignores signedness, so `pcmpeq*`
+/// covers every lane type.
+pub fn cmp_eq(a: u64, b: u64, lane: Lane) -> u64 {
+    let (va, vb) = (load(a), load(b));
+    // SAFETY: SSE2 baseline.
+    unsafe {
+        match lane.bits() {
+            8 => store(_mm_cmpeq_epi8(va, vb)),
+            16 => store(_mm_cmpeq_epi16(va, vb)),
+            _ => store(_mm_cmpeq_epi32(va, vb)),
+        }
+    }
+}
+
+/// Lane-wise greater-than mask. SSE2 only compares signed; unsigned lanes
+/// are biased by the sign bit first (`x ^ MIN_SIGNED` preserves order), the
+/// same trick the SWAR kernels use.
+pub fn cmp_gt(a: u64, b: u64, lane: Lane) -> u64 {
+    let (mut va, mut vb) = (load(a), load(b));
+    // SAFETY: SSE2 baseline.
+    unsafe {
+        if !lane.is_signed() {
+            let bias = match lane.bits() {
+                8 => _mm_set1_epi8(i8::MIN),
+                16 => _mm_set1_epi16(i16::MIN),
+                _ => _mm_set1_epi32(i32::MIN),
+            };
+            va = _mm_xor_si128(va, bias);
+            vb = _mm_xor_si128(vb, bias);
+        }
+        match lane.bits() {
+            8 => store(_mm_cmpgt_epi8(va, vb)),
+            16 => store(_mm_cmpgt_epi16(va, vb)),
+            _ => store(_mm_cmpgt_epi32(va, vb)),
+        }
+    }
+}

@@ -1,0 +1,409 @@
+//! SWAR ("SIMD within a register") lane kernels over packed `u64` words.
+//!
+//! The scalar [`crate::packed::PackedWord`] reference operates one lane at a
+//! time: extract each lane to `i64`, apply the operation, truncate back. That
+//! is the interpreter's innermost loop — one such kernel per matrix row per
+//! MOM instruction — and for the constant-trip-count ops (add, sub, min, max,
+//! average, compares, shifts, absolute difference, reductions) the whole
+//! 8-lane loop collapses into a handful of 64-bit bitwise operations using
+//! classic carry-partitioned arithmetic.
+//!
+//! Every function here is **exactly** lane-wise equivalent to the scalar
+//! reference, including wrapping truncation, saturation boundaries, signed
+//! bias and rounding direction; the equivalence is pinned by unit tests below
+//! and by the exhaustive differential proptests in
+//! `crates/isa/tests/proptest_swar.rs`. The kernels are width-generic over
+//! `BITS` ∈ {8, 16, 32} so the three packed layouts share one implementation,
+//! monomorphized with all masks constant-folded.
+//!
+//! Conventions used throughout (for lane width `B`):
+//!
+//! * `L`  — a 1 in the least-significant bit of every lane (`rep(1)`).
+//! * `H`  — a 1 in the sign (most-significant) bit of every lane.
+//! * `NH` — the complement of `H`: all bits of every lane except the sign.
+//! * "H-mask" — a word whose per-lane sign bit encodes a boolean.
+//! * "full mask" — a word whose lanes are all-ones or all-zero.
+
+/// Replicate the lane-wide value `v` (which must fit in `BITS` bits) into
+/// every lane of a `u64`.
+pub const fn rep<const BITS: u32>(v: u64) -> u64 {
+    let lane_max = if BITS == 64 { u64::MAX } else { (1u64 << BITS) - 1 };
+    v * (u64::MAX / lane_max)
+}
+
+/// A 1 in the sign bit of every lane.
+pub const fn high<const BITS: u32>() -> u64 {
+    rep::<BITS>(1u64 << (BITS - 1))
+}
+
+/// Every bit of every lane except the sign bit.
+pub const fn not_high<const BITS: u32>() -> u64 {
+    !high::<BITS>()
+}
+
+/// Expand an H-mask (per-lane boolean in the sign bit) to a full mask
+/// (per-lane all-ones / all-zero).
+///
+/// The shift moves each lane's sign bit to its least-significant bit; the
+/// multiply by the lane-max constant then smears it across the lane. The
+/// partial products never cross a lane boundary because each contribution is
+/// `lane_max << (i * BITS)`.
+pub const fn spread<const BITS: u32>(h_mask: u64) -> u64 {
+    let lane_max = (1u64 << (BITS - 1) << 1).wrapping_sub(1);
+    (h_mask >> (BITS - 1)).wrapping_mul(lane_max)
+}
+
+/// H-mask of lanes that are non-zero (exact: no false positives in any lane).
+///
+/// `(x & NH) + NH` carries into the sign bit exactly when the low `B-1` bits
+/// of the lane are non-zero; OR-ing `x` itself folds in the lane's own sign
+/// bit.
+pub const fn nonzero_h<const BITS: u32>(x: u64) -> u64 {
+    let nh = not_high::<BITS>();
+    (((x & nh) + nh) | x) & high::<BITS>()
+}
+
+/// Lane-wise wrapping addition.
+pub const fn add_wrap<const BITS: u32>(a: u64, b: u64) -> u64 {
+    let nh = not_high::<BITS>();
+    ((a & nh) + (b & nh)) ^ ((a ^ b) & high::<BITS>())
+}
+
+/// Lane-wise wrapping subtraction (`a - b`).
+pub const fn sub_wrap<const BITS: u32>(a: u64, b: u64) -> u64 {
+    let h = high::<BITS>();
+    ((a | h) - (b & !h)) ^ ((a ^ !b) & h)
+}
+
+/// H-mask of lanes whose **unsigned** addition carried out (overflowed).
+const fn add_carry_h<const BITS: u32>(a: u64, b: u64, sum: u64) -> u64 {
+    ((a & b) | ((a ^ b) & !sum)) & high::<BITS>()
+}
+
+/// H-mask of lanes whose **unsigned** subtraction borrowed (went negative).
+const fn sub_borrow_h<const BITS: u32>(a: u64, b: u64, diff: u64) -> u64 {
+    ((!a & b) | (!(a ^ b) & diff)) & high::<BITS>()
+}
+
+/// Lane-wise unsigned saturating addition (clamps to lane max).
+pub const fn add_sat_u<const BITS: u32>(a: u64, b: u64) -> u64 {
+    let sum = add_wrap::<BITS>(a, b);
+    sum | spread::<BITS>(add_carry_h::<BITS>(a, b, sum))
+}
+
+/// Lane-wise unsigned saturating subtraction (clamps at zero).
+pub const fn sub_sat_u<const BITS: u32>(a: u64, b: u64) -> u64 {
+    let diff = sub_wrap::<BITS>(a, b);
+    diff & !spread::<BITS>(sub_borrow_h::<BITS>(a, b, diff))
+}
+
+/// The per-lane saturation value selected by the sign of `a`: lane max
+/// (`0x7F…`) where `a`'s lane is non-negative, lane min (`0x80…`) where it is
+/// negative. Adding the sign bit to `0x7F…` cannot carry across lanes.
+const fn signed_sat_word<const BITS: u32>(a: u64) -> u64 {
+    rep::<BITS>((1u64 << (BITS - 1)) - 1) + ((a & high::<BITS>()) >> (BITS - 1))
+}
+
+/// Lane-wise signed saturating addition.
+pub const fn add_sat_s<const BITS: u32>(a: u64, b: u64) -> u64 {
+    let sum = add_wrap::<BITS>(a, b);
+    // Signed overflow: operands agree in sign, result disagrees.
+    let ovf = spread::<BITS>(!(a ^ b) & (a ^ sum) & high::<BITS>());
+    (sum & !ovf) | (signed_sat_word::<BITS>(a) & ovf)
+}
+
+/// Lane-wise signed saturating subtraction.
+pub const fn sub_sat_s<const BITS: u32>(a: u64, b: u64) -> u64 {
+    let diff = sub_wrap::<BITS>(a, b);
+    // Signed overflow: operands disagree in sign, result disagrees with `a`.
+    let ovf = spread::<BITS>((a ^ b) & (a ^ diff) & high::<BITS>());
+    (diff & !ovf) | (signed_sat_word::<BITS>(a) & ovf)
+}
+
+/// Full mask of lanes where `a == b`.
+pub const fn eq_mask<const BITS: u32>(a: u64, b: u64) -> u64 {
+    !spread::<BITS>(nonzero_h::<BITS>(a ^ b))
+}
+
+/// Full mask of lanes where `a > b` as **unsigned** values.
+pub const fn gt_mask_u<const BITS: u32>(a: u64, b: u64) -> u64 {
+    // a > b  ⇔  saturating a - b is non-zero.
+    spread::<BITS>(nonzero_h::<BITS>(sub_sat_u::<BITS>(a, b)))
+}
+
+/// Full mask of lanes where `a > b` as **signed** values (bias to unsigned).
+pub const fn gt_mask_s<const BITS: u32>(a: u64, b: u64) -> u64 {
+    let h = high::<BITS>();
+    gt_mask_u::<BITS>(a ^ h, b ^ h)
+}
+
+/// Lane-wise unsigned minimum.
+pub const fn min_u<const BITS: u32>(a: u64, b: u64) -> u64 {
+    let a_gt = gt_mask_u::<BITS>(a, b);
+    (b & a_gt) | (a & !a_gt)
+}
+
+/// Lane-wise unsigned maximum.
+pub const fn max_u<const BITS: u32>(a: u64, b: u64) -> u64 {
+    let a_gt = gt_mask_u::<BITS>(a, b);
+    (a & a_gt) | (b & !a_gt)
+}
+
+/// Lane-wise signed minimum.
+pub const fn min_s<const BITS: u32>(a: u64, b: u64) -> u64 {
+    let a_gt = gt_mask_s::<BITS>(a, b);
+    (b & a_gt) | (a & !a_gt)
+}
+
+/// Lane-wise signed maximum.
+pub const fn max_s<const BITS: u32>(a: u64, b: u64) -> u64 {
+    let a_gt = gt_mask_s::<BITS>(a, b);
+    (a & a_gt) | (b & !a_gt)
+}
+
+/// Lane-wise unsigned rounding average `(a + b + 1) >> 1` (MMX `pavg`).
+pub const fn avg_u<const BITS: u32>(a: u64, b: u64) -> u64 {
+    // avg_ceil(a, b) = (a | b) - ((a ^ b) >> 1), with a lane-masked shift.
+    (a | b) - shr_logical::<BITS>(a ^ b, 1)
+}
+
+/// Lane-wise signed rounding average `(a + b + 1) >> 1` (arithmetic shift).
+pub const fn avg_s<const BITS: u32>(a: u64, b: u64) -> u64 {
+    let h = high::<BITS>();
+    avg_u::<BITS>(a ^ h, b ^ h) ^ h
+}
+
+/// Lane-wise absolute difference `|a - b|` for unsigned lanes.
+pub const fn abs_diff_u<const BITS: u32>(a: u64, b: u64) -> u64 {
+    sub_wrap::<BITS>(max_u::<BITS>(a, b), min_u::<BITS>(a, b))
+}
+
+/// Lane-wise absolute difference `|a - b|` for signed lanes.
+///
+/// The result is the truncation of the true `i64` difference magnitude to the
+/// lane width, exactly as the scalar reference computes it (e.g. for 8-bit
+/// lanes `|127 - (-128)| = 255 → 0xFF`).
+pub const fn abs_diff_s<const BITS: u32>(a: u64, b: u64) -> u64 {
+    sub_wrap::<BITS>(max_s::<BITS>(a, b), min_s::<BITS>(a, b))
+}
+
+/// Lane-wise wrapping absolute value for signed lanes (`|MIN|` wraps to MIN,
+/// matching the scalar reference's truncation of `i64::abs`).
+pub const fn abs_s<const BITS: u32>(x: u64) -> u64 {
+    let m = spread::<BITS>(x & high::<BITS>());
+    sub_wrap::<BITS>(x ^ m, m)
+}
+
+/// Lane-wise wrapping negation.
+pub const fn neg_wrap<const BITS: u32>(x: u64) -> u64 {
+    sub_wrap::<BITS>(0, x)
+}
+
+/// Lane-wise logical shift left by `n` (caller guarantees `n < BITS`).
+pub const fn shl<const BITS: u32>(x: u64, n: u32) -> u64 {
+    let lane_max = (1u64 << (BITS - 1) << 1).wrapping_sub(1);
+    (x & rep::<BITS>(lane_max >> n)) << n
+}
+
+/// Lane-wise logical shift right by `n` (caller guarantees `n < BITS`).
+pub const fn shr_logical<const BITS: u32>(x: u64, n: u32) -> u64 {
+    let lane_max = (1u64 << (BITS - 1) << 1).wrapping_sub(1);
+    (x >> n) & rep::<BITS>(lane_max >> n)
+}
+
+/// Lane-wise arithmetic shift right by `n` (caller guarantees `n < BITS`).
+pub const fn shr_arith<const BITS: u32>(x: u64, n: u32) -> u64 {
+    if n == 0 {
+        return x;
+    }
+    let logical = shr_logical::<BITS>(x, n);
+    // Refill the vacated top `n` bits of each negative lane. The per-lane
+    // fill pattern times the per-lane sign bit cannot cross lanes.
+    let fill = ((1u64 << n) - 1) << (BITS - n);
+    let signs = (x & high::<BITS>()) >> (BITS - 1);
+    logical | signs.wrapping_mul(fill)
+}
+
+/// Lane-wise select: `a` where the lane of `mask` is non-zero, else `b`.
+pub const fn select<const BITS: u32>(mask: u64, a: u64, b: u64) -> u64 {
+    let full = spread::<BITS>(nonzero_h::<BITS>(mask));
+    (a & full) | (b & !full)
+}
+
+/// Horizontal sum of all lanes as **unsigned** values.
+pub const fn horizontal_sum_u<const BITS: u32>(x: u64) -> u64 {
+    // Pairwise widening adds: each step doubles the lane width, so partial
+    // sums never overflow their slot.
+    let mut sum = x;
+    if BITS == 8 {
+        sum = (sum & 0x00FF_00FF_00FF_00FF) + ((sum >> 8) & 0x00FF_00FF_00FF_00FF);
+        sum = (sum & 0x0000_FFFF_0000_FFFF) + ((sum >> 16) & 0x0000_FFFF_0000_FFFF);
+        sum = (sum & 0x0000_0000_FFFF_FFFF) + (sum >> 32);
+    } else if BITS == 16 {
+        sum = (sum & 0x0000_FFFF_0000_FFFF) + ((sum >> 16) & 0x0000_FFFF_0000_FFFF);
+        sum = (sum & 0x0000_0000_FFFF_FFFF) + (sum >> 32);
+    } else {
+        sum = (sum & 0x0000_0000_FFFF_FFFF) + (sum >> 32);
+    }
+    sum
+}
+
+/// Horizontal sum of all lanes as **signed** (sign-extended) values.
+///
+/// Each negative lane's unsigned residue over-counts its true value by
+/// exactly `2^BITS`, so subtract that once per set sign bit.
+pub const fn horizontal_sum_s<const BITS: u32>(x: u64) -> i64 {
+    let unsigned = horizontal_sum_u::<BITS>(x) as i64;
+    let negatives = (x & high::<BITS>()).count_ones() as i64;
+    unsigned - (negatives << BITS)
+}
+
+/// Sum of lane-wise absolute differences (`psadbw`-style reduction).
+///
+/// Works for signed and unsigned interpretations alike: the in-lane residue
+/// of `|a - b|` is always the true magnitude (it is at most `2^BITS - 1`), so
+/// an unsigned horizontal sum of the signed/unsigned absolute-difference word
+/// is the exact scalar answer.
+pub const fn sad_u<const BITS: u32>(a: u64, b: u64) -> i64 {
+    horizontal_sum_u::<BITS>(abs_diff_u::<BITS>(a, b)) as i64
+}
+
+/// Signed-lane variant of [`sad_u`].
+pub const fn sad_s<const BITS: u32>(a: u64, b: u64) -> i64 {
+    horizontal_sum_u::<BITS>(abs_diff_s::<BITS>(a, b)) as i64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rep_patterns() {
+        assert_eq!(rep::<8>(1), 0x0101_0101_0101_0101);
+        assert_eq!(rep::<16>(1), 0x0001_0001_0001_0001);
+        assert_eq!(rep::<8>(0x7F), 0x7F7F_7F7F_7F7F_7F7F);
+        assert_eq!(high::<8>(), 0x8080_8080_8080_8080);
+        assert_eq!(high::<32>(), 0x8000_0000_8000_0000);
+    }
+
+    #[test]
+    fn spread_smears_sign_bits() {
+        assert_eq!(spread::<8>(0x8000_0000_0000_0080), 0xFF00_0000_0000_00FF);
+        assert_eq!(spread::<16>(0x8000_0000_8000_0000), 0xFFFF_0000_FFFF_0000);
+        assert_eq!(spread::<32>(0x8000_0000_0000_0000), 0xFFFF_FFFF_0000_0000);
+    }
+
+    #[test]
+    fn nonzero_detect_is_per_lane_exact() {
+        // 0x80 and 0x01 and 0xFF are non-zero; 0x00 is zero — no false
+        // positives from neighbouring lanes.
+        let x = u64::from_le_bytes([0x00, 0x80, 0x01, 0xFF, 0x00, 0x00, 0x10, 0x00]);
+        let h = nonzero_h::<8>(x);
+        assert_eq!(spread::<8>(h).to_le_bytes(), [0x00, 0xFF, 0xFF, 0xFF, 0x00, 0x00, 0xFF, 0x00]);
+    }
+
+    #[test]
+    fn wrap_add_sub_match_per_lane() {
+        let a = u64::from_le_bytes([250, 1, 0x80, 0x7F, 0, 255, 3, 128]);
+        let b = u64::from_le_bytes([10, 1, 0x80, 0x01, 0, 1, 250, 127]);
+        let sum = add_wrap::<8>(a, b);
+        let diff = sub_wrap::<8>(a, b);
+        for i in 0..8 {
+            let (x, y) = (a.to_le_bytes()[i], b.to_le_bytes()[i]);
+            assert_eq!(sum.to_le_bytes()[i], x.wrapping_add(y), "add lane {i}");
+            assert_eq!(diff.to_le_bytes()[i], x.wrapping_sub(y), "sub lane {i}");
+        }
+    }
+
+    #[test]
+    fn saturating_boundaries() {
+        // u8: 250 + 10 saturates to 255; 3 - 250 saturates to 0.
+        let a = u64::from_le_bytes([250, 3, 0, 0, 0, 0, 0, 0]);
+        let b = u64::from_le_bytes([10, 250, 0, 0, 0, 0, 0, 0]);
+        assert_eq!(add_sat_u::<8>(a, b).to_le_bytes()[0], 255);
+        assert_eq!(sub_sat_u::<8>(a, b).to_le_bytes()[1], 0);
+        // i8: 0x7F + 1 saturates to 0x7F; 0x80 - 1 saturates to 0x80.
+        let a = u64::from_le_bytes([0x7F, 0x80, 0, 0, 0, 0, 0, 0]);
+        let b = u64::from_le_bytes([1, 1, 0, 0, 0, 0, 0, 0]);
+        assert_eq!(add_sat_s::<8>(a, b).to_le_bytes()[0], 0x7F);
+        assert_eq!(sub_sat_s::<8>(a, b).to_le_bytes()[1], 0x80);
+    }
+
+    #[test]
+    fn compares_and_minmax() {
+        let a = u64::from_le_bytes([5, 200, 0x80, 0x7F, 9, 9, 0, 1]);
+        let b = u64::from_le_bytes([5, 100, 0x7F, 0x80, 10, 8, 0, 0]);
+        assert_eq!(
+            eq_mask::<8>(a, b).to_le_bytes(),
+            [0xFF, 0, 0, 0, 0, 0, 0xFF, 0]
+        );
+        // Unsigned: 0x80 > 0x7F. Signed: 0x80 (-128) < 0x7F (127).
+        assert_eq!(gt_mask_u::<8>(a, b).to_le_bytes()[2], 0xFF);
+        assert_eq!(gt_mask_s::<8>(a, b).to_le_bytes()[2], 0x00);
+        assert_eq!(gt_mask_s::<8>(a, b).to_le_bytes()[3], 0xFF);
+        assert_eq!(min_u::<8>(a, b).to_le_bytes()[1], 100);
+        assert_eq!(max_s::<8>(a, b).to_le_bytes()[2], 0x7F);
+    }
+
+    #[test]
+    fn averages_round_up() {
+        // Unsigned: (1 + 2 + 1) >> 1 = 2.
+        let a = u64::from_le_bytes([1, 255, 0, 0, 0, 0, 0, 0]);
+        let b = u64::from_le_bytes([2, 255, 0, 0, 0, 0, 0, 0]);
+        assert_eq!(avg_u::<8>(a, b).to_le_bytes()[0], 2);
+        assert_eq!(avg_u::<8>(a, b).to_le_bytes()[1], 255);
+        // Signed: (-3 + 0 + 1) >> 1 = -1; (-1 + 0 + 1) >> 1 = 0.
+        let a = u64::from_le_bytes([0xFD, 0xFF, 0, 0, 0, 0, 0, 0]);
+        let b = 0u64;
+        assert_eq!(avg_s::<8>(a, b).to_le_bytes()[0], 0xFF);
+        assert_eq!(avg_s::<8>(a, b).to_le_bytes()[1], 0x00);
+    }
+
+    #[test]
+    fn shifts_are_lane_masked() {
+        let x = u64::from_le_bytes([0b1000_0001, 0xFF, 1, 0x80, 0, 0, 0, 0]);
+        assert_eq!(shl::<8>(x, 1).to_le_bytes(), [0b0000_0010, 0xFE, 2, 0, 0, 0, 0, 0]);
+        assert_eq!(shr_logical::<8>(x, 1).to_le_bytes(), [0b0100_0000, 0x7F, 0, 0x40, 0, 0, 0, 0]);
+        // Arithmetic shift sign-fills negative lanes only.
+        assert_eq!(shr_arith::<8>(x, 1).to_le_bytes(), [0b1100_0000, 0xFF, 0, 0xC0, 0, 0, 0, 0]);
+        assert_eq!(shr_arith::<8>(x, 7).to_le_bytes(), [0xFF, 0xFF, 0, 0xFF, 0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn reductions() {
+        let x = u64::from_le_bytes([1, 2, 3, 4, 5, 6, 7, 255]);
+        assert_eq!(horizontal_sum_u::<8>(x), 1 + 2 + 3 + 4 + 5 + 6 + 7 + 255);
+        // Signed: 255 reads as -1.
+        assert_eq!(horizontal_sum_s::<8>(x), 1 + 2 + 3 + 4 + 5 + 6 + 7 - 1);
+        let a = u64::from_le_bytes([10, 0, 0, 0, 0, 0, 0, 200]);
+        let b = u64::from_le_bytes([0, 0, 0, 0, 0, 0, 0, 255]);
+        assert_eq!(sad_u::<8>(a, b), 10 + 55);
+    }
+
+    #[test]
+    fn abs_and_neg_wrap_at_lane_min() {
+        let x = u64::from_le_bytes([0x80, 0xFF, 1, 0, 0, 0, 0, 0]);
+        // |−128| wraps back to 0x80, matching truncated scalar abs.
+        assert_eq!(abs_s::<8>(x).to_le_bytes(), [0x80, 1, 1, 0, 0, 0, 0, 0]);
+        assert_eq!(neg_wrap::<8>(x).to_le_bytes(), [0x80, 1, 0xFF, 0, 0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn wide_lane_widths_share_the_formulas() {
+        // 16-bit saturating add at the boundary.
+        let a = 0x7FFF_0000_8000_FFFFu64; // lanes: 0xFFFF, 0x8000, 0x0000, 0x7FFF
+        let b = 0x0001_0001_FFFF_0001u64;
+        let s = add_sat_s::<16>(a, b);
+        // lane 0: −1 + 1 = 0, no saturation.
+        assert_eq!(s & 0xFFFF, 0);
+        // lane 3 (top): 0x7FFF + 1 saturates to 0x7FFF.
+        assert_eq!(s >> 48, 0x7FFF);
+        // lane 1: 0x8000 + 0xFFFF (−32768 + −1) saturates to 0x8000.
+        assert_eq!((add_sat_s::<16>(a, b) >> 16) & 0xFFFF, 0x8000);
+        // 32-bit compare.
+        let a = 0x0000_0001_FFFF_FFFFu64; // lanes: 0xFFFF_FFFF, 1
+        let b = 0x0000_0002_0000_0000u64; // lanes: 0, 2
+        assert_eq!(gt_mask_u::<32>(a, b), 0x0000_0000_FFFF_FFFF);
+        assert_eq!(gt_mask_s::<32>(a, b), 0); // −1 < 0 signed
+    }
+}

@@ -308,6 +308,16 @@ impl MemList {
     pub fn is_spilled(&self) -> bool {
         matches!(self.0, MemListRepr::Spilled(_))
     }
+
+    /// Empty the list, keeping any spilled heap capacity for reuse. The
+    /// interpreter's hot loop recycles one spilled list across MOM vector
+    /// memory instructions so steady-state execution stops allocating.
+    pub fn clear(&mut self) {
+        match &mut self.0 {
+            MemListRepr::Inline { len, .. } => *len = 0,
+            MemListRepr::Spilled(v) => v.clear(),
+        }
+    }
 }
 
 impl Default for MemList {
@@ -491,6 +501,34 @@ impl DynInst {
 pub trait TraceSink {
     /// Accept the next graduated instruction, in program order.
     fn emit(&mut self, inst: DynInst);
+
+    /// Accept the next graduated instruction by reference.
+    ///
+    /// Sinks that only *inspect* instructions (the streaming timing
+    /// simulator, counting probes, fan-out combinators over such sinks)
+    /// override this to skip the clone; collecting sinks keep the default,
+    /// which clones and forwards to [`TraceSink::emit`]. The interpreter's
+    /// hot loop emits through this method so it can recycle each
+    /// instruction's spilled memory-access buffer after the sink returns.
+    fn emit_ref(&mut self, inst: &DynInst) {
+        self.emit(inst.clone());
+    }
+
+    /// Accept a chunk of consecutive graduated instructions, in program
+    /// order. Equivalent to calling [`TraceSink::emit_ref`] once per
+    /// element — the default does exactly that.
+    ///
+    /// The threaded interpreter graduates instructions in small chunks
+    /// rather than one at a time, so a streaming consumer can override this
+    /// to retire a whole chunk in one call frame (keeping its hot scalars in
+    /// registers across instructions instead of round-tripping them through
+    /// memory on every handoff). Overrides must behave exactly like the
+    /// default: same instructions, same order, no skipping.
+    fn emit_batch(&mut self, insts: &[DynInst]) {
+        for inst in insts {
+            self.emit_ref(inst);
+        }
+    }
 }
 
 impl TraceSink for Trace {
@@ -508,6 +546,14 @@ impl TraceSink for Vec<DynInst> {
 impl<S: TraceSink + ?Sized> TraceSink for &mut S {
     fn emit(&mut self, inst: DynInst) {
         (**self).emit(inst);
+    }
+
+    fn emit_ref(&mut self, inst: &DynInst) {
+        (**self).emit_ref(inst);
+    }
+
+    fn emit_batch(&mut self, insts: &[DynInst]) {
+        (**self).emit_batch(insts);
     }
 }
 
@@ -565,6 +611,22 @@ impl<S: TraceSink> TraceSink for Broadcast<S> {
         }
         last.emit(inst);
     }
+
+    fn emit_ref(&mut self, inst: &DynInst) {
+        // One borrowed instruction serves every child: a fan-out over
+        // streaming simulators never clones at all.
+        for sink in &mut self.sinks {
+            sink.emit_ref(inst);
+        }
+    }
+
+    fn emit_batch(&mut self, insts: &[DynInst]) {
+        // Each child consumes the whole chunk before the next one starts:
+        // fewer handoffs, and every child still sees program order.
+        for sink in &mut self.sinks {
+            sink.emit_batch(insts);
+        }
+    }
 }
 
 /// A sink that duplicates every instruction into two (possibly heterogeneous)
@@ -581,6 +643,16 @@ impl<A: TraceSink, B: TraceSink> TraceSink for Tee<A, B> {
     fn emit(&mut self, inst: DynInst) {
         self.0.emit(inst.clone());
         self.1.emit(inst);
+    }
+
+    fn emit_ref(&mut self, inst: &DynInst) {
+        self.0.emit_ref(inst);
+        self.1.emit_ref(inst);
+    }
+
+    fn emit_batch(&mut self, insts: &[DynInst]) {
+        self.0.emit_batch(insts);
+        self.1.emit_batch(insts);
     }
 }
 
@@ -608,6 +680,12 @@ impl<S: TraceSink, F: FnMut(&DynInst) -> bool> TraceSink for FilterSink<S, F> {
     fn emit(&mut self, inst: DynInst) {
         if (self.keep)(&inst) {
             self.sink.emit(inst);
+        }
+    }
+
+    fn emit_ref(&mut self, inst: &DynInst) {
+        if (self.keep)(inst) {
+            self.sink.emit_ref(inst);
         }
     }
 }

@@ -46,6 +46,9 @@
 //! * `--baseline FILE` — diff the result against a saved JSON document;
 //!   exit code 2 when a regression is found
 //! * `--tolerance F` — relative cycle tolerance for `--baseline` (default 0.02)
+//! * `--throughput-gate MINST` — exit 2 when an experiment's aggregate
+//!   simulator throughput lands below MINST million instructions per second
+//!   (full mode only; skipped with a stderr note under `MOM_BENCH_FAST=1`)
 //! * `--trace-out FILE` — write a Chrome trace-event JSON of the runner's
 //!   scheduler spans (one trace process per experiment, one track per worker;
 //!   load it in `chrome://tracing` or Perfetto)
@@ -95,7 +98,7 @@ Usage:
              [--isa I]... [--scale N] [--workers N] [--streamed] [--materialized]
              [--sweep-dims SPEC] [--json FILE] [--out-dir DIR] [--results-only]
              [--no-json] [--quiet] [--baseline FILE] [--tolerance F]
-             [--trace-out FILE]
+             [--trace-out FILE] [--throughput-gate MINST]
   momlab --all
   momlab diff <NEW.json> --baseline <OLD.json> [--tolerance F]
 
@@ -111,6 +114,11 @@ builds and replays traces. All three are byte-identical in their results.
 
 --trace-out FILE writes a Chrome trace-event JSON of the runner's scheduler
 spans (one process per experiment; open in chrome://tracing or Perfetto).
+
+--throughput-gate MINST exits 2 when any selected experiment's aggregate
+simulator throughput falls below MINST million instructions per second.
+Full-mode runs only: under MOM_BENCH_FAST=1 the gate is skipped (with a
+note on stderr), since reduced workloads measure nothing comparable.
 
 MOM_BENCH_FAST=1 selects the reduced fast-mode workload subsets.
 MOM_LAB_STREAM=1 enables the fused per-cell streaming pipeline by default.
@@ -140,6 +148,7 @@ struct Options {
     baseline: Option<PathBuf>,
     tolerance: f64,
     trace_out: Option<PathBuf>,
+    throughput_gate: Option<f64>,
 }
 
 fn parse_options(args: &[String]) -> Result<Options, String> {
@@ -190,6 +199,20 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             "--quiet" => opts.quiet = true,
             "--baseline" => opts.baseline = Some(PathBuf::from(value("--baseline")?)),
             "--trace-out" => opts.trace_out = Some(PathBuf::from(value("--trace-out")?)),
+            "--throughput-gate" => {
+                opts.throughput_gate = Some(
+                    value("--throughput-gate")?
+                        .parse()
+                        .map_err(|e| format!("--throughput-gate: {e}"))
+                        .and_then(|g: f64| {
+                            if g.is_finite() && g > 0.0 {
+                                Ok(g)
+                            } else {
+                                Err("--throughput-gate must be a finite value > 0".to_string())
+                            }
+                        })?,
+                )
+            }
             "--tolerance" => {
                 opts.tolerance = value("--tolerance")?
                     .parse()
@@ -339,6 +362,16 @@ fn cmd_run(opts: &Options) -> Result<ExitCode, String> {
     };
 
     let mut exit = ExitCode::SUCCESS;
+    // The throughput gate compares against full-mode workloads; fast mode's
+    // reduced subsets would pass or fail it meaninglessly.
+    let gate = opts.throughput_gate.filter(|_| {
+        if mom_lab::fast_mode() {
+            eprintln!("throughput gate skipped: fast mode (MOM_BENCH_FAST=1) runs reduced workloads");
+            false
+        } else {
+            true
+        }
+    });
     let mut trace_processes: Vec<(String, Vec<runner::SpanRec>)> = Vec::new();
     for (i, spec) in specs.iter().enumerate() {
         let result = runner::run_with_mode_progress(spec, workers, mode, !opts.quiet);
@@ -396,6 +429,36 @@ fn cmd_run(opts: &Options) -> Result<ExitCode, String> {
             eprint!("{diff}");
             if diff.has_regressions() {
                 exit = ExitCode::from(2);
+            }
+        }
+        // Static experiments read configuration tables and time nothing, so
+        // they are exempt rather than failed — `run --all --throughput-gate`
+        // must stay usable. A *grid* run with no measurement still fails:
+        // a gate that silently passes unmeasured runs is no gate.
+        if let Some(gate_minst) = gate.filter(|_| !matches!(spec.kind, ExperimentKind::Static(_))) {
+            match result.total_insts_per_sec() {
+                Some(ips) if ips >= gate_minst * 1e6 => {
+                    eprintln!(
+                        "throughput gate: {}: {:.1} Minst/s >= {gate_minst} Minst/s",
+                        spec.name,
+                        ips / 1e6
+                    );
+                }
+                Some(ips) => {
+                    eprintln!(
+                        "throughput gate FAILED: {}: {:.1} Minst/s < {gate_minst} Minst/s",
+                        spec.name,
+                        ips / 1e6
+                    );
+                    exit = ExitCode::from(2);
+                }
+                None => {
+                    eprintln!(
+                        "throughput gate FAILED: {}: run produced no throughput measurement",
+                        spec.name
+                    );
+                    exit = ExitCode::from(2);
+                }
             }
         }
     }

@@ -229,6 +229,12 @@ pub struct RunResult {
     /// fresh across all workers (`meta.pool`; wall-clock-free but scheduling
     /// dependent, so `meta`-only).
     pub pool: PoolStats,
+    /// Fused µop pairs created by `Program::decode` during this run (the
+    /// process-wide [`mom_core::fused_pairs_total`] counter, snapshotted
+    /// around the run). Feeds `meta.engine.fused_pairs`; depends on what the
+    /// run decoded, not on timing, but lives in `meta` because a warm
+    /// machine pool can skip re-decoding.
+    pub fused_pairs: u64,
     /// The results.
     pub data: RunData,
 }
@@ -334,6 +340,7 @@ pub fn run_with_mode_progress(
     progress: bool,
 ) -> RunResult {
     let started = Instant::now();
+    let fused_before = mom_core::fused_pairs_total();
     let (data, timing) = match &spec.kind {
         ExperimentKind::Static(kind) => (RunData::Static(static_rows(*kind)), GridTiming::default()),
         ExperimentKind::Grid(grid) => {
@@ -341,6 +348,7 @@ pub fn run_with_mode_progress(
             (RunData::Grid(cells), timing)
         }
     };
+    let fused_pairs = mom_core::fused_pairs_total().saturating_sub(fused_before);
     RunResult {
         spec: spec.clone(),
         config_hash: spec.config_hash(),
@@ -354,6 +362,7 @@ pub fn run_with_mode_progress(
         pipeline: timing.pipeline,
         spans: timing.spans,
         pool: timing.pool,
+        fused_pairs,
         data,
     }
 }
@@ -1399,6 +1408,21 @@ impl RunResult {
             ("streamed", Value::Bool(self.mode.is_streamed())),
             ("mode", Value::Str(self.mode.label().into())),
             ("generated_by", Value::Str(format!("momlab {}", env!("CARGO_PKG_VERSION")))),
+            // Which execution engine produced the numbers, so perf
+            // trajectory documents are self-describing: `swar` is true for
+            // every build of this engine (the portable chunked-u64 lane
+            // kernels are unconditional), `simd_feature` reports whether the
+            // SSE2 backend was compiled in *and* usable on this target, and
+            // `fused_pairs` counts the fused µop pairs decode created during
+            // this run (0 when a warm machine pool skipped re-decoding).
+            (
+                "engine",
+                Value::object(vec![
+                    ("swar", Value::Bool(true)),
+                    ("simd_feature", Value::Bool(mom_isa::simd_active())),
+                    ("fused_pairs", Value::Int(self.fused_pairs as i64)),
+                ]),
+            ),
         ];
         if let Some(pipeline) = &self.pipeline {
             // Pipelined fan-out accounting: batch/channel geometry plus how

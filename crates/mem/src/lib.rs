@@ -122,6 +122,18 @@ pub trait MemorySystem: std::fmt::Debug + Send {
     /// what lets the experiment runner reuse a machine across grid cells
     /// instead of rebuilding cache arrays per cell.
     fn reset(&mut self);
+
+    /// Concrete-type escape hatch for the hottest model: a streaming
+    /// simulator consults this **once at construction** and, when it gets
+    /// `Some`, issues memory accesses directly to the [`PerfectMemory`] —
+    /// whose port check is a handful of instructions — instead of paying a
+    /// virtual `access` (plus, when probing, a virtual
+    /// [`MemorySystem::last_access_cause`]) per memory instruction. Models
+    /// with real work behind `access` keep the default `None`; behaviour is
+    /// identical either way.
+    fn as_perfect(&mut self) -> Option<&mut PerfectMemory> {
+        None
+    }
 }
 
 /// Construct the memory system named by `kind` for a machine of issue width

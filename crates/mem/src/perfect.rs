@@ -39,6 +39,7 @@ impl PerfectMemory {
 }
 
 impl MemorySystem for PerfectMemory {
+    #[inline]
     fn access(&mut self, cycle: u64, accesses: &[MemAccess], _vector: bool) -> Option<u64> {
         let n = accesses.len().max(1);
         // Find a free port.
@@ -49,7 +50,13 @@ impl MemorySystem for PerfectMemory {
                 return None;
             }
         };
-        let occupancy = n.div_ceil(self.elems_per_cycle) as u64;
+        // Ports deliver 1 or 2 elements per cycle in every Table 1
+        // configuration; avoid a hardware divide on the per-access path.
+        let occupancy = match self.elems_per_cycle {
+            1 => n as u64,
+            2 => n.div_ceil(2) as u64,
+            w => n.div_ceil(w) as u64,
+        };
         *port = cycle + occupancy;
         self.stats.requests += 1;
         self.stats.element_accesses += n as u64;
@@ -73,6 +80,10 @@ impl MemorySystem for PerfectMemory {
     fn reset(&mut self) {
         self.ports.fill(0);
         self.stats = MemSystemStats::default();
+    }
+
+    fn as_perfect(&mut self) -> Option<&mut PerfectMemory> {
+        Some(self)
     }
 }
 
