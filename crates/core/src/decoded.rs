@@ -1174,6 +1174,192 @@ impl DecodedProgram {
         sink.emit_batch(&chunk[..filled]);
         Ok(executed)
     }
+
+    /// Functionally execute up to `max` dynamic instructions from `cursor`,
+    /// applying architectural effects only — no trace emission, no timing.
+    /// This is the fast-forward driver of the sampled execution mode: it
+    /// advances the architectural [`Machine`] between sampling units at a
+    /// fraction of the detailed cost by skipping [`DynInst`] assembly and
+    /// sink handoff entirely.
+    ///
+    /// The instruction boundaries are **identical** to
+    /// [`stream_with_fuel`](Self::stream_with_fuel): a fused pair is taken
+    /// only when at least two instructions of budget remain (otherwise the
+    /// head executes alone through its unfused handler), so interleaving
+    /// fast-forward and [`stream_segment`](Self::stream_segment) windows
+    /// partitions the dynamic instruction sequence exactly as one continuous
+    /// detailed run would.
+    ///
+    /// Returns the number of instructions executed, which is less than `max`
+    /// only if the program halted. `cursor` is left at the next instruction
+    /// (or past the end after a halt).
+    pub fn fast_forward(
+        &self,
+        machine: &mut Machine,
+        cursor: &mut ExecCursor,
+        max: u64,
+    ) -> u64 {
+        let mut pc = cursor.pc;
+        let mut executed = 0u64;
+        let mut scratch = MemList::new();
+        // Handlers only *write* the dynamic trace fields (`mem`, `branch`)
+        // and read `pc` solely to stamp the discarded `BranchInfo`, so one
+        // recycled slot (plus a tail slot for fused pairs) absorbs their
+        // output without any per-instruction skeleton refresh.
+        let mut slot = DynInst::new(InstClass::Nop, 0);
+        let mut slot2 = DynInst::new(InstClass::Nop, 0);
+        while pc < self.ops.len() && executed < max {
+            let op = &self.ops[pc];
+            if let Some(tail) = &op.fused {
+                if max - executed >= 2 {
+                    reclaim(&mut slot, &mut scratch);
+                    executed += 2;
+                    let flow =
+                        (tail.pair)(&op.exec, &tail.exec2, machine, &mut slot, &mut slot2);
+                    pc = match flow {
+                        Flow::Next => pc + 2,
+                        Flow::Jump(target) => target as usize,
+                        Flow::Halt => self.ops.len(),
+                    };
+                    continue;
+                }
+            }
+            reclaim(&mut slot, &mut scratch);
+            executed += 1;
+            let flow = (op.handler)(&op.exec, machine, &mut slot, &mut scratch);
+            pc = match flow {
+                Flow::Next => pc + 1,
+                Flow::Jump(target) => target as usize,
+                Flow::Halt => self.ops.len(),
+            };
+        }
+        cursor.pc = pc;
+        executed
+    }
+
+    /// Execute up to `max` dynamic instructions from `cursor` in full detail,
+    /// emitting every graduated [`DynInst`] to `sink` — the resumable
+    /// windowed form of [`stream_with_fuel`](Self::stream_with_fuel) used for
+    /// the warm-up and measurement units of the sampled execution mode.
+    ///
+    /// Hitting the `max` budget is the expected way a window ends, so it is
+    /// not an error: the chunk buffer is flushed and the count executed so
+    /// far is returned, with `cursor` parked at the next instruction. The
+    /// emitted instruction sequence across consecutive segments (and
+    /// interleaved [`fast_forward`](Self::fast_forward) windows) is
+    /// byte-identical to one uninterrupted stream.
+    pub fn stream_segment<S: TraceSink + ?Sized>(
+        &self,
+        machine: &mut Machine,
+        sink: &mut S,
+        cursor: &mut ExecCursor,
+        max: u64,
+    ) -> u64 {
+        let mut pc = cursor.pc;
+        let mut executed = 0u64;
+        let mut scratch = MemList::new();
+        let mut chunk: Vec<DynInst> =
+            (0..CHUNK).map(|_| DynInst::new(InstClass::Nop, 0)).collect();
+        let mut filled = 0usize;
+        while pc < self.ops.len() && executed < max {
+            let op = &self.ops[pc];
+            if let Some(tail) = &op.fused {
+                if max - executed >= 2 {
+                    if filled + 2 > CHUNK {
+                        sink.emit_batch(&chunk[..filled]);
+                        filled = 0;
+                    }
+                    let vl = machine.mom.vl().max(1) as u16;
+                    let (head, rest) = chunk[filled..].split_first_mut().expect("chunk has room");
+                    let next = &mut rest[0];
+                    refresh(head, &op.skeleton, if op.is_vector { vl } else { 1 }, &mut scratch);
+                    refresh(next, &tail.skeleton2, if tail.is_vector2 { vl } else { 1 }, &mut scratch);
+                    executed += 2;
+                    let flow = (tail.pair)(&op.exec, &tail.exec2, machine, head, next);
+                    filled += 2;
+                    pc = match flow {
+                        Flow::Next => pc + 2,
+                        Flow::Jump(target) => target as usize,
+                        Flow::Halt => self.ops.len(),
+                    };
+                    continue;
+                }
+            }
+            if filled == CHUNK {
+                sink.emit_batch(&chunk);
+                filled = 0;
+            }
+            let elems = if op.is_vector { machine.mom.vl().max(1) as u16 } else { 1 };
+            let slot = &mut chunk[filled];
+            refresh(slot, &op.skeleton, elems, &mut scratch);
+            executed += 1;
+            let flow = (op.handler)(&op.exec, machine, slot, &mut scratch);
+            filled += 1;
+            pc = match flow {
+                Flow::Next => pc + 1,
+                Flow::Jump(target) => target as usize,
+                Flow::Halt => self.ops.len(),
+            };
+        }
+        sink.emit_batch(&chunk[..filled]);
+        cursor.pc = pc;
+        executed
+    }
+}
+
+/// A resumable position in a [`DecodedProgram`] execution, advanced by
+/// [`DecodedProgram::fast_forward`] and [`DecodedProgram::stream_segment`].
+///
+/// The cursor is just the static instruction index of the next µop; a value
+/// at or past the program length means the program has halted. Together with
+/// the architectural [`Machine`] it fully determines the remaining dynamic
+/// instruction stream, which is what lets checkpoints persist it as a single
+/// integer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecCursor {
+    pc: usize,
+}
+
+impl Default for ExecCursor {
+    fn default() -> Self {
+        Self::start()
+    }
+}
+
+impl ExecCursor {
+    /// A cursor at the first instruction of a program.
+    pub fn start() -> Self {
+        Self { pc: 0 }
+    }
+
+    /// A cursor at static instruction index `pc` (used when restoring from a
+    /// checkpoint; any value at or past the program length means done).
+    pub fn at(pc: usize) -> Self {
+        Self { pc }
+    }
+
+    /// The static instruction index of the next µop to execute.
+    pub fn pc(&self) -> usize {
+        self.pc
+    }
+
+    /// Whether execution of `program` has halted at this cursor.
+    pub fn is_done(&self, program: &DecodedProgram) -> bool {
+        self.pc >= program.ops.len()
+    }
+}
+
+/// Fast-forward counterpart of [`refresh`]: clear a recycled slot's memory
+/// list (migrating a spilled heap buffer into `scratch` for the next vector
+/// memory handler to take) without touching the static fields nobody reads.
+#[inline(always)]
+fn reclaim(dst: &mut DynInst, scratch: &mut MemList) {
+    if dst.mem.is_spilled() && !scratch.is_spilled() {
+        dst.mem.clear();
+        *scratch = std::mem::take(&mut dst.mem);
+    } else {
+        dst.mem.clear();
+    }
 }
 
 /// Graduation-chunk size: instructions accumulate in this many persistent

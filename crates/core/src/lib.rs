@@ -19,6 +19,8 @@
 //!   emits dynamic traces for the timing simulator;
 //! * [`decoded`] — the pre-decoded µop engine behind [`Program::run`] and
 //!   [`Program::stream`]: decode once, execute flat;
+//! * [`snapshot`] — architectural-state snapshots for the checkpointed
+//!   sampled execution mode;
 //! * [`area`] — the register-file size/area model behind Table 2;
 //! * [`inventory`] — opcode inventories (the 67/88/121 comparison).
 //!
@@ -74,9 +76,10 @@ pub mod inventory;
 pub mod matrix;
 pub mod ops;
 pub mod program;
+pub mod snapshot;
 pub mod state;
 
-pub use decoded::{fused_pairs_total, DecodedProgram};
+pub use decoded::{fused_pairs_total, DecodedProgram, ExecCursor};
 pub use inst::Inst;
 pub use matrix::{
     MatrixRegFile, MatrixValue, MomAccReg, MomReg, MAX_VL, MOM_ROWS, NUM_MOM_ACCS, NUM_MOM_REGS,

@@ -16,8 +16,11 @@ use mom_isa::scalar::Label;
 use mom_isa::state::ControlFlow;
 use mom_isa::trace::{BranchInfo, DynInst, InstClass, IsaKind, Trace, TraceSink};
 
-/// Default dynamic-instruction budget for [`Program::run`].
-pub const DEFAULT_FUEL: usize = 100_000_000;
+/// Default dynamic-instruction budget for [`Program::run`]. This is a
+/// runaway-program guard, not a workload ceiling: it sits an order of
+/// magnitude above the largest legitimate run (`stress --scale 100` executes
+/// ~141M dynamic instructions in its biggest cell).
+pub const DEFAULT_FUEL: usize = 2_000_000_000;
 
 /// Errors produced while building a program.
 #[derive(Debug, Clone, PartialEq, Eq)]

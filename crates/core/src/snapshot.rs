@@ -1,0 +1,298 @@
+//! Architectural-state snapshots for checkpointed execution.
+//!
+//! [`encode_machine`] serializes a complete [`Machine`] — scalar, media and
+//! matrix register files, MDMX and MOM accumulators, vector length and the
+//! byte-addressable memory image — through the hand-rolled binary codec in
+//! [`mom_isa::codec`]. The memory image is stored **sparsely** (4 KiB
+//! chunks, all-zero chunks elided), so snapshot size tracks the workload's
+//! touched working set rather than the image's reserved capacity.
+//! [`restore_machine`] is its exact inverse into an *existing* machine whose
+//! memory image has the same geometry (checkpointed workloads are rebuilt
+//! deterministically from their spec, so base address and length are
+//! validated rather than re-created).
+//!
+//! Together with the static-instruction cursor of
+//! [`ExecCursor`](crate::decoded::ExecCursor), the encoded state fully
+//! determines the remaining dynamic instruction stream: restoring a snapshot
+//! and resuming produces byte-identical traces to the uninterrupted run,
+//! which is the property the sampled execution mode's checkpoint tests pin.
+
+use crate::matrix::{v, MatrixValue, MOM_ROWS, NUM_MOM_ACCS, NUM_MOM_REGS};
+use crate::state::Machine;
+use mom_isa::accumulator::{Accumulator, MAX_ACC_LANES};
+use mom_isa::codec::{CodecError, Decoder, Encoder};
+use mom_isa::packed::{Lane, PackedWord};
+use mom_isa::regs::{m, r, FpReg, NUM_FP_REGS, NUM_INT_REGS, NUM_MDMX_ACCS, NUM_MEDIA_REGS};
+
+/// Version tag of the architectural snapshot layout.
+const ARCH_VERSION: u32 = 1;
+
+/// Chunk granularity of the sparse memory-image encoding. Kernel images
+/// reserve far more capacity than any one workload touches, so the snapshot
+/// stores only the chunks containing a nonzero byte — checkpoint size tracks
+/// the touched working set, not the reserved capacity.
+const MEM_CHUNK: usize = 4096;
+
+/// All six packed lane interpretations, indexed by their encoded tag.
+const LANES: [Lane; 6] = [Lane::U8, Lane::I8, Lane::U16, Lane::I16, Lane::U32, Lane::I32];
+
+fn lane_tag(lane: Lane) -> u8 {
+    match lane {
+        Lane::U8 => 0,
+        Lane::I8 => 1,
+        Lane::U16 => 2,
+        Lane::I16 => 3,
+        Lane::U32 => 4,
+        Lane::I32 => 5,
+    }
+}
+
+fn encode_accumulator(e: &mut Encoder, acc: &Accumulator) {
+    match acc.mode() {
+        None => e.u8(0),
+        Some(lane) => e.u8(1 + lane_tag(lane)),
+    }
+    for &lane_value in acc.lanes() {
+        e.i64(lane_value);
+    }
+}
+
+fn restore_accumulator(d: &mut Decoder<'_>, acc: &mut Accumulator) -> Result<(), CodecError> {
+    let tag = d.u8("accumulator mode")?;
+    let mode = match tag {
+        0 => None,
+        1..=6 => Some(LANES[(tag - 1) as usize]),
+        _ => return Err(CodecError::Invalid { what: "accumulator mode" }),
+    };
+    acc.clear();
+    for idx in 0..MAX_ACC_LANES {
+        let value = d.i64("accumulator lane")?;
+        if let Some(lane) = mode {
+            acc.set_lane(lane, idx, value);
+        } else if value != 0 {
+            return Err(CodecError::Invalid { what: "modeless accumulator lane" });
+        }
+    }
+    Ok(())
+}
+
+/// Serialize the complete architectural state of `machine`.
+///
+/// The encoding is deterministic: identical state always produces identical
+/// bytes, so snapshot round trips can be compared byte-for-byte.
+pub fn encode_machine(e: &mut Encoder, machine: &Machine) {
+    e.u32(ARCH_VERSION);
+    for i in 0..NUM_INT_REGS {
+        e.i64(machine.core.int.read(r(i)));
+    }
+    for i in 0..NUM_FP_REGS {
+        e.f64(machine.core.fp.read(FpReg::new(i)));
+    }
+    for i in 0..NUM_MEDIA_REGS {
+        e.u64(machine.core.media.read(m(i)).bits());
+    }
+    for acc in &machine.core.accs {
+        encode_accumulator(e, acc);
+    }
+    e.u64(machine.core.mem.base());
+    let len = machine.core.mem.len();
+    e.usize(len);
+    let bytes = machine.core.mem.read_bytes(machine.core.mem.base(), len);
+    let chunks: Vec<(usize, &[u8])> = bytes
+        .chunks(MEM_CHUNK)
+        .enumerate()
+        .filter(|(_, chunk)| chunk.iter().any(|&b| b != 0))
+        .collect();
+    e.usize(chunks.len());
+    for (index, chunk) in chunks {
+        e.usize(index);
+        e.blob(chunk);
+    }
+    for i in 0..NUM_MOM_REGS {
+        let value = machine.mom.matrix.read(v(i));
+        for row in 0..MOM_ROWS {
+            e.u64(value.row(row).bits());
+        }
+    }
+    for acc in &machine.mom.accs {
+        encode_accumulator(e, acc);
+    }
+    e.usize(machine.mom.vl());
+}
+
+/// Restore architectural state encoded by [`encode_machine`] into an
+/// existing machine with a matching memory-image geometry.
+///
+/// # Errors
+///
+/// Fails with a [`CodecError`] on a truncated stream, an unsupported version
+/// tag, or a memory image whose base address or length does not match
+/// `machine`'s (checkpoints only restore onto the workload they were taken
+/// from).
+pub fn restore_machine(d: &mut Decoder<'_>, machine: &mut Machine) -> Result<(), CodecError> {
+    let version = d.u32("arch snapshot version")?;
+    if version != ARCH_VERSION {
+        return Err(CodecError::Version { what: "arch snapshot", found: version });
+    }
+    for i in 0..NUM_INT_REGS {
+        let value = d.i64("int register")?;
+        machine.core.int.write(r(i), value);
+    }
+    for i in 0..NUM_FP_REGS {
+        let value = d.f64("fp register")?;
+        machine.core.fp.write(FpReg::new(i), value);
+    }
+    for i in 0..NUM_MEDIA_REGS {
+        let bits = d.u64("media register")?;
+        machine.core.media.write(m(i), PackedWord::new(bits));
+    }
+    for acc_index in 0..NUM_MDMX_ACCS {
+        restore_accumulator(d, &mut machine.core.accs[acc_index])?;
+    }
+    let base = d.u64("memory base")?;
+    if base != machine.core.mem.base() {
+        return Err(CodecError::Invalid { what: "memory base" });
+    }
+    let len = d.usize("memory length")?;
+    if len != machine.core.mem.len() {
+        return Err(CodecError::Invalid { what: "memory length" });
+    }
+    // The target machine is rebuilt from its workload spec, so its image is
+    // not blank: zero it before applying the stored nonzero chunks.
+    let zeros = vec![0u8; MEM_CHUNK];
+    let mut offset = 0;
+    while offset < len {
+        let n = MEM_CHUNK.min(len - offset);
+        machine.core.mem.write_bytes(base + offset as u64, &zeros[..n]);
+        offset += n;
+    }
+    let chunk_count = d.usize("memory chunk count")?;
+    let mut prev: Option<usize> = None;
+    for _ in 0..chunk_count {
+        let index = d.usize("memory chunk index")?;
+        if prev.is_some_and(|p| index <= p) || index * MEM_CHUNK >= len {
+            return Err(CodecError::Invalid { what: "memory chunk index" });
+        }
+        let chunk = d.blob("memory chunk")?;
+        if chunk.len() != MEM_CHUNK.min(len - index * MEM_CHUNK) {
+            return Err(CodecError::Invalid { what: "memory chunk length" });
+        }
+        machine.core.mem.write_bytes(base + (index * MEM_CHUNK) as u64, chunk);
+        prev = Some(index);
+    }
+    for i in 0..NUM_MOM_REGS {
+        let mut value = MatrixValue::default();
+        for row in 0..MOM_ROWS {
+            let bits = d.u64("matrix row")?;
+            value.set_row(row, PackedWord::new(bits));
+        }
+        machine.mom.matrix.write(v(i), value);
+    }
+    for acc_index in 0..NUM_MOM_ACCS {
+        restore_accumulator(d, &mut machine.mom.accs[acc_index])?;
+    }
+    let vl = d.usize("vector length")?;
+    if vl > crate::matrix::MAX_VL {
+        return Err(CodecError::Invalid { what: "vector length" });
+    }
+    machine.mom.set_vl(vl);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mom_isa::mem::MemImage;
+
+    fn scrambled_machine() -> Machine {
+        let mut machine = Machine::new(MemImage::new(0x1000, 256));
+        for i in 0..NUM_INT_REGS {
+            machine.core.int.write(r(i), (i as i64) * -37 + 5);
+        }
+        for i in 0..NUM_FP_REGS {
+            machine.core.fp.write(FpReg::new(i), i as f64 * 0.5 - 3.0);
+        }
+        for i in 0..NUM_MEDIA_REGS {
+            machine.core.media.write(m(i), PackedWord::new(0x0101_0101u64 * i as u64));
+        }
+        machine.core.accs[1].set_lane(Lane::I16, 2, -999);
+        machine.core.mem.write_bytes(0x1008, &[1, 2, 3, 250]);
+        let mut value = MatrixValue::default();
+        for row in 0..MOM_ROWS {
+            value.set_row(row, PackedWord::new(row as u64 | 0xab00));
+        }
+        machine.mom.matrix.write(v(3), value);
+        machine.mom.accs[0].set_lane(Lane::U8, 7, 42);
+        machine.mom.set_vl(9);
+        machine
+    }
+
+    #[test]
+    fn snapshot_roundtrip_restores_everything() {
+        let machine = scrambled_machine();
+        let mut e = Encoder::new();
+        encode_machine(&mut e, &machine);
+        let bytes = e.into_bytes();
+
+        let mut restored = Machine::new(MemImage::new(0x1000, 256));
+        let mut d = Decoder::new(&bytes);
+        restore_machine(&mut d, &mut restored).unwrap();
+        d.finish("arch snapshot tail").unwrap();
+
+        let mut e2 = Encoder::new();
+        encode_machine(&mut e2, &restored);
+        assert_eq!(bytes, e2.into_bytes(), "encode → decode → encode must be byte-stable");
+        assert_eq!(restored.mom.vl(), 9);
+        assert_eq!(restored.core.int.read(r(5)), 5 * -37 + 5);
+        assert_eq!(restored.mom.accs[0].lane(7), 42);
+    }
+
+    #[test]
+    fn snapshot_size_tracks_the_touched_working_set() {
+        // 1 MB image, 5 bytes touched: the sparse encoding must store only
+        // the touched chunk, not the megabyte of reserved capacity.
+        let mut machine = Machine::new(MemImage::new(0x1000, 1024 * 1024));
+        machine.core.mem.write_bytes(0x2345, &[9, 8, 7, 6, 5]);
+        let mut e = Encoder::new();
+        encode_machine(&mut e, &machine);
+        let bytes = e.into_bytes();
+        assert!(bytes.len() < 3 * MEM_CHUNK, "snapshot is {} bytes", bytes.len());
+
+        let mut restored = Machine::new(MemImage::new(0x1000, 1024 * 1024));
+        // Pre-dirty the target: restore must erase state the snapshot lacks.
+        restored.core.mem.write_bytes(0x9000, &[0xff; 64]);
+        let mut d = Decoder::new(&bytes);
+        restore_machine(&mut d, &mut restored).unwrap();
+        d.finish("arch snapshot tail").unwrap();
+        assert_eq!(restored.core.mem.read_bytes(0x2345, 5), &[9, 8, 7, 6, 5]);
+        assert_eq!(restored.core.mem.read_bytes(0x9000, 64), &[0u8; 64]);
+        let mut e2 = Encoder::new();
+        encode_machine(&mut e2, &restored);
+        assert_eq!(bytes, e2.into_bytes());
+    }
+
+    #[test]
+    fn snapshot_rejects_mismatched_memory_geometry() {
+        let machine = scrambled_machine();
+        let mut e = Encoder::new();
+        encode_machine(&mut e, &machine);
+        let bytes = e.into_bytes();
+
+        let mut wrong_base = Machine::new(MemImage::new(0x2000, 256));
+        assert!(restore_machine(&mut Decoder::new(&bytes), &mut wrong_base).is_err());
+        let mut wrong_len = Machine::new(MemImage::new(0x1000, 128));
+        assert!(restore_machine(&mut Decoder::new(&bytes), &mut wrong_len).is_err());
+    }
+
+    #[test]
+    fn snapshot_rejects_future_version() {
+        let mut e = Encoder::new();
+        e.u32(ARCH_VERSION + 1);
+        let bytes = e.into_bytes();
+        let mut machine = Machine::new(MemImage::new(0, 8));
+        assert!(matches!(
+            restore_machine(&mut Decoder::new(&bytes), &mut machine),
+            Err(CodecError::Version { .. })
+        ));
+    }
+}

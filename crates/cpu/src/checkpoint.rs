@@ -1,0 +1,134 @@
+//! The serializable checkpoint of one simulation: architectural state, warm
+//! engine state and warm memory state, bound to the dynamic instruction index
+//! they were captured at.
+//!
+//! A [`Checkpoint`] is the unit the sampled execution mode writes to disk so
+//! long grid cells can be paused, resumed and distributed. The three state
+//! sections are opaque byte blobs to this container — the architectural
+//! section is produced by `mom-core`'s machine snapshot codec, the engine and
+//! memory sections by [`SimState::save_state`](crate::SimState::save_state)
+//! and [`MemorySystem::save_state`](mom_mem::MemorySystem::save_state) — so
+//! the container can be framed, validated and shipped without decoding them.
+//! The framing itself is versioned and magic-tagged: a file that is not a
+//! checkpoint, or was written by an incompatible build, fails loudly at
+//! [`Checkpoint::from_bytes`] instead of corrupting a resumed run.
+//!
+//! Encoding is deterministic: `to_bytes → from_bytes → to_bytes` reproduces
+//! the input byte-for-byte, which the resume tests pin.
+
+use mom_isa::codec::{CodecError, Decoder, Encoder};
+
+/// Magic tag leading every serialized checkpoint: `"MOMCKPT\0"` as a
+/// little-endian `u64`.
+const MAGIC: u64 = u64::from_le_bytes(*b"MOMCKPT\0");
+
+/// Version tag of the checkpoint framing. Bump on any change to the layout
+/// [`Checkpoint::to_bytes`] writes.
+pub const CHECKPOINT_VERSION: u32 = 1;
+
+/// A complete, serializable snapshot of one simulation at an instruction
+/// boundary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Checkpoint {
+    /// Architectural state (registers, memory image, execution cursor) as
+    /// encoded by the functional interpreter's snapshot codec in `mom-core`.
+    pub arch_state: Vec<u8>,
+    /// Warm engine state — predictor tables, scoreboard, ring-buffer
+    /// histories, probe accumulators — as encoded by the owner of the
+    /// [`SimState`](crate::SimState).
+    pub sim_state: Vec<u8>,
+    /// Warm memory-system state — cache tags, MSHRs, buffered stores, channel
+    /// occupancy — as encoded by
+    /// [`MemorySystem::save_state`](mom_mem::MemorySystem::save_state).
+    pub mem_state: Vec<u8>,
+    /// Number of dynamic instructions executed before this checkpoint was
+    /// taken: the position in the instruction stream to resume from.
+    pub inst_index: u64,
+}
+
+impl Checkpoint {
+    /// Serialize the checkpoint with its magic/version framing.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut e = Encoder::new();
+        e.u64(MAGIC);
+        e.u32(CHECKPOINT_VERSION);
+        e.u64(self.inst_index);
+        e.blob(&self.arch_state);
+        e.blob(&self.sim_state);
+        e.blob(&self.mem_state);
+        e.into_bytes()
+    }
+
+    /// Decode a checkpoint written by [`Checkpoint::to_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// Fails with a [`CodecError`] if `bytes` does not start with the
+    /// checkpoint magic, carries an unsupported version, is truncated, or has
+    /// trailing garbage. The embedded state sections are *not* decoded here —
+    /// they are validated by their own codecs when restored into a machine.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, CodecError> {
+        let mut d = Decoder::new(bytes);
+        d.expect_u64(MAGIC, "checkpoint magic")?;
+        let version = d.u32("checkpoint version")?;
+        if version != CHECKPOINT_VERSION {
+            return Err(CodecError::Version { what: "checkpoint", found: version });
+        }
+        let inst_index = d.u64("checkpoint instruction index")?;
+        let arch_state = d.blob("checkpoint architectural state")?.to_vec();
+        let sim_state = d.blob("checkpoint engine state")?.to_vec();
+        let mem_state = d.blob("checkpoint memory state")?.to_vec();
+        d.finish("checkpoint")?;
+        Ok(Self { arch_state, sim_state, mem_state, inst_index })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Checkpoint {
+        Checkpoint {
+            arch_state: vec![1, 2, 3, 4, 5],
+            sim_state: vec![0xaa; 37],
+            mem_state: vec![],
+            inst_index: 123_456_789,
+        }
+    }
+
+    #[test]
+    fn roundtrip_is_byte_stable() {
+        let ckpt = sample();
+        let bytes = ckpt.to_bytes();
+        let decoded = Checkpoint::from_bytes(&bytes).unwrap();
+        assert_eq!(decoded, ckpt);
+        assert_eq!(decoded.to_bytes(), bytes, "encode → decode → encode must be byte-stable");
+    }
+
+    #[test]
+    fn rejects_not_a_checkpoint() {
+        let err = Checkpoint::from_bytes(b"definitely not a checkpoint file").unwrap_err();
+        assert_eq!(err, CodecError::Invalid { what: "checkpoint magic" });
+        assert!(Checkpoint::from_bytes(b"").is_err());
+    }
+
+    #[test]
+    fn rejects_future_version() {
+        let mut bytes = sample().to_bytes();
+        bytes[8] = 0xff; // the version u32 follows the 8-byte magic
+        let err = Checkpoint::from_bytes(&bytes).unwrap_err();
+        assert!(matches!(err, CodecError::Version { what: "checkpoint", .. }));
+    }
+
+    #[test]
+    fn rejects_truncation_and_trailing_garbage() {
+        let bytes = sample().to_bytes();
+        assert!(Checkpoint::from_bytes(&bytes[..bytes.len() - 1]).is_err());
+        let mut longer = bytes.clone();
+        longer.push(0);
+        assert_eq!(
+            Checkpoint::from_bytes(&longer).unwrap_err(),
+            CodecError::Invalid { what: "checkpoint" }
+        );
+    }
+}

@@ -26,6 +26,7 @@
 //! register is charged, so a chain of loads each missing to DRAM shows up as
 //! DRAM time, not as generic dependence time.
 
+use mom_isa::codec::{CodecError, Decoder, Encoder};
 use mom_mem::AccessCause;
 
 /// The single cause a commit-slot cycle is attributed to.
@@ -104,6 +105,18 @@ impl StallCause {
             StallCause::MshrFull => "mshr",
             StallCause::WriteBuffer => "write-buffer",
         }
+    }
+
+    /// Inverse of [`StallCause::index`].
+    ///
+    /// # Errors
+    ///
+    /// Fails on an index no cause carries — a corrupted checkpoint stream.
+    pub fn from_index(index: usize) -> Result<Self, CodecError> {
+        StallCause::ALL
+            .get(index)
+            .copied()
+            .ok_or(CodecError::Invalid { what: "stall cause index" })
     }
 
     /// Map a memory-system completion cause to its attribution bucket.
@@ -358,6 +371,62 @@ impl AttributionProbe {
         );
         let intervals = self.intervals();
         ProbeReport { breakdown: self.breakdown, intervals }
+    }
+
+    /// Serialize the complete attribution state — breakdown, per-register
+    /// producer causes and the interval-window accumulators — through the
+    /// checkpoint codec, so a resumed sampled run continues its timeline
+    /// exactly where the checkpointed one stopped.
+    pub fn save_state(&self, e: &mut Encoder) {
+        e.u64(self.breakdown.total_cycles);
+        for &cycles in &self.breakdown.components {
+            e.u64(cycles);
+        }
+        for &cause in self.reg_cause.iter() {
+            e.u8(cause.index() as u8);
+        }
+        e.u64(self.window_cycles);
+        e.usize(self.n_windows);
+        for w in &self.windows[..self.n_windows] {
+            e.u64(w.committed);
+            for &cycles in &w.cycles {
+                e.u64(cycles);
+            }
+        }
+    }
+
+    /// Rebuild a probe from state written by [`AttributionProbe::save_state`].
+    ///
+    /// # Errors
+    ///
+    /// Fails if the stream is truncated or carries an out-of-range stall
+    /// cause, a window width that is not on the `1024·2^k` compaction
+    /// schedule, or more live windows than the recorder ever keeps.
+    pub fn load_state(d: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        let mut probe = Self::new();
+        probe.breakdown.total_cycles = d.u64("breakdown total cycles")?;
+        for cycles in &mut probe.breakdown.components {
+            *cycles = d.u64("breakdown component")?;
+        }
+        for cause in probe.reg_cause.iter_mut() {
+            *cause = StallCause::from_index(d.u8("register cause")? as usize)?;
+        }
+        let window_cycles = d.u64("interval window width")?;
+        if !window_cycles.is_power_of_two() || window_cycles < INITIAL_WINDOW {
+            return Err(CodecError::Invalid { what: "interval window width" });
+        }
+        probe.window_cycles = window_cycles;
+        probe.n_windows = d.usize("interval window count")?;
+        if probe.n_windows > MAX_WINDOWS {
+            return Err(CodecError::Invalid { what: "interval window count" });
+        }
+        for w in &mut probe.windows[..probe.n_windows] {
+            w.committed = d.u64("window committed")?;
+            for cycles in &mut w.cycles {
+                *cycles = d.u64("window component")?;
+            }
+        }
+        Ok(probe)
     }
 
     /// Slow path of [`Probe::on_commit`]: the commit cycle falls past the

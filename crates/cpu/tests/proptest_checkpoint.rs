@@ -1,0 +1,160 @@
+//! Property-based pinning of the checkpoint machinery: for arbitrary dynamic
+//! instruction streams on every ISA, machine width and memory model, a
+//! [`Checkpoint`] built mid-run (a) survives `to_bytes → from_bytes →
+//! to_bytes` byte-identically and (b) resumes into a **fresh** machine that
+//! finishes the run bit-identically to an uninterrupted one — `SimResult`,
+//! attribution report and memory statistics all included. These are the two
+//! properties the sampled execution mode leans on: checkpoint files must be
+//! reproducible artifacts, and a resumed cell must be indistinguishable from
+//! one that never stopped.
+
+use mom_cpu::{AttributionProbe, Checkpoint, MachineDescriptor};
+use mom_isa::codec::{Decoder, Encoder};
+use mom_isa::trace::{ArchReg, BranchInfo, DynInst, InstClass, IsaKind, MemAccess, MemKind};
+use mom_mem::MemModelKind;
+use proptest::prelude::*;
+
+const WIDTHS: [usize; 4] = [1, 2, 4, 8];
+const ISAS: [IsaKind; 4] = [IsaKind::Alpha, IsaKind::Mmx, IsaKind::Mdmx, IsaKind::Mom];
+
+/// Decode one generated tuple into a dynamic instruction. The mix covers the
+/// state the checkpoint must carry: predictor tables (branches), cache tags
+/// and MSHRs (loads/stores), media occupancy and the accumulator recurrence
+/// (rename headroom), plus plain ALU traffic.
+fn decode_inst(index: usize, sel: usize, bits: u64, elems: u16, flag: bool) -> DynInst {
+    let pc = bits >> 48 & 0x3f;
+    let ra = (bits & 31) as u8;
+    let rd = (bits >> 5 & 31) as u8;
+    match sel % 8 {
+        0 => DynInst::new(InstClass::IntSimple, pc)
+            .with_src(ArchReg::int(ra))
+            .with_dst(ArchReg::int(rd)),
+        1 => DynInst::new(InstClass::IntComplex, pc)
+            .with_src(ArchReg::int(ra))
+            .with_dst(ArchReg::int(rd)),
+        2 => DynInst::new(InstClass::MediaSimple, pc)
+            .with_src(ArchReg::media(ra % 8))
+            .with_dst(ArchReg::mom(rd % 16))
+            .with_elems(elems),
+        3 => DynInst::new(InstClass::MediaComplex, pc)
+            .with_src(ArchReg::mom_acc(ra % 2))
+            .with_src(ArchReg::mom(rd % 16))
+            .with_dst(ArchReg::mom_acc(ra % 2))
+            .with_elems(elems),
+        4 => DynInst::new(InstClass::Load, pc)
+            .with_src(ArchReg::int(ra))
+            .with_dst(ArchReg::int(rd))
+            .with_mem(vec![MemAccess {
+                addr: (bits & 0xffff) * 8 + index as u64,
+                size: 8,
+                kind: MemKind::Load,
+            }]),
+        5 => DynInst::new(InstClass::Store, pc).with_src(ArchReg::int(ra)).with_mem(vec![
+            MemAccess { addr: (bits & 0xffff) * 4, size: 4, kind: MemKind::Store },
+        ]),
+        6 => DynInst::new(InstClass::Branch, pc).with_branch(BranchInfo {
+            taken: flag,
+            conditional: bits & 1 == 0,
+            pc,
+            target: bits >> 40 & 0x3f,
+        }),
+        _ => DynInst::new(InstClass::Nop, pc),
+    }
+}
+
+/// Feed a prefix on a fresh machine, pack the warm state into a
+/// [`Checkpoint`] exactly the way the lab runner does (engine + probe bytes
+/// in `sim_state`, memory bytes in `mem_state`).
+fn checkpoint_after_prefix(
+    desc: &MachineDescriptor,
+    prefix: &[DynInst],
+    arch_state: Vec<u8>,
+) -> Checkpoint {
+    let mut machine = desc.build();
+    let mut sim = machine.sim_probed();
+    for inst in prefix {
+        sim.feed(inst);
+    }
+    let (_, probe) = sim.finish_probed();
+    let mut sim_state = Encoder::new();
+    machine.save_engine_state(&mut sim_state);
+    probe.save_state(&mut sim_state);
+    let mut mem_state = Encoder::new();
+    machine.save_mem_state(&mut mem_state);
+    Checkpoint {
+        arch_state,
+        sim_state: sim_state.into_bytes(),
+        mem_state: mem_state.into_bytes(),
+        inst_index: prefix.len() as u64,
+    }
+}
+
+proptest! {
+    // Each case runs the trace twice (continuous + resumed) over a real
+    // cache hierarchy; 40 cases keep the suite CI-friendly.
+    #![proptest_config(Config::with_cases(40))]
+
+    #[test]
+    fn checkpoints_roundtrip_and_resume_bit_identically(
+        raw in prop::collection::vec(
+            (0usize..8, any::<u64>(), 1u16..=16, any::<bool>()),
+            0..400,
+        ),
+        split_sel in any::<u64>(),
+        way_idx in 0usize..4,
+        isa_idx in 0usize..4,
+        mem_sel in 0usize..4,
+        arch_state in prop::collection::vec(any::<u8>(), 0..64),
+    ) {
+        let insts: Vec<DynInst> = raw
+            .iter()
+            .enumerate()
+            .map(|(i, &(sel, bits, elems, flag))| decode_inst(i, sel, bits, elems, flag))
+            .collect();
+        let split = (split_sel as usize) % (insts.len() + 1);
+        let mem = match mem_sel {
+            0 => MemModelKind::Perfect { latency: 1 + (raw.len() as u64 % 7) },
+            1 => MemModelKind::Conventional,
+            2 => MemModelKind::MultiAddress,
+            _ => MemModelKind::VectorCache,
+        };
+        let desc = MachineDescriptor::for_cell(WIDTHS[way_idx], ISAS[isa_idx], mem);
+
+        // The uninterrupted reference run.
+        let mut continuous = desc.build();
+        let mut sim = continuous.sim_probed();
+        for inst in &insts {
+            sim.feed(inst);
+        }
+        let (expected, probe) = sim.finish_probed();
+        let expected_report = probe.into_report();
+
+        // Property (a): the serialized checkpoint is a reproducible artifact.
+        let ckpt = checkpoint_after_prefix(&desc, &insts[..split], arch_state);
+        let bytes = ckpt.to_bytes();
+        let decoded = Checkpoint::from_bytes(&bytes).expect("own bytes decode");
+        prop_assert_eq!(&decoded, &ckpt);
+        prop_assert_eq!(decoded.to_bytes(), bytes.clone(), "encode → decode → encode drifted");
+        prop_assert_eq!(decoded.inst_index, split as u64);
+
+        // Property (b): restoring the DECODED checkpoint into a fresh
+        // machine and feeding the suffix matches the uninterrupted run.
+        let mut resumed = desc.build();
+        let mut d = Decoder::new(&decoded.sim_state);
+        resumed.load_engine_state(&mut d).expect("engine state restores");
+        let probe = AttributionProbe::load_state(&mut d).expect("probe state restores");
+        d.finish("sim state").expect("no trailing engine bytes");
+        let mut d = Decoder::new(&decoded.mem_state);
+        resumed.load_mem_state(&mut d).expect("memory state restores");
+        d.finish("mem state").expect("no trailing memory bytes");
+
+        let mut sim = resumed.sim_probed_with(probe);
+        for inst in &insts[split..] {
+            sim.feed(inst);
+        }
+        let (result, probe) = sim.finish_probed();
+        prop_assert_eq!(result, expected, "resumed run diverged");
+        prop_assert_eq!(probe.into_report(), expected_report, "attribution diverged");
+        prop_assert_eq!(resumed.mem_stats(), continuous.mem_stats(), "memory stats diverged");
+    }
+}

@@ -11,8 +11,11 @@ use mom_isa::trace::IsaKind;
 
 /// Default base address for kernel working sets.
 pub const KERNEL_MEM_BASE: u64 = 0x10_000;
-/// Default size of the kernel memory image (16 MB covers every workload).
-pub const KERNEL_MEM_SIZE: usize = 16 * 1024 * 1024;
+/// Default size of the kernel memory image. 64 MB covers every workload up
+/// to `stress --scale 100` (effective scale 800, where the rgb2ycc frame
+/// alone needs ~36 MB); the allocator bumps from the same base either way,
+/// so growing the capacity changes no addresses and no timing results.
+pub const KERNEL_MEM_SIZE: usize = 64 * 1024 * 1024;
 
 /// Scaffolding shared by every kernel builder: machine + memory allocator +
 /// program builder for one ISA dialect.

@@ -54,6 +54,15 @@ pub struct Diff {
     /// cycle regression happened — but the lines never gate:
     /// [`Diff::has_regressions`] stays a pure cycle comparison.
     pub breakdown: Vec<String>,
+    /// Informational sampled-IPC comparison (from the top-level `sampling`
+    /// sections), present only when **both** documents carry one. A line
+    /// appears when a cell's `ipc_mean` moved by more than the **union of
+    /// both confidence intervals** (`|Δ| > ci_new + ci_base`) — smaller
+    /// moves are statistically indistinguishable at 95% confidence. Sampled
+    /// estimates carry sampling error by construction, so these lines never
+    /// affect [`Diff::has_regressions`]; exact (rate-1 or full-mode) cycle
+    /// counts remain the gate.
+    pub sampling: Vec<String>,
 }
 
 impl Diff {
@@ -83,6 +92,9 @@ impl std::fmt::Display for Diff {
         }
         for b in &self.breakdown {
             writeln!(f, "breakdown: {b}")?;
+        }
+        for s in &self.sampling {
+            writeln!(f, "sampling: {s}")?;
         }
         for t in &self.throughput {
             writeln!(f, "throughput: {t}")?;
@@ -221,7 +233,57 @@ pub fn diff_documents(new: &Value, baseline: &Value, tolerance: f64) -> Result<D
     }
     diff.throughput = throughput_deltas(new, baseline, &mut diff.warnings);
     diff.sharing = sharing_delta(new, baseline);
+    diff.sampling = sampling_deltas(new, baseline, &mut diff.warnings);
     Ok(diff)
+}
+
+/// Informational sampled-IPC deltas between the top-level `sampling`
+/// sections of two documents, matched by `(workload, config, way)`. A line
+/// is emitted only when the means differ by more than the **union of both
+/// 95% confidence intervals** — the coarsest test under which the two
+/// estimates are distinguishable at all. Empty when either document lacks a
+/// `sampling` section (exact-mode results). Never contributes to the exit
+/// code: sampled IPC carries sampling error by construction, so the exact
+/// cycle comparison stays the gate.
+fn sampling_deltas(new: &Value, baseline: &Value, warnings: &mut Vec<String>) -> Vec<String> {
+    let entries = |doc: &Value| -> Vec<Value> {
+        doc.get("sampling")
+            .and_then(|s| s.get("cells"))
+            .and_then(Value::as_array)
+            .map(<[Value]>::to_vec)
+            .unwrap_or_default()
+    };
+    let new_entries = entries(new);
+    let base_entries = entries(baseline);
+    if new_entries.is_empty() || base_entries.is_empty() {
+        return Vec::new();
+    }
+    let base_index = CellIndex::build(&base_entries, "baseline sampling metadata", warnings);
+    let new_index = CellIndex::build(&new_entries, "new sampling metadata", warnings);
+    let mut out = Vec::new();
+    for (key, base_entry) in &base_index.ordered {
+        let Some(new_entry) = new_index.get(key) else {
+            continue;
+        };
+        let field = |e: &Value, k: &str| {
+            e.get(k).and_then(Value::as_f64).filter(|v| v.is_finite())
+        };
+        let (Some(old_mean), Some(new_mean)) =
+            (field(base_entry, "ipc_mean"), field(new_entry, "ipc_mean"))
+        else {
+            continue;
+        };
+        let old_ci = field(base_entry, "ipc_ci95").unwrap_or(0.0);
+        let new_ci = field(new_entry, "ipc_ci95").unwrap_or(0.0);
+        let delta = new_mean - old_mean;
+        if delta.abs() > new_ci + old_ci {
+            out.push(format!(
+                "{key}: ipc {old_mean:.3}±{old_ci:.3} -> {new_mean:.3}±{new_ci:.3} \
+                 ({delta:+.3}, outside both CIs)"
+            ));
+        }
+    }
+    out
 }
 
 /// Informational stall-attribution comparison between one cell's
@@ -505,6 +567,52 @@ mod tests {
         assert!(d.sharing.is_none());
         let d = diff_documents(&doc(1000, "h"), &base, DEFAULT_TOLERANCE).unwrap();
         assert!(d.sharing.is_none());
+    }
+
+    fn with_sampling(mut document: Value, mean: f64, ci: f64) -> Value {
+        let sampling = Value::object(vec![
+            ("unit_insts", Value::Int(1000)),
+            ("warmup_insts", Value::Int(2000)),
+            ("period", Value::Int(100_000)),
+            (
+                "cells",
+                Value::Array(vec![Value::object(vec![
+                    ("workload", Value::Str("idct".into())),
+                    ("config", Value::Str("mom".into())),
+                    ("way", Value::Int(4)),
+                    ("ipc_mean", Value::Float(mean)),
+                    ("ipc_ci95", Value::Float(ci)),
+                ])]),
+            ),
+        ]);
+        if let Value::Object(members) = &mut document {
+            members.push(("sampling".into(), sampling));
+        }
+        document
+    }
+
+    #[test]
+    fn sampling_deltas_use_the_union_of_both_cis() {
+        // Means 1.5±0.2 vs 2.0±0.1: |Δ| = 0.5 > 0.3, distinguishable.
+        let new = with_sampling(doc(1000, "h"), 2.0, 0.1);
+        let base = with_sampling(doc(1000, "h"), 1.5, 0.2);
+        let d = diff_documents(&new, &base, DEFAULT_TOLERANCE).unwrap();
+        assert!(!d.has_regressions(), "sampling lines never gate");
+        assert_eq!(d.sampling.len(), 1, "{:?}", d.sampling);
+        assert!(d.sampling[0].contains("1.500±0.200 -> 2.000±0.100"), "{:?}", d.sampling);
+        assert!(d.sampling[0].contains("+0.500"), "{:?}", d.sampling);
+        assert!(format!("{d}").contains("sampling: idct / mom / 4-way"));
+
+        // A move inside the CI union is statistically indistinguishable.
+        let close = with_sampling(doc(1000, "h"), 1.55, 0.1);
+        let d = diff_documents(&close, &base, DEFAULT_TOLERANCE).unwrap();
+        assert!(d.sampling.is_empty(), "{:?}", d.sampling);
+
+        // Either side lacking the section (exact-mode results): no lines.
+        let d = diff_documents(&new, &doc(1000, "h"), DEFAULT_TOLERANCE).unwrap();
+        assert!(d.sampling.is_empty());
+        let d = diff_documents(&doc(1000, "h"), &base, DEFAULT_TOLERANCE).unwrap();
+        assert!(d.sampling.is_empty());
     }
 
     #[test]

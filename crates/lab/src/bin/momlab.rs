@@ -18,6 +18,8 @@
 //! * `--kernel K` / `--app A` / `--isa I` — restrict grid experiments
 //!   (repeatable)
 //! * `--scale N` — workload scale (default 1)
+//! * `--seed N` — workload seed override (recorded in the spec and its
+//!   `config_hash`)
 //! * `--workers N` — worker threads (default: min(cpus, 8), overridable via
 //!   `MOM_LAB_WORKERS`; 1 = serial)
 //! * `--streamed` — fused *per-cell* streaming: each cell re-interprets its
@@ -32,6 +34,21 @@
 //!   batches through bounded channels to one consumer thread per member
 //!   (`meta.pipeline` records batch size, channel capacity and occupancy;
 //!   `MOM_LAB_BATCH` / `MOM_LAB_CHANNEL` tune the knobs)
+//! * `--sampled` — SMARTS-style sampled simulation: each cell simulates a
+//!   detailed warm-up + measurement unit at the head of every sampling
+//!   period and functionally fast-forwards the rest, so wall-clock scales
+//!   with the number of samples instead of the workload length. Cells are
+//!   IPC *estimates* with 95% confidence intervals (reported in a `sampling`
+//!   results section); `--sample-period 0` measures everything and is
+//!   byte-identical to `--streamed`
+//! * `--sample-unit N` / `--sample-warmup N` / `--sample-period N` — the
+//!   sampling knobs (defaults 1000 / 2000 / 100000 dynamic instructions;
+//!   each implies `--sampled`)
+//! * `--checkpoint-dir DIR` — persist a serialized checkpoint per kernel
+//!   cell at every sampling period boundary (sampled runs only)
+//! * `--resume` — resume cells from the checkpoint files in
+//!   `--checkpoint-dir` instead of starting over (the completed run is
+//!   byte-identical to an uninterrupted one)
 //! * `--sweep-dims SPEC` — override the `sweep` experiment's grid, e.g.
 //!   `rob=16,32:lat=1,50:way=4,8` (axes: `rob`, `lat`, `way`; omitted axes
 //!   keep their defaults)
@@ -45,6 +62,10 @@
 //! * `--quiet` — suppress the text tables
 //! * `--baseline FILE` — diff the result against a saved JSON document;
 //!   exit code 2 when a regression is found
+//! * `--compare FILE` — embed a `comparison` section into the written
+//!   document: wall-clock speedup over the exact run saved in FILE plus the
+//!   per-cell IPC error against it (how the committed sampled BENCH
+//!   artifacts carry their own accuracy evidence)
 //! * `--tolerance F` — relative cycle tolerance for `--baseline` (default 0.02)
 //! * `--throughput-gate MINST` — exit 2 when an experiment's aggregate
 //!   simulator throughput lands below MINST million instructions per second
@@ -95,10 +116,12 @@ Usage:
   momlab list [--experiment NAME]...
   momlab describe <NAME>... [--sweep-dims SPEC]
   momlab run <NAME>... | --all [--experiment NAME]... [--kernel K]... [--app A]...
-             [--isa I]... [--scale N] [--workers N] [--streamed] [--materialized]
+             [--isa I]... [--scale N] [--seed N] [--workers N] [--streamed]
+             [--materialized] [--sampled] [--sample-unit N] [--sample-warmup N]
+             [--sample-period N] [--checkpoint-dir DIR] [--resume]
              [--sweep-dims SPEC] [--json FILE] [--out-dir DIR] [--results-only]
-             [--no-json] [--quiet] [--baseline FILE] [--tolerance F]
-             [--trace-out FILE] [--throughput-gate MINST]
+             [--no-json] [--quiet] [--baseline FILE] [--compare FILE]
+             [--tolerance F] [--trace-out FILE] [--throughput-gate MINST]
   momlab --all
   momlab diff <NEW.json> --baseline <OLD.json> [--tolerance F]
 
@@ -109,6 +132,13 @@ Execution modes: the default fan-out runner shares one functional pass per
 (workload, ISA) group across all member machines — pipelined across threads
 at 2+ workers; --streamed runs the fused per-cell pipeline; --materialized
 builds and replays traces. All three are byte-identical in their results.
+--sampled trades exactness for wall-clock: per sampling period (default
+100000 insts) it simulates a detailed warm-up (2000) plus a measured unit
+(1000) and fast-forwards the rest, reporting per-cell IPC estimates with
+95% confidence intervals in a `sampling` results section. --sample-period 0
+measures every instruction and is byte-identical to --streamed. With
+--checkpoint-dir, kernel cells persist a resumable checkpoint every period;
+--resume continues from those files bit-exactly.
 
 --sweep-dims overrides the sweep grid, e.g. rob=16,32:lat=1,50:way=4,8.
 
@@ -136,9 +166,16 @@ struct Options {
     isas: Vec<IsaKind>,
     apps: Vec<AppKind>,
     scale: usize,
+    seed: Option<u64>,
     workers: Option<usize>,
     streamed: bool,
     materialized: bool,
+    sampled: bool,
+    sample_unit: Option<u64>,
+    sample_warmup: Option<u64>,
+    sample_period: Option<u64>,
+    checkpoint_dir: Option<PathBuf>,
+    resume: bool,
     sweep_dims: Option<String>,
     json: Option<PathBuf>,
     out_dir: PathBuf,
@@ -146,6 +183,7 @@ struct Options {
     no_json: bool,
     quiet: bool,
     baseline: Option<PathBuf>,
+    compare: Option<PathBuf>,
     tolerance: f64,
     trace_out: Option<PathBuf>,
     throughput_gate: Option<f64>,
@@ -189,8 +227,48 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                         })?,
                 )
             }
+            "--seed" => {
+                opts.seed =
+                    Some(value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?)
+            }
             "--streamed" => opts.streamed = true,
             "--materialized" => opts.materialized = true,
+            "--sampled" => opts.sampled = true,
+            "--sample-unit" => {
+                opts.sample_unit = Some(
+                    value("--sample-unit")?
+                        .parse()
+                        .map_err(|e| format!("--sample-unit: {e}"))
+                        .and_then(|u| {
+                            if u == 0 {
+                                Err("--sample-unit must be >= 1".to_string())
+                            } else {
+                                Ok(u)
+                            }
+                        })?,
+                );
+                opts.sampled = true;
+            }
+            "--sample-warmup" => {
+                opts.sample_warmup = Some(
+                    value("--sample-warmup")?
+                        .parse()
+                        .map_err(|e| format!("--sample-warmup: {e}"))?,
+                );
+                opts.sampled = true;
+            }
+            "--sample-period" => {
+                opts.sample_period = Some(
+                    value("--sample-period")?
+                        .parse()
+                        .map_err(|e| format!("--sample-period: {e}"))?,
+                );
+                opts.sampled = true;
+            }
+            "--checkpoint-dir" => {
+                opts.checkpoint_dir = Some(PathBuf::from(value("--checkpoint-dir")?))
+            }
+            "--resume" => opts.resume = true,
             "--sweep-dims" => opts.sweep_dims = Some(value("--sweep-dims")?.to_string()),
             "--json" => opts.json = Some(PathBuf::from(value("--json")?)),
             "--out-dir" => opts.out_dir = PathBuf::from(value("--out-dir")?),
@@ -198,6 +276,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             "--no-json" => opts.no_json = true,
             "--quiet" => opts.quiet = true,
             "--baseline" => opts.baseline = Some(PathBuf::from(value("--baseline")?)),
+            "--compare" => opts.compare = Some(PathBuf::from(value("--compare")?)),
             "--trace-out" => opts.trace_out = Some(PathBuf::from(value("--trace-out")?)),
             "--throughput-gate" => {
                 opts.throughput_gate = Some(
@@ -288,6 +367,11 @@ fn selected_specs(opts: &Options) -> Result<Vec<ExperimentSpec>, String> {
             })?
         };
         if let ExperimentKind::Grid(grid) = &mut spec.kind {
+            // The seed is part of the spec, so the override flows into the
+            // config_hash and the results document automatically.
+            if let Some(seed) = opts.seed {
+                grid.seed = seed;
+            }
             if !opts.kernels.is_empty() {
                 grid.retain_kernels(&opts.kernels);
             }
@@ -341,6 +425,101 @@ fn read_document(path: &Path) -> Result<Value, String> {
     Value::parse(&text).map_err(|e| format!("{}: {e}", path.display()))
 }
 
+/// Build the `comparison` member `--compare` embeds in the written document:
+/// wall-clock speedup against the exact baseline run plus the per-cell IPC
+/// error of this run's estimates, so a committed sampled BENCH artifact
+/// carries its own accuracy evidence. Both documents must be grid results of
+/// the same experiment at the same scale, and the baseline must carry
+/// `meta.wall_ms` (i.e. not be a `--results-only` document).
+fn comparison_section(
+    new: &Value,
+    exact: &Value,
+    exact_path: &Path,
+    wall_ms: u64,
+) -> Result<Value, String> {
+    for field in ["experiment", "scale", "config_hash"] {
+        let (a, b) = (new.get(field), exact.get(field));
+        if a != b {
+            return Err(format!(
+                "--compare: {field} mismatch (this run: {}, {}: {})",
+                a.map(Value::to_compact).unwrap_or_else(|| "absent".into()),
+                exact_path.display(),
+                b.map(Value::to_compact).unwrap_or_else(|| "absent".into()),
+            ));
+        }
+    }
+    let exact_wall = exact
+        .get("meta")
+        .and_then(|m| m.get("wall_ms"))
+        .and_then(Value::as_i64)
+        .ok_or_else(|| {
+            format!(
+                "--compare: {} carries no meta.wall_ms (written with --results-only?)",
+                exact_path.display()
+            )
+        })?;
+    let exact_mode = exact
+        .get("meta")
+        .and_then(|m| m.get("mode"))
+        .and_then(Value::as_str)
+        .unwrap_or("?")
+        .to_string();
+    let cells = |doc: &Value| -> Result<Vec<Value>, String> {
+        doc.get("cells")
+            .and_then(Value::as_array)
+            .map(<[Value]>::to_vec)
+            .ok_or_else(|| "--compare applies to grid results only".into())
+    };
+    let key = |c: &Value| {
+        (
+            c.get("workload").and_then(Value::as_str).unwrap_or("?").to_string(),
+            c.get("config").and_then(Value::as_str).unwrap_or("?").to_string(),
+            c.get("way").and_then(Value::as_i64).unwrap_or(-1),
+        )
+    };
+    let ipc = |c: &Value| -> Option<f64> {
+        let insts = c.get("instructions").and_then(Value::as_f64)?;
+        let cycles = c.get("cycles").and_then(Value::as_f64).filter(|&v| v > 0.0)?;
+        Some(insts / cycles)
+    };
+    let exact_cells = cells(exact)?;
+    let mut rows = Vec::new();
+    let mut max_error = 0.0f64;
+    for cell in &cells(new)? {
+        let (workload, config, way) = key(cell);
+        let Some(exact_cell) = exact_cells.iter().find(|c| key(c) == key(cell)) else {
+            return Err(format!(
+                "--compare: cell {workload} / {config} / {way}-way is missing from {}",
+                exact_path.display()
+            ));
+        };
+        let (Some(this_ipc), Some(exact_ipc)) = (ipc(cell), ipc(exact_cell)) else {
+            return Err(format!(
+                "--compare: cell {workload} / {config} / {way}-way has unreadable IPC"
+            ));
+        };
+        let error_pct = (this_ipc - exact_ipc).abs() / exact_ipc * 100.0;
+        max_error = max_error.max(error_pct);
+        rows.push(Value::object(vec![
+            ("workload", Value::Str(workload)),
+            ("config", Value::Str(config)),
+            ("way", Value::Int(way)),
+            ("ipc_exact", Value::Float(exact_ipc)),
+            ("ipc_this", Value::Float(this_ipc)),
+            ("ipc_error_pct", Value::Float(error_pct)),
+        ]));
+    }
+    Ok(Value::object(vec![
+        ("baseline", Value::Str(exact_path.display().to_string())),
+        ("baseline_mode", Value::Str(exact_mode)),
+        ("baseline_wall_ms", Value::Int(exact_wall)),
+        ("wall_ms", Value::Int(wall_ms as i64)),
+        ("speedup", Value::Float(exact_wall as f64 / (wall_ms.max(1)) as f64)),
+        ("max_ipc_error_pct", Value::Float(max_error)),
+        ("cells", Value::Array(rows)),
+    ]))
+}
+
 fn cmd_run(opts: &Options) -> Result<ExitCode, String> {
     let specs = selected_specs(opts)?;
     if opts.json.is_some() && specs.len() != 1 {
@@ -349,17 +528,41 @@ fn cmd_run(opts: &Options) -> Result<ExitCode, String> {
     if opts.baseline.is_some() && specs.len() != 1 {
         return Err("--baseline applies to a single experiment; use `momlab diff` per file".into());
     }
+    if opts.compare.is_some() && specs.len() != 1 {
+        return Err("--compare applies to a single experiment".into());
+    }
     let workers = opts.workers.unwrap_or_else(runner::default_workers);
-    if opts.streamed && opts.materialized {
-        return Err("--streamed and --materialized are mutually exclusive".into());
+    if [opts.streamed, opts.materialized, opts.sampled].iter().filter(|&&f| f).count() > 1 {
+        return Err("--streamed, --materialized and --sampled are mutually exclusive".into());
     }
     let mode = if opts.materialized {
         ExecMode::Materialized
+    } else if opts.sampled {
+        let unit_insts = opts.sample_unit.unwrap_or(runner::DEFAULT_SAMPLE_UNIT);
+        let warmup_insts = opts.sample_warmup.unwrap_or(runner::DEFAULT_SAMPLE_WARMUP);
+        let period = opts.sample_period.unwrap_or(runner::DEFAULT_SAMPLE_PERIOD);
+        if period != 0 && period < warmup_insts + unit_insts {
+            return Err(format!(
+                "--sample-period {period} is shorter than --sample-warmup {warmup_insts} \
+                 + --sample-unit {unit_insts} (use 0 to measure everything)"
+            ));
+        }
+        ExecMode::Sampled { unit_insts, warmup_insts, period }
     } else if opts.streamed || mom_lab::stream_mode() {
         ExecMode::Streamed
     } else {
         ExecMode::Fanout
     };
+    if opts.checkpoint_dir.is_some() && !opts.sampled {
+        return Err("--checkpoint-dir applies to sampled runs; add --sampled".into());
+    }
+    if opts.resume && opts.checkpoint_dir.is_none() {
+        return Err("--resume needs --checkpoint-dir DIR".into());
+    }
+    let checkpoints = opts
+        .checkpoint_dir
+        .as_ref()
+        .map(|dir| runner::CheckpointConfig { dir: dir.clone(), resume: opts.resume });
 
     let mut exit = ExitCode::SUCCESS;
     // The throughput gate compares against full-mode workloads; fast mode's
@@ -374,7 +577,8 @@ fn cmd_run(opts: &Options) -> Result<ExitCode, String> {
     });
     let mut trace_processes: Vec<(String, Vec<runner::SpanRec>)> = Vec::new();
     for (i, spec) in specs.iter().enumerate() {
-        let result = runner::run_with_mode_progress(spec, workers, mode, !opts.quiet);
+        let result =
+            runner::run_with_options(spec, workers, mode, !opts.quiet, checkpoints.as_ref());
         if opts.trace_out.is_some() {
             trace_processes.push((spec.name.clone(), result.spans.clone()));
         }
@@ -397,11 +601,19 @@ fn cmd_run(opts: &Options) -> Result<ExitCode, String> {
                 std::fs::create_dir_all(dir)
                     .map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
             }
-            let document = if opts.results_only {
+            let mut document = if opts.results_only {
                 result.results_json()
             } else {
                 result.document_json()
             };
+            if let Some(exact_path) = &opts.compare {
+                let exact = read_document(exact_path)?;
+                let section = comparison_section(&document, &exact, exact_path, result.wall_ms)?;
+                let Value::Object(members) = &mut document else {
+                    return Err("result document is not a JSON object".into());
+                };
+                members.push(("comparison".into(), section));
+            }
             std::fs::write(&path, document.to_pretty())
                 .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
             let throughput = result

@@ -46,8 +46,9 @@ pub mod tables;
 pub mod trace;
 
 pub use runner::{
-    run, run_streamed, run_with, run_with_mode, run_with_mode_progress, CellResult, ExecMode,
-    PoolStats, RunResult, SpanRec,
+    run, run_streamed, run_with, run_with_mode, run_with_mode_progress, run_with_options,
+    CellResult, CellSampling, CheckpointConfig, ExecMode, PoolStats, RunResult, SpanRec,
+    DEFAULT_SAMPLE_PERIOD, DEFAULT_SAMPLE_UNIT, DEFAULT_SAMPLE_WARMUP,
 };
 pub use spec::{ExperimentSpec, GridSpec, SweepDims, Workload, BUILTIN_EXPERIMENTS};
 

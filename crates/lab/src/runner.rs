@@ -1,6 +1,6 @@
 //! The parallel experiment runner.
 //!
-//! Grid experiments run in one of three execution modes ([`ExecMode`]):
+//! Grid experiments run in one of four execution modes ([`ExecMode`]):
 //!
 //! * [`ExecMode::Fanout`] — **the default**: the grid's cells are regrouped
 //!   into `(workload, ISA)` groups; each group runs **one** functional
@@ -20,11 +20,23 @@
 //!   straight into its own simulator, O(ROB) per cell.
 //! * [`ExecMode::Materialized`] — the classic two-stage path: build every
 //!   distinct `(workload, ISA)` trace once, then replay it per cell.
+//! * [`ExecMode::Sampled`] — SMARTS-style statistical sampling: each cell
+//!   alternates detailed warm-up and measurement windows with functional
+//!   fast-forwarding, so wall-clock scales with the number of samples
+//!   instead of the workload length. Results are **estimates** (reported
+//!   with per-cell confidence intervals in a `sampling` results section) —
+//!   except at sampling rate 1 (`period == 0`), which routes through the
+//!   streamed code path and is byte-identical to the exact modes. Sampled
+//!   kernel cells can persist [`Checkpoint`]s between periods (see
+//!   [`CheckpointConfig`]) and resume from them bit-exactly.
 //!
-//! All three modes are **byte-identical** in their results — the determinism
-//! guarantee below covers the execution mode as well as the worker count —
-//! and the chosen mode is recorded only in the JSON `meta` section, along
-//! with the functional-sharing accounting (`meta.shared_passes`).
+//! The three exact modes are **byte-identical** in their results — the
+//! determinism guarantee below covers the execution mode as well as the
+//! worker count — and the chosen mode is recorded only in the JSON `meta`
+//! section, along with the functional-sharing accounting
+//! (`meta.shared_passes`). Sampled runs (period > 0) are equally
+//! deterministic for fixed sampling parameters, but their cell results are
+//! statistical estimates, not the exact cycle counts.
 //!
 //! Machines are built from the declarative [`MachineDescriptor`] resolved by
 //! each grid cell and **reused across work units**: every worker keeps a
@@ -44,25 +56,31 @@
 //!
 //! # Determinism
 //!
-//! For any spec `s`, worker counts `a, b >= 1` and execution modes `m, n`:
+//! For any spec `s`, worker counts `a, b >= 1` and **exact** execution modes
+//! `m, n` (everything except `Sampled` with `period > 0`):
 //! `run_with_mode(&s, a, m).results_json() ==
 //! run_with_mode(&s, b, n).results_json()` — byte-for-byte. Only the `meta`
 //! section of the full document (wall-clock, worker count, mode, sharing
-//! accounting) may differ between runs.
+//! accounting) may differ between runs. A sampled run is byte-identical to
+//! another sampled run with the same parameters at any worker count, and at
+//! `period == 0` byte-identical to the exact modes.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 
-use mom_apps::{stream_app, stream_app_multi, stream_app_pipelined, AppParams};
+use mom_apps::{stream_app, stream_app_multi, stream_app_pipelined, AppKind, AppParams};
+use mom_core::{snapshot, ExecCursor, Machine};
 use mom_cpu::{
-    AttributionProbe, IntervalStats, MachineDescriptor, ProbeReport, SimMachine, SimResult,
-    SimStream, StallBreakdown,
+    AttributionProbe, Checkpoint, IntervalStats, MachineDescriptor, ProbeReport, SimMachine,
+    SimResult, SimStream, StallBreakdown,
 };
+use mom_isa::codec::{CodecError, Decoder, Encoder};
 use mom_isa::pipe::{batch_channel, BatchReceiver, BatchSink};
-use mom_isa::trace::{Broadcast, IsaKind, Trace, TraceSink};
-use mom_kernels::{build_kernel, KernelParams};
+use mom_isa::trace::{Broadcast, DynInst, IsaKind, Trace, TraceSink};
+use mom_kernels::{build_kernel, BuiltKernel, KernelKind, KernelParams};
 use mom_mem::cache::CacheStats;
 use mom_mem::{MemModelKind, MemSystemStats};
 
@@ -70,9 +88,11 @@ use crate::json::Value;
 use crate::spec::{BaselinePolicy, Cell, ExperimentKind, ExperimentSpec, GridSpec, Workload};
 use crate::tables::{static_rows, StaticRows};
 
-/// How a grid experiment executes its cells. Results are byte-identical
-/// across modes; the mode only decides how the functional interpreter's work
-/// is scheduled and shared.
+/// How a grid experiment executes its cells. The three exact modes are
+/// byte-identical in their results; the mode only decides how the functional
+/// interpreter's work is scheduled and shared. [`ExecMode::Sampled`] with a
+/// nonzero period trades exactness for wall-clock: its cells are statistical
+/// estimates with confidence intervals.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ExecMode {
     /// Build every distinct `(workload, ISA)` trace once, replay it per cell.
@@ -90,7 +110,38 @@ pub enum ExecMode {
     /// simulation-bound grids, `Streamed`/`Materialized` keep per-cell
     /// parallelism at the cost of per-cell interpretation.
     Fanout,
+    /// SMARTS-style sampled simulation: every sampling period of
+    /// `period` dynamic instructions opens with `warmup_insts` of detailed
+    /// but unmeasured simulation (warming the predictor, caches and ROB),
+    /// followed by a measured unit of `unit_insts`, and the remainder of the
+    /// period is functionally fast-forwarded (architectural state advances;
+    /// the timing simulator sees nothing). Per-cell IPC is estimated as the
+    /// mean of the unit IPCs with a 95% confidence interval; the cycle count
+    /// in the results is `total_insts / ipc_mean`.
+    ///
+    /// `period == 0` is the **rate-1 sentinel**: every instruction is
+    /// simulated in detail and the run routes through the exact streamed
+    /// code path, making the results byte-identical to [`ExecMode::Streamed`]
+    /// (the correctness gate of the sampling machinery). Otherwise `period`
+    /// must be at least `warmup_insts + unit_insts` and `unit_insts` at
+    /// least 1.
+    Sampled {
+        /// Detailed, measured instructions per sampling unit.
+        unit_insts: u64,
+        /// Detailed, unmeasured warm-up instructions preceding each unit.
+        warmup_insts: u64,
+        /// Sampling period in dynamic instructions (0 = measure everything).
+        period: u64,
+    },
 }
+
+/// Default measured-unit length of `--sampled` (dynamic instructions).
+pub const DEFAULT_SAMPLE_UNIT: u64 = 1_000;
+/// Default detailed warm-up preceding each measured unit.
+pub const DEFAULT_SAMPLE_WARMUP: u64 = 2_000;
+/// Default sampling period: one `warmup + unit` window every 100k
+/// instructions, i.e. 3% of the workload simulated in detail.
+pub const DEFAULT_SAMPLE_PERIOD: u64 = 100_000;
 
 impl ExecMode {
     /// The `meta.mode` label of the JSON schema.
@@ -99,6 +150,7 @@ impl ExecMode {
             ExecMode::Materialized => "materialized",
             ExecMode::Streamed => "streamed",
             ExecMode::Fanout => "fanout",
+            ExecMode::Sampled { .. } => "sampled",
         }
     }
 
@@ -106,6 +158,12 @@ impl ExecMode {
     /// materialized trace (the `meta.streamed` flag of the JSON schema).
     pub fn is_streamed(self) -> bool {
         !matches!(self, ExecMode::Materialized)
+    }
+
+    /// Whether this mode produces statistical estimates instead of exact
+    /// cycle counts (`Sampled` with a nonzero period).
+    pub fn is_estimated(self) -> bool {
+        matches!(self, ExecMode::Sampled { period, .. } if period > 0)
     }
 }
 
@@ -147,6 +205,38 @@ pub struct CellResult {
     /// stalls, DRAM traffic), captured before the machine returns to its
     /// worker pool.
     pub mem_stats: MemSystemStats,
+    /// Sampling accounting of the cell when it ran under [`ExecMode::Sampled`]
+    /// with a nonzero period (`None` in the exact modes): how much of the
+    /// stream was measured, and the IPC estimate with its confidence
+    /// interval.
+    pub sampling: Option<CellSampling>,
+}
+
+/// Per-cell accounting of one [`ExecMode::Sampled`] run: how many measurement
+/// units closed, how much of the dynamic instruction stream they covered,
+/// and the IPC estimate they produced.
+///
+/// In this mode the cell's `cycles` is derived as `total_insts / ipc_mean`,
+/// its committed-instruction count stays exact (the functional interpreter
+/// executes the whole workload either way), and its stall breakdown and
+/// interval timeline cover only the detailed windows — not the
+/// fast-forwarded remainder.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellSampling {
+    /// Measurement units that closed with at least one committed instruction.
+    pub units_measured: u64,
+    /// Committed dynamic instructions inside the measured units.
+    pub measured_insts: u64,
+    /// Dynamic instructions spent on detailed (unmeasured) warm-up.
+    pub warmup_insts: u64,
+    /// Total dynamic instructions of the cell's workload.
+    pub total_insts: u64,
+    /// Mean IPC over the measured units (the estimate behind the cell's
+    /// reported `cycles`).
+    pub ipc_mean: f64,
+    /// Half-width of the 95% confidence interval around `ipc_mean` (zero
+    /// when fewer than two units were measured).
+    pub ipc_ci95: f64,
 }
 
 impl CellResult {
@@ -339,12 +429,84 @@ pub fn run_with_mode_progress(
     mode: ExecMode,
     progress: bool,
 ) -> RunResult {
+    run_with_options(spec, workers, mode, progress, None)
+}
+
+/// Where a sampled run persists per-cell [`Checkpoint`]s, and whether it
+/// should resume from checkpoint files already on disk (`momlab run
+/// --checkpoint-dir` / `--resume`). Only kernel cells of
+/// [`ExecMode::Sampled`] runs with a nonzero period checkpoint; every other
+/// mode ignores this configuration. Files are rewritten atomically at most
+/// every `CKPT_INTERVAL_INSTS` (~10M) executed instructions, plus once at
+/// cell completion.
+#[derive(Debug, Clone)]
+pub struct CheckpointConfig {
+    /// Directory the checkpoint files live in (created if missing).
+    pub dir: PathBuf,
+    /// Resume cells from existing checkpoint files instead of starting over.
+    /// A checkpoint file that does not match the spec, cell or sampling
+    /// parameters fails loudly rather than silently corrupting the run.
+    pub resume: bool,
+}
+
+/// Resolved checkpoint context of one sampled grid run: the user's
+/// [`CheckpointConfig`] plus the identity every checkpoint file is written
+/// with and validated against on resume.
+#[derive(Debug)]
+struct CkptContext {
+    cfg: CheckpointConfig,
+    spec_name: String,
+    config_hash: String,
+    unit: u64,
+    warmup: u64,
+    period: u64,
+}
+
+/// Like [`run_with_mode_progress`], with optional checkpoint persistence for
+/// sampled runs. This is the full-signature entry point `momlab run` uses.
+///
+/// # Panics
+///
+/// Panics when `mode` carries invalid sampling parameters (`unit_insts == 0`,
+/// or a nonzero `period` smaller than `warmup_insts + unit_insts`), when the
+/// checkpoint directory cannot be created or written, or when `resume` finds
+/// a checkpoint file that does not match this run.
+pub fn run_with_options(
+    spec: &ExperimentSpec,
+    workers: usize,
+    mode: ExecMode,
+    progress: bool,
+    checkpoints: Option<&CheckpointConfig>,
+) -> RunResult {
+    if let ExecMode::Sampled { unit_insts, warmup_insts, period } = mode {
+        assert!(unit_insts >= 1, "sampled mode needs a measurement unit of at least 1 instruction");
+        assert!(
+            period == 0 || period >= warmup_insts + unit_insts,
+            "sampling period {period} is shorter than warmup {warmup_insts} + unit {unit_insts}"
+        );
+    }
+    let ckpt = match (mode, checkpoints) {
+        (ExecMode::Sampled { unit_insts, warmup_insts, period }, Some(cfg)) if period > 0 => {
+            std::fs::create_dir_all(&cfg.dir).unwrap_or_else(|e| {
+                panic!("cannot create checkpoint directory {}: {e}", cfg.dir.display())
+            });
+            Some(CkptContext {
+                cfg: cfg.clone(),
+                spec_name: spec.name.clone(),
+                config_hash: spec.config_hash(),
+                unit: unit_insts,
+                warmup: warmup_insts,
+                period,
+            })
+        }
+        _ => None,
+    };
     let started = Instant::now();
     let fused_before = mom_core::fused_pairs_total();
     let (data, timing) = match &spec.kind {
         ExperimentKind::Static(kind) => (RunData::Static(static_rows(*kind)), GridTiming::default()),
         ExperimentKind::Grid(grid) => {
-            let (cells, timing) = run_grid(grid, workers.max(1), mode, progress);
+            let (cells, timing) = run_grid(grid, workers.max(1), mode, progress, ckpt.as_ref());
             (RunData::Grid(cells), timing)
         }
     };
@@ -466,6 +628,9 @@ struct CellSim {
     sim: SimResult,
     probe: ProbeReport,
     mem: MemSystemStats,
+    /// Sampling accounting when the cell ran under [`ExecMode::Sampled`] with
+    /// a nonzero period; `None` on every exact path.
+    sampling: Option<CellSampling>,
 }
 
 /// Wall-clock and functional-sharing accounting of one grid run (all of it
@@ -575,7 +740,12 @@ fn attach_mem_stats(
     finished
         .into_iter()
         .zip(machines.iter())
-        .map(|((sim, probe), machine)| CellSim { sim, probe, mem: machine.mem_stats() })
+        .map(|((sim, probe), machine)| CellSim {
+            sim,
+            probe,
+            mem: machine.mem_stats(),
+            sampling: None,
+        })
         .collect()
 }
 
@@ -1071,11 +1241,506 @@ fn raise_labeled(label: &str, payload: Box<dyn std::any::Any + Send>) -> ! {
     panic!("experiment work item `{label}` panicked: {msg}");
 }
 
+/// The three knobs of one sampled run, bundled for the per-cell helpers.
+#[derive(Debug, Clone, Copy)]
+struct SamplingParams {
+    unit: u64,
+    warmup: u64,
+    period: u64,
+}
+
+/// The counter deltas of one closed measurement unit: `after - before` over
+/// the cumulative [`SimResult`] snapshots taken around the unit's detailed
+/// window. Saturating, because a snapshot taken mid-stream lags the fed
+/// instructions by the in-flight ROB contents.
+#[derive(Debug, Clone, Copy)]
+struct UnitDelta {
+    committed: u64,
+    cycles: u64,
+    branches: u64,
+    mispredictions: u64,
+    mem_retries: u64,
+    mem_accesses: u64,
+}
+
+impl UnitDelta {
+    fn between(before: &SimResult, after: &SimResult) -> Self {
+        Self {
+            committed: after.committed.saturating_sub(before.committed),
+            cycles: after.cycles.saturating_sub(before.cycles),
+            branches: after.branches.saturating_sub(before.branches),
+            mispredictions: after.mispredictions.saturating_sub(before.mispredictions),
+            mem_retries: after.mem_retries.saturating_sub(before.mem_retries),
+            mem_accesses: after.mem_accesses.saturating_sub(before.mem_accesses),
+        }
+    }
+}
+
+/// Scale a partially detailed [`SimResult`] up to `total_insts` committed
+/// instructions (the no-units fallback of [`sampled_estimate`]).
+fn scale_result(detailed: &SimResult, total_insts: u64) -> SimResult {
+    let scale = total_insts as f64 / detailed.committed.max(1) as f64;
+    let scaled = |x: u64| (x as f64 * scale).round() as u64;
+    SimResult {
+        cycles: scaled(detailed.cycles).max(1),
+        committed: total_insts,
+        branches: scaled(detailed.branches),
+        mispredictions: scaled(detailed.mispredictions),
+        mem_retries: scaled(detailed.mem_retries),
+        mem_accesses: scaled(detailed.mem_accesses),
+    }
+}
+
+/// Turn the closed measurement units of one sampled cell into the cell's
+/// estimated [`SimResult`] and its sampling accounting.
+///
+/// The committed-instruction count stays **exact** (the functional
+/// interpreter executed the whole workload either way); cycles come from the
+/// mean unit IPC, and the remaining counters are the unit sums scaled by the
+/// sampled fraction. When no unit closed — a workload shorter than one
+/// warm-up window, or commit lag swallowing every unit — the detailed
+/// aggregate stands in: exact if the whole run was simulated in detail,
+/// scaled up otherwise.
+fn sampled_estimate(
+    detailed: &SimResult,
+    units: &[UnitDelta],
+    total_insts: u64,
+    warmup_total: u64,
+) -> (SimResult, CellSampling) {
+    let measured: u64 = units.iter().map(|u| u.committed).sum();
+    if measured == 0 {
+        let sim = if detailed.committed >= total_insts {
+            *detailed
+        } else {
+            scale_result(detailed, total_insts)
+        };
+        let sampling = CellSampling {
+            units_measured: 0,
+            measured_insts: 0,
+            warmup_insts: warmup_total,
+            total_insts,
+            ipc_mean: detailed.ipc(),
+            ipc_ci95: 0.0,
+        };
+        return (sim, sampling);
+    }
+    let ipcs: Vec<f64> =
+        units.iter().map(|u| u.committed as f64 / u.cycles.max(1) as f64).collect();
+    let n = ipcs.len() as f64;
+    let mean = ipcs.iter().sum::<f64>() / n;
+    let ci95 = if ipcs.len() > 1 {
+        // Sample variance (n - 1 denominator), normal-theory 95% interval on
+        // the mean — the SMARTS confidence machinery.
+        let var = ipcs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n - 1.0);
+        1.96 * (var / n).sqrt()
+    } else {
+        0.0
+    };
+    let scale = total_insts as f64 / measured as f64;
+    let scaled = |sum: u64| (sum as f64 * scale).round() as u64;
+    let sum_of = |f: fn(&UnitDelta) -> u64| units.iter().map(f).sum::<u64>();
+    let sim = SimResult {
+        cycles: ((total_insts as f64 / mean.max(f64::MIN_POSITIVE)).round() as u64).max(1),
+        committed: total_insts,
+        branches: scaled(sum_of(|u| u.branches)),
+        mispredictions: scaled(sum_of(|u| u.mispredictions)),
+        mem_retries: scaled(sum_of(|u| u.mem_retries)),
+        mem_accesses: scaled(sum_of(|u| u.mem_accesses)),
+    };
+    let sampling = CellSampling {
+        units_measured: units.len() as u64,
+        measured_insts: measured,
+        warmup_insts: warmup_total,
+        total_insts,
+        ipc_mean: mean,
+        ipc_ci95: ci95,
+    };
+    (sim, sampling)
+}
+
+/// Version tag of the lab checkpoint file framing (the envelope binding a
+/// [`Checkpoint`] blob to a spec, cell and sampling parameters).
+const LAB_CKPT_VERSION: u32 = 1;
+
+/// Minimum executed instructions between two checkpoint writes of one cell.
+/// A checkpoint costs O(touched working set) to serialize, so writing one at
+/// every sampling period (default 100k instructions, ~1 ms of simulation)
+/// would spend more time persisting state than simulating. Cells shorter
+/// than the interval still write their final checkpoint: completion always
+/// persists, so `--resume` never re-simulates a finished cell.
+const CKPT_INTERVAL_INSTS: u64 = 10_000_000;
+
+/// The `(workload, config, way)` identity of one grid cell — the same key
+/// `momlab diff` matches cells by, reused to name and validate checkpoint
+/// files.
+fn cell_key(grid: &GridSpec, cell: &Cell) -> String {
+    format!("{} / {} / {}-way", cell.workload.label(), grid.configs[cell.config].label, cell.way)
+}
+
+/// The on-disk path of one cell's checkpoint file: spec name plus cell key,
+/// with every byte outside `[A-Za-z0-9._-]` replaced by `-`.
+fn ckpt_path(ctx: &CkptContext, key: &str) -> PathBuf {
+    let sanitize = |s: &str| -> String {
+        s.chars()
+            .map(|c| if c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-') { c } else { '-' })
+            .collect()
+    };
+    ctx.cfg.dir.join(format!("{}__{}.ckpt", sanitize(&ctx.spec_name), sanitize(key)))
+}
+
+/// Write one cell's checkpoint atomically (tmp + rename), enveloped with the
+/// identity a resume validates against.
+fn save_cell_checkpoint(ctx: &CkptContext, key: &str, ckpt: &Checkpoint) {
+    let mut e = Encoder::new();
+    e.u32(LAB_CKPT_VERSION);
+    e.blob(ctx.config_hash.as_bytes());
+    e.blob(key.as_bytes());
+    e.u64(ctx.unit);
+    e.u64(ctx.warmup);
+    e.u64(ctx.period);
+    e.blob(&ckpt.to_bytes());
+    let path = ckpt_path(ctx, key);
+    let tmp = path.with_extension("ckpt.tmp");
+    std::fs::write(&tmp, e.into_bytes())
+        .and_then(|()| std::fs::rename(&tmp, &path))
+        .unwrap_or_else(|err| panic!("cannot write checkpoint {}: {err}", path.display()));
+}
+
+/// Decode the lab checkpoint envelope written by [`save_cell_checkpoint`].
+fn decode_lab_ckpt(bytes: &[u8]) -> Result<(String, String, u64, u64, u64, Checkpoint), CodecError> {
+    let mut d = Decoder::new(bytes);
+    let version = d.u32("lab checkpoint version")?;
+    if version != LAB_CKPT_VERSION {
+        return Err(CodecError::Version { what: "lab checkpoint", found: version });
+    }
+    let hash = String::from_utf8_lossy(d.blob("lab checkpoint config hash")?).into_owned();
+    let key = String::from_utf8_lossy(d.blob("lab checkpoint cell key")?).into_owned();
+    let unit = d.u64("lab checkpoint unit")?;
+    let warmup = d.u64("lab checkpoint warmup")?;
+    let period = d.u64("lab checkpoint period")?;
+    let ckpt = Checkpoint::from_bytes(d.blob("lab checkpoint payload")?)?;
+    d.finish("lab checkpoint")?;
+    Ok((hash, key, unit, warmup, period, ckpt))
+}
+
+/// Load one cell's checkpoint if its file exists. A missing file means
+/// "start fresh"; a file that fails to decode, or matches a different spec,
+/// cell or sampling parameters, panics with the path — silently restarting
+/// (or worse, resuming into the wrong run) would corrupt the results.
+fn load_cell_checkpoint(ctx: &CkptContext, key: &str) -> Option<Checkpoint> {
+    let path = ckpt_path(ctx, key);
+    let bytes = match std::fs::read(&path) {
+        Ok(bytes) => bytes,
+        Err(err) if err.kind() == std::io::ErrorKind::NotFound => return None,
+        Err(err) => panic!("cannot read checkpoint {}: {err}", path.display()),
+    };
+    let (hash, file_key, unit, warmup, period, ckpt) =
+        decode_lab_ckpt(&bytes).unwrap_or_else(|e| {
+            panic!(
+                "checkpoint {} is not a valid checkpoint file ({e}); \
+                 delete the file or rerun without --resume",
+                path.display()
+            )
+        });
+    if hash != ctx.config_hash
+        || file_key != key
+        || (unit, warmup, period) != (ctx.unit, ctx.warmup, ctx.period)
+    {
+        panic!(
+            "checkpoint {} does not match this run (spec configuration, cell or \
+             sampling parameters changed); delete the file or rerun without --resume",
+            path.display()
+        );
+    }
+    Some(ckpt)
+}
+
+/// Assemble the [`Checkpoint`] of one kernel cell at a period boundary:
+/// architectural machine + cursor, engine + probe + closed units, warm
+/// memory state, and the dynamic instruction index.
+fn build_checkpoint(
+    arch: &Machine,
+    cursor: ExecCursor,
+    machine: &SimMachine,
+    probe: &AttributionProbe,
+    units: &[UnitDelta],
+    warmup_done: u64,
+    executed: u64,
+) -> Checkpoint {
+    let mut arch_e = Encoder::new();
+    snapshot::encode_machine(&mut arch_e, arch);
+    arch_e.u64(cursor.pc() as u64);
+    let mut sim_e = Encoder::new();
+    machine.save_engine_state(&mut sim_e);
+    probe.save_state(&mut sim_e);
+    sim_e.u64(warmup_done);
+    sim_e.u64(units.len() as u64);
+    for u in units {
+        sim_e.u64(u.committed);
+        sim_e.u64(u.cycles);
+        sim_e.u64(u.branches);
+        sim_e.u64(u.mispredictions);
+        sim_e.u64(u.mem_retries);
+        sim_e.u64(u.mem_accesses);
+    }
+    let mut mem_e = Encoder::new();
+    machine.save_mem_state(&mut mem_e);
+    Checkpoint {
+        arch_state: arch_e.into_bytes(),
+        sim_state: sim_e.into_bytes(),
+        mem_state: mem_e.into_bytes(),
+        inst_index: executed,
+    }
+}
+
+/// Restore one kernel cell from a [`Checkpoint`]: architectural machine and
+/// cursor into `arch`, engine + probe + closed units + warm memory into
+/// `machine`. Returns `(cursor, probe, warmup_done, units)`.
+fn restore_kernel_cell(
+    c: &Checkpoint,
+    arch: &mut Machine,
+    machine: &mut SimMachine,
+) -> Result<(ExecCursor, AttributionProbe, u64, Vec<UnitDelta>), CodecError> {
+    let mut d = Decoder::new(&c.arch_state);
+    snapshot::restore_machine(&mut d, arch)?;
+    let cursor = ExecCursor::at(d.u64("checkpoint cursor")? as usize);
+    d.finish("checkpoint architectural state")?;
+
+    let mut d = Decoder::new(&c.sim_state);
+    machine.load_engine_state(&mut d)?;
+    let probe = AttributionProbe::load_state(&mut d)?;
+    let warmup_done = d.u64("checkpoint warmup tally")?;
+    let n = d.u64("checkpoint unit count")?;
+    let mut units = Vec::new();
+    for _ in 0..n {
+        units.push(UnitDelta {
+            committed: d.u64("unit committed")?,
+            cycles: d.u64("unit cycles")?,
+            branches: d.u64("unit branches")?,
+            mispredictions: d.u64("unit mispredictions")?,
+            mem_retries: d.u64("unit mem retries")?,
+            mem_accesses: d.u64("unit mem accesses")?,
+        });
+    }
+    d.finish("checkpoint engine state")?;
+
+    let mut d = Decoder::new(&c.mem_state);
+    machine.load_mem_state(&mut d)?;
+    d.finish("checkpoint memory state")?;
+    Ok((cursor, probe, warmup_done, units))
+}
+
+/// Run one kernel cell in sampled mode: a detailed warm-up + measured unit at
+/// the head of every sampling period, functional fast-forward for the
+/// remainder, with optional checkpoint persistence at period boundaries.
+///
+/// Each detailed window opens a fresh [`SimStream`] on the cell's machine and
+/// closes it before fast-forwarding; the engine state, probe and warm memory
+/// carry over, so consecutive detailed windows time exactly as they would in
+/// one continuous stream (the machine-level resume test in `mom-cpu` pins
+/// that equivalence). Placing the detailed window at the *head* of each
+/// period — rather than fast-forwarding first — means a workload shorter
+/// than one warm-up window is simulated entirely in detail and reports its
+/// exact result.
+fn run_sampled_kernel_cell(
+    kernel: KernelKind,
+    isa: IsaKind,
+    grid: &GridSpec,
+    machine: &mut SimMachine,
+    sp: SamplingParams,
+    ckpt: Option<(&CkptContext, String)>,
+) -> CellSim {
+    let params = KernelParams { seed: grid.seed, scale: grid.scale };
+    let BuiltKernel { machine: mut arch, program, expected, output_addr, .. } =
+        build_kernel(kernel, isa, &params);
+    let decoded = program.decode();
+    let mut cursor = ExecCursor::start();
+    let mut probe: Option<AttributionProbe> = None;
+    let mut units: Vec<UnitDelta> = Vec::new();
+    let mut executed = 0u64;
+    let mut warmup_done = 0u64;
+    if let Some((ctx, key)) = &ckpt {
+        if ctx.cfg.resume {
+            if let Some(c) = load_cell_checkpoint(ctx, key) {
+                let (cur, p, w, us) =
+                    restore_kernel_cell(&c, &mut arch, machine).unwrap_or_else(|e| {
+                        panic!(
+                            "checkpoint {} failed to restore: {e}; \
+                             delete the file or rerun without --resume",
+                            ckpt_path(ctx, key).display()
+                        )
+                    });
+                cursor = cur;
+                probe = Some(p);
+                warmup_done = w;
+                units = us;
+                executed = c.inst_index;
+            }
+        }
+    }
+    let mut last_saved = executed;
+    let (detailed, report) = loop {
+        let mut stream = match probe.take() {
+            Some(p) => machine.sim_probed_with(p),
+            None => machine.sim_probed(),
+        };
+        let w = decoded.stream_segment(&mut arch, &mut stream, &mut cursor, sp.warmup);
+        warmup_done += w;
+        let before = stream.snapshot();
+        let u = decoded.stream_segment(&mut arch, &mut stream, &mut cursor, sp.unit);
+        executed += w + u;
+        // Closing the stream drains the ROB, so the delta holds the unit's
+        // complete retirement (plus any warm-up stragglers — acceptable: the
+        // warm-up exists precisely to make the unit steady-state).
+        let (partial, p) = stream.finish_probed();
+        let delta = UnitDelta::between(&before, &partial);
+        if delta.committed > 0 {
+            units.push(delta);
+        }
+        executed += decoded.fast_forward(&mut arch, &mut cursor, sp.period - sp.warmup - sp.unit);
+        let done = cursor.is_done(&decoded);
+        if let Some((ctx, key)) = &ckpt {
+            if done || executed.saturating_sub(last_saved) >= CKPT_INTERVAL_INSTS {
+                let c = build_checkpoint(&arch, cursor, machine, &p, &units, warmup_done, executed);
+                save_cell_checkpoint(ctx, key, &c);
+                last_saved = executed;
+            }
+        }
+        if done {
+            // The SimResult counters live in the engine state, so the last
+            // close reports the cumulative detailed totals — including
+            // windows replayed from a restored checkpoint.
+            break (partial, p.into_report());
+        }
+        probe = Some(p);
+    };
+    let actual = arch.mem().read_bytes(output_addr, expected.len());
+    if let Some(offset) = actual.iter().zip(expected.iter()).position(|(a, e)| a != e) {
+        panic!("{kernel} ({isa}) failed verification: output mismatch at byte offset {offset}");
+    }
+    let (sim, sampling) = sampled_estimate(&detailed, &units, executed, warmup_done);
+    CellSim { sim, probe: report, mem: machine.mem_stats(), sampling: Some(sampling) }
+}
+
+/// A sampling adapter between the functional interpreter and a cell's
+/// [`SimStream`]: counts every graduated instruction, but forwards only
+/// those inside the detailed warm-up + measurement window at the head of
+/// each sampling period, snapshotting the stream around each unit.
+///
+/// This deliberately violates the faithful-sink convention of [`TraceSink`]
+/// (every other sink forwards the complete stream in order): skipping the
+/// tail of each period *is* the sampling. Application workloads run through
+/// this adapter because their interpreters drive the sink callback-style and
+/// cannot be windowed externally the way pre-decoded kernels can — the
+/// functional interpretation stays complete; only the timing simulator sees
+/// a sample. Unlike the kernel path the stream is never closed mid-run, so
+/// unit deltas are measured between lagging snapshots (both ends lag by the
+/// in-flight ROB, so the window length is preserved).
+struct SampledSink<'s, 'm> {
+    stream: &'s mut SimStream<'m, AttributionProbe>,
+    sp: SamplingParams,
+    /// Position inside the current sampling period.
+    pos: u64,
+    executed: u64,
+    warmup_done: u64,
+    /// Cumulative counters at the open unit's start, if a unit is open.
+    unit_open: Option<SimResult>,
+    units: Vec<UnitDelta>,
+}
+
+impl SampledSink<'_, '_> {
+    fn step(&mut self, inst: &DynInst) {
+        let in_warmup = self.pos < self.sp.warmup;
+        let in_unit = !in_warmup && self.pos < self.sp.warmup + self.sp.unit;
+        if in_unit && self.unit_open.is_none() {
+            self.unit_open = Some(self.stream.snapshot());
+        }
+        if in_warmup || in_unit {
+            self.stream.feed(inst);
+            if in_warmup {
+                self.warmup_done += 1;
+            }
+        }
+        self.pos += 1;
+        self.executed += 1;
+        if self.pos == self.sp.warmup + self.sp.unit {
+            self.close_unit();
+        }
+        if self.pos == self.sp.period {
+            self.pos = 0;
+        }
+    }
+
+    fn close_unit(&mut self) {
+        if let Some(before) = self.unit_open.take() {
+            let delta = UnitDelta::between(&before, &self.stream.snapshot());
+            if delta.committed > 0 {
+                self.units.push(delta);
+            }
+        }
+    }
+
+    /// Close a dangling unit (a workload that ended mid-window) and hand back
+    /// the tallies.
+    fn into_tallies(mut self) -> (u64, u64, Vec<UnitDelta>) {
+        self.close_unit();
+        (self.executed, self.warmup_done, self.units)
+    }
+}
+
+impl TraceSink for SampledSink<'_, '_> {
+    fn emit(&mut self, inst: DynInst) {
+        self.step(&inst);
+    }
+
+    fn emit_ref(&mut self, inst: &DynInst) {
+        self.step(inst);
+    }
+
+    fn emit_batch(&mut self, batch: &[DynInst]) {
+        for inst in batch {
+            self.step(inst);
+        }
+    }
+}
+
+/// Run one application cell in sampled mode through a [`SampledSink`]. App
+/// cells do not checkpoint: their wall-clock is interpreter-bound either way
+/// (the interpretation is complete; only the detailed simulation is
+/// sampled), so a checkpoint would save little and the multi-phase app
+/// drivers have no externally resumable cursor.
+fn run_sampled_app_cell(
+    app: AppKind,
+    isa: IsaKind,
+    grid: &GridSpec,
+    machine: &mut SimMachine,
+    sp: SamplingParams,
+) -> CellSim {
+    let params = AppParams { seed: grid.seed, scale: grid.scale };
+    let mut stream = machine.sim_probed();
+    let mut sink = SampledSink {
+        stream: &mut stream,
+        sp,
+        pos: 0,
+        executed: 0,
+        warmup_done: 0,
+        unit_open: None,
+        units: Vec::new(),
+    };
+    stream_app(app, isa, &params, &mut sink)
+        .unwrap_or_else(|e| panic!("{app} ({isa}) failed to build: {e}"));
+    let (executed, warmup_done, units) = sink.into_tallies();
+    let (detailed, p) = stream.finish_probed();
+    let (sim, sampling) = sampled_estimate(&detailed, &units, executed, warmup_done);
+    CellSim { sim, probe: p.into_report(), mem: machine.mem_stats(), sampling: Some(sampling) }
+}
+
 fn run_grid(
     grid: &GridSpec,
     workers: usize,
     mode: ExecMode,
     progress: bool,
+    ckpt: Option<&CkptContext>,
 ) -> (Vec<CellResult>, GridTiming) {
     let cells = grid.cells();
     let descriptor_of = |cell: &Cell| grid.configs[cell.config].descriptor(cell.way);
@@ -1139,7 +1804,10 @@ fn run_grid(
                 run_fanout_pipelined(grid, &cells, &groups, workers, &counters, progress, &mut timing)
             }
         }
-        ExecMode::Streamed => {
+        // The rate-1 sentinel routes through the *literal* streamed code
+        // path: byte-identity with the exact modes is the correctness gate
+        // of the sampling machinery, so it must not be a reimplementation.
+        ExecMode::Streamed | ExecMode::Sampled { period: 0, .. } => {
             // No stage 1 — every cell runs the fused pipeline, rebuilding its
             // workload on the fly.
             let outcomes = parallel_map_with(
@@ -1160,7 +1828,7 @@ fn run_grid(
                     let mem = machine.mem_stats();
                     let ns = started.elapsed().as_nanos() as u64;
                     pool.put([machine]);
-                    (CellSim { sim, probe: report, mem }, ns)
+                    (CellSim { sim, probe: report, mem, sampling: None }, ns)
                 },
             );
             timing.functional_passes = cells.len();
@@ -1212,13 +1880,55 @@ fn run_grid(
                     let mem = machine.mem_stats();
                     let ns = started.elapsed().as_nanos() as u64;
                     pool.put([machine]);
-                    (CellSim { sim, probe: report, mem }, ns)
+                    (CellSim { sim, probe: report, mem, sampling: None }, ns)
                 },
             );
             let mut sims = Vec::with_capacity(cells.len());
             for (cs, ns) in outcomes {
                 timing.cell_wall_ns.push(ns);
                 timing.sim_wall_ns += ns;
+                sims.push(cs);
+            }
+            sims
+        }
+        ExecMode::Sampled { unit_insts, warmup_insts, period } => {
+            // SMARTS-style sampling (period >= 1; period 0 took the streamed
+            // arm above): each cell alternates detailed windows with
+            // functional fast-forwarding, one cell per work item.
+            let sp = SamplingParams { unit: unit_insts, warmup: warmup_insts, period };
+            let outcomes = parallel_map_with(
+                &cells,
+                workers,
+                || MachinePool::new(&counters),
+                |cell| cell_label(grid, cell),
+                |pool, cell| {
+                    let config = &grid.configs[cell.config];
+                    let started = Instant::now();
+                    let mut machine = pool.take(&descriptor_of(cell));
+                    let cs = match cell.workload {
+                        Workload::Kernel(kernel) => run_sampled_kernel_cell(
+                            kernel,
+                            config.isa,
+                            grid,
+                            &mut machine,
+                            sp,
+                            ckpt.map(|ctx| (ctx, cell_key(grid, cell))),
+                        ),
+                        Workload::App(app) => {
+                            run_sampled_app_cell(app, config.isa, grid, &mut machine, sp)
+                        }
+                    };
+                    let ns = started.elapsed().as_nanos() as u64;
+                    pool.put([machine]);
+                    (cs, ns)
+                },
+            );
+            timing.functional_passes = cells.len();
+            let mut sims = Vec::with_capacity(cells.len());
+            for (cs, ns) in outcomes {
+                timing.cell_wall_ns.push(ns);
+                timing.sim_wall_ns += ns;
+                timing.functional_instructions += cs.sim.committed;
                 sims.push(cs);
             }
             sims
@@ -1258,6 +1968,7 @@ fn run_grid(
                 breakdown: cs.probe.breakdown,
                 intervals: cs.probe.intervals.clone(),
                 mem_stats: cs.mem,
+                sampling: cs.sampling.clone(),
             }
         })
         .collect();
@@ -1343,7 +2054,10 @@ fn parallel_map_with<T: Sync, R: Send, S>(
 impl RunResult {
     /// The deterministic results document: everything except the `meta`
     /// section. Two runs of the same spec serialize to identical bytes
-    /// regardless of worker count.
+    /// regardless of worker count. A sampled run (period > 0) additionally
+    /// carries a `sampling` section — its parameters and per-cell IPC
+    /// estimates with confidence intervals — and is byte-identical to other
+    /// sampled runs with the same parameters.
     pub fn results_json(&self) -> Value {
         let mut members = vec![
             ("schema", Value::Str("momlab/v1".into())),
@@ -1386,6 +2100,31 @@ impl RunResult {
                     "cells",
                     Value::Array(cells.iter().map(cell_json).collect()),
                 ));
+                if let ExecMode::Sampled { unit_insts, warmup_insts, period } = self.mode {
+                    if period > 0 {
+                        members.push((
+                            "sampling",
+                            Value::object(vec![
+                                ("unit_insts", Value::Int(unit_insts as i64)),
+                                ("warmup_insts", Value::Int(warmup_insts as i64)),
+                                ("period", Value::Int(period as i64)),
+                                (
+                                    "cells",
+                                    Value::Array(
+                                        cells
+                                            .iter()
+                                            .filter_map(|c| {
+                                                c.sampling
+                                                    .as_ref()
+                                                    .map(|s| sampling_json(c, s))
+                                            })
+                                            .collect(),
+                                    ),
+                                ),
+                            ]),
+                        ));
+                    }
+                }
             }
             (RunData::Static(rows), _) => {
                 members.push(("kind", Value::Str("static".into())));
@@ -1421,6 +2160,25 @@ impl RunResult {
                     ("swar", Value::Bool(true)),
                     ("simd_feature", Value::Bool(mom_isa::simd_active())),
                     ("fused_pairs", Value::Int(self.fused_pairs as i64)),
+                ]),
+            ),
+            // The host the numbers were measured on, so committed BENCH
+            // documents are comparable: wall-clock figures from different
+            // core counts or architectures are not.
+            (
+                "host",
+                Value::object(vec![
+                    (
+                        "cpus",
+                        Value::Int(
+                            std::thread::available_parallelism()
+                                .map(|n| n.get())
+                                .unwrap_or(1) as i64,
+                        ),
+                    ),
+                    ("arch", Value::Str(std::env::consts::ARCH.into())),
+                    ("os", Value::Str(std::env::consts::OS.into())),
+                    ("simd_active", Value::Bool(mom_isa::simd_active())),
                 ]),
             ),
         ];
@@ -1579,6 +2337,23 @@ fn cell_json(cell: &CellResult) -> Value {
         ("mem", mem_json(&cell.mem_stats)),
         ("breakdown", breakdown_json(&cell.breakdown)),
         ("intervals", intervals_json(&cell.intervals)),
+    ])
+}
+
+/// One entry of the `sampling.cells` array: the cell's identity (the same
+/// `(workload, config, way)` key `momlab diff` matches on) plus its sampling
+/// accounting and IPC estimate.
+fn sampling_json(cell: &CellResult, s: &CellSampling) -> Value {
+    Value::object(vec![
+        ("workload", Value::Str(cell.workload.label().into())),
+        ("config", Value::Str(cell.config_label.clone())),
+        ("way", Value::Int(cell.way as i64)),
+        ("units_measured", Value::Int(s.units_measured as i64)),
+        ("measured_insts", Value::Int(s.measured_insts as i64)),
+        ("warmup_insts", Value::Int(s.warmup_insts as i64)),
+        ("total_insts", Value::Int(s.total_insts as i64)),
+        ("ipc_mean", Value::Float(s.ipc_mean)),
+        ("ipc_ci95", Value::Float(s.ipc_ci95)),
     ])
 }
 
@@ -1966,5 +2741,68 @@ mod tests {
         assert_eq!(ExecMode::Materialized.label(), "materialized");
         assert!(ExecMode::Fanout.is_streamed());
         assert!(!ExecMode::Materialized.is_streamed());
+        let sampled = ExecMode::Sampled {
+            unit_insts: DEFAULT_SAMPLE_UNIT,
+            warmup_insts: DEFAULT_SAMPLE_WARMUP,
+            period: DEFAULT_SAMPLE_PERIOD,
+        };
+        assert_eq!(sampled.label(), "sampled");
+        assert!(sampled.is_streamed());
+        assert!(sampled.is_estimated());
+        assert!(!ExecMode::Streamed.is_estimated());
+        // Rate 1 (period 0) is exact, not an estimate.
+        assert!(!ExecMode::Sampled { unit_insts: 1, warmup_insts: 0, period: 0 }.is_estimated());
+    }
+
+    #[test]
+    fn sampled_estimate_statistics() {
+        let unit = |committed: u64, cycles: u64| UnitDelta {
+            committed,
+            cycles,
+            branches: committed / 10,
+            mispredictions: committed / 100,
+            mem_retries: 0,
+            mem_accesses: committed / 2,
+        };
+        // Two units at IPC 2.0 and 1.0: mean 1.5, nonzero CI, exact
+        // committed count, cycles = total / mean.
+        let detailed = SimResult::default();
+        let units = [unit(1000, 500), unit(1000, 1000)];
+        let (sim, s) = sampled_estimate(&detailed, &units, 30_000, 4000);
+        assert_eq!(s.units_measured, 2);
+        assert_eq!(s.measured_insts, 2000);
+        assert_eq!(s.warmup_insts, 4000);
+        assert_eq!(s.total_insts, 30_000);
+        assert!((s.ipc_mean - 1.5).abs() < 1e-12);
+        assert!(s.ipc_ci95 > 0.0);
+        assert_eq!(sim.committed, 30_000);
+        assert_eq!(sim.cycles, 20_000);
+        // Counters scale by total / measured = 15x.
+        assert_eq!(sim.branches, 200 * 15);
+        // A single unit has no confidence interval.
+        let (_, single) = sampled_estimate(&detailed, &units[..1], 30_000, 2000);
+        assert_eq!(single.ipc_ci95, 0.0);
+    }
+
+    #[test]
+    fn sampled_estimate_falls_back_without_units() {
+        // A fully detailed run (short workload) passes through exactly.
+        let detailed = SimResult {
+            cycles: 400,
+            committed: 600,
+            branches: 60,
+            mispredictions: 6,
+            mem_retries: 0,
+            mem_accesses: 300,
+        };
+        let (sim, s) = sampled_estimate(&detailed, &[], 600, 600);
+        assert_eq!(sim, detailed);
+        assert_eq!(s.units_measured, 0);
+        assert!((s.ipc_mean - detailed.ipc()).abs() < 1e-12);
+        // A partially detailed run scales up to the exact instruction count.
+        let (scaled, _) = sampled_estimate(&detailed, &[], 1200, 600);
+        assert_eq!(scaled.committed, 1200);
+        assert_eq!(scaled.cycles, 800);
+        assert_eq!(scaled.branches, 120);
     }
 }

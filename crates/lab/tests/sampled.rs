@@ -1,0 +1,115 @@
+//! The sampled execution mode's correctness contracts.
+//!
+//! * **Rate 1 is exact**: `ExecMode::Sampled` with `period == 0` routes
+//!   through the literal streamed code path, so its results document is
+//!   byte-identical to [`ExecMode::Streamed`] for every built-in experiment.
+//!   This is the gate that keeps the sampling machinery honest — any drift
+//!   in the shared plumbing shows up as a byte diff here.
+//! * **Sampling is deterministic**: the periodic schedule depends only on
+//!   instruction indices, never on worker count or timing.
+//! * **Estimates are anchored**: committed-instruction counts stay exact
+//!   (the functional interpreter executes the whole workload either way) and
+//!   every cell carries a [`CellSampling`] section.
+//! * **Checkpoints resume exactly**: a run that persists checkpoints and a
+//!   run resumed from those files serialize byte-identically.
+
+use mom_lab::runner::{
+    run_with_mode, run_with_options, CheckpointConfig, ExecMode, DEFAULT_SAMPLE_UNIT,
+    DEFAULT_SAMPLE_WARMUP,
+};
+use mom_lab::spec::ExperimentSpec;
+
+/// A sampled mode whose period is small enough that scale-1 fast kernels
+/// alternate between detailed and fast-forwarded execution several times.
+const SMALL_SAMPLED: ExecMode =
+    ExecMode::Sampled { unit_insts: 100, warmup_insts: 100, period: 500 };
+
+#[test]
+fn rate1_sampled_is_byte_identical_to_streamed_for_every_builtin() {
+    let rate1 = ExecMode::Sampled {
+        unit_insts: DEFAULT_SAMPLE_UNIT,
+        warmup_insts: DEFAULT_SAMPLE_WARMUP,
+        period: 0,
+    };
+    assert!(rate1.is_streamed() && !rate1.is_estimated());
+    for name in mom_lab::BUILTIN_EXPERIMENTS {
+        let spec = ExperimentSpec::builtin(name, 1, true).expect("built-in spec");
+        let exact = run_with_mode(&spec, 2, ExecMode::Streamed).results_json().to_pretty();
+        let sampled = run_with_mode(&spec, 2, rate1).results_json().to_pretty();
+        assert_eq!(exact, sampled, "{name}: rate-1 sampling diverged from streamed");
+    }
+}
+
+#[test]
+fn sampled_runs_are_deterministic_across_worker_counts() {
+    for name in ["figure5", "figure7"] {
+        let spec = ExperimentSpec::builtin(name, 1, true).expect("built-in spec");
+        let reference = run_with_mode(&spec, 1, SMALL_SAMPLED).results_json().to_pretty();
+        for workers in [2, 7] {
+            let run = run_with_mode(&spec, workers, SMALL_SAMPLED).results_json().to_pretty();
+            assert_eq!(reference, run, "{name} differed at {workers} workers");
+        }
+    }
+}
+
+#[test]
+fn sampled_estimates_stay_anchored_to_the_exact_run() {
+    let spec = ExperimentSpec::builtin("figure5", 1, true).expect("built-in spec");
+    let exact = run_with_mode(&spec, 2, ExecMode::Streamed);
+    let sampled = run_with_mode(&spec, 2, SMALL_SAMPLED);
+    let exact_cells = exact.cells().expect("grid");
+    let sampled_cells = sampled.cells().expect("grid");
+    assert_eq!(exact_cells.len(), sampled_cells.len());
+    for (e, s) in exact_cells.iter().zip(sampled_cells) {
+        assert_eq!((&e.workload, &e.config_label, e.way), (&s.workload, &s.config_label, s.way));
+        // Committed work is exact by construction; only cycles are estimated.
+        assert_eq!(e.instructions, s.instructions, "{} committed count drifted", e.workload);
+        let sampling = s.sampling.as_ref().expect("sampled cells carry a sampling section");
+        assert_eq!(sampling.total_insts, s.instructions);
+        assert!(sampling.measured_insts <= sampling.total_insts);
+        assert!(sampling.ipc_mean > 0.0 && sampling.ipc_mean.is_finite());
+        assert!(sampling.ipc_ci95 >= 0.0);
+        assert!(s.cycles > 0);
+        // A loose accuracy envelope: with a 500-instruction period most of
+        // the stream is detailed, so the estimate must land in the right
+        // ballpark (the tight ≤2% bound is asserted on the committed BENCH
+        // artifacts, not here, where units are deliberately tiny).
+        let err = (s.ipc() - e.ipc()).abs() / e.ipc();
+        assert!(err < 0.5, "{}: sampled IPC {} vs exact {}", e.workload, s.ipc(), e.ipc());
+        // Exact cells never carry the section.
+        assert!(e.sampling.is_none());
+    }
+    // The sampling section serializes.
+    let doc = sampled.results_json().to_pretty();
+    assert!(doc.contains("\"sampling\""), "results document lacks a sampling section");
+    assert!(doc.contains("\"ipc_mean\""));
+}
+
+#[test]
+fn checkpointed_and_resumed_runs_are_byte_identical() {
+    let spec = ExperimentSpec::builtin("figure5", 1, true).expect("built-in spec");
+    let dir = std::env::temp_dir().join(format!("momlab-sampled-test-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // Plain sampled run: the reference bytes.
+    let reference = run_with_mode(&spec, 2, SMALL_SAMPLED).results_json().to_pretty();
+
+    // Same run while persisting checkpoints: identical results, files exist.
+    let cfg = CheckpointConfig { dir: dir.clone(), resume: false };
+    let saved = run_with_options(&spec, 2, SMALL_SAMPLED, false, Some(&cfg));
+    assert_eq!(reference, saved.results_json().to_pretty(), "checkpointing changed the results");
+    let ckpts: Vec<_> = std::fs::read_dir(&dir)
+        .expect("checkpoint dir exists")
+        .map(|e| e.expect("dir entry").path())
+        .filter(|p| p.extension().is_some_and(|x| x == "ckpt"))
+        .collect();
+    assert!(!ckpts.is_empty(), "no checkpoint files were written to {}", dir.display());
+
+    // Resuming from the persisted (final) checkpoints replays only the tail
+    // of each cell and must reproduce the uninterrupted bytes exactly.
+    let cfg = CheckpointConfig { dir: dir.clone(), resume: true };
+    let resumed = run_with_options(&spec, 2, SMALL_SAMPLED, false, Some(&cfg));
+    assert_eq!(reference, resumed.results_json().to_pretty(), "resumed run diverged");
+
+    std::fs::remove_dir_all(&dir).expect("cleanup");
+}

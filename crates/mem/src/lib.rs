@@ -31,6 +31,7 @@ pub use config::{MemModelKind, PortConfig};
 pub use hierarchy::Hierarchy;
 pub use perfect::PerfectMemory;
 
+use mom_isa::codec::{CodecError, Decoder, Encoder};
 use mom_isa::trace::MemAccess;
 
 /// Aggregate statistics of a memory system.
@@ -54,6 +55,46 @@ pub struct MemSystemStats {
     pub l2: cache::CacheStats,
     /// DRAM channel statistics.
     pub dram: dram::DramStats,
+}
+
+impl MemSystemStats {
+    /// Serialize every counter for a checkpoint.
+    pub fn save_state(&self, e: &mut Encoder) {
+        e.u64(self.requests);
+        e.u64(self.element_accesses);
+        e.u64(self.port_stalls);
+        e.u64(self.bank_conflicts);
+        e.u64(self.mshr_stalls);
+        e.u64(self.vector_transactions);
+        self.l1.save_state(e);
+        self.l2.save_state(e);
+        e.u64(self.dram.transfers);
+        e.u64(self.dram.busy_cycles);
+        e.u64(self.dram.queue_cycles);
+    }
+
+    /// Restore counters written by [`MemSystemStats::save_state`].
+    ///
+    /// # Errors
+    ///
+    /// Fails if the stream is truncated.
+    pub fn load_state(d: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        Ok(Self {
+            requests: d.u64("mem requests")?,
+            element_accesses: d.u64("mem element accesses")?,
+            port_stalls: d.u64("mem port stalls")?,
+            bank_conflicts: d.u64("mem bank conflicts")?,
+            mshr_stalls: d.u64("mem mshr stalls")?,
+            vector_transactions: d.u64("mem vector transactions")?,
+            l1: cache::CacheStats::load_state(d)?,
+            l2: cache::CacheStats::load_state(d)?,
+            dram: dram::DramStats {
+                transfers: d.u64("dram transfers")?,
+                busy_cycles: d.u64("dram busy cycles")?,
+                queue_cycles: d.u64("dram queue cycles")?,
+            },
+        })
+    }
 }
 
 /// The dominant component of the most recent successful
@@ -82,6 +123,35 @@ pub enum AccessCause {
     MshrFull,
     /// A store whose completion was set by the coalescing write buffer.
     WriteBuffer,
+}
+
+impl AccessCause {
+    /// Stable checkpoint tag of this cause.
+    pub fn tag(self) -> u8 {
+        match self {
+            AccessCause::L1 => 0,
+            AccessCause::L2 => 1,
+            AccessCause::Dram => 2,
+            AccessCause::MshrFull => 3,
+            AccessCause::WriteBuffer => 4,
+        }
+    }
+
+    /// Inverse of [`AccessCause::tag`].
+    ///
+    /// # Errors
+    ///
+    /// Fails on a tag no variant carries.
+    pub fn from_tag(tag: u8) -> Result<Self, CodecError> {
+        Ok(match tag {
+            0 => AccessCause::L1,
+            1 => AccessCause::L2,
+            2 => AccessCause::Dram,
+            3 => AccessCause::MshrFull,
+            4 => AccessCause::WriteBuffer,
+            _ => return Err(CodecError::Invalid { what: "access cause" }),
+        })
+    }
 }
 
 /// A memory system the timing simulator can issue memory instructions to.
@@ -122,6 +192,24 @@ pub trait MemorySystem: std::fmt::Debug + Send {
     /// what lets the experiment runner reuse a machine across grid cells
     /// instead of rebuilding cache arrays per cell.
     fn reset(&mut self);
+
+    /// Serialize the complete warm state — tags, MSHRs, buffered stores,
+    /// channel/port occupancy and statistics — through the checkpoint codec,
+    /// such that [`load_state`](MemorySystem::load_state) on an identically
+    /// configured system reproduces every future [`access`] answer exactly.
+    ///
+    /// [`access`]: MemorySystem::access
+    fn save_state(&self, e: &mut Encoder);
+
+    /// Restore warm state written by [`save_state`](MemorySystem::save_state)
+    /// into this system.
+    ///
+    /// # Errors
+    ///
+    /// Fails with a [`CodecError`] on a truncated stream or a snapshot taken
+    /// from a differently configured system; the receiver's state is
+    /// unspecified after a failed restore (callers discard it).
+    fn load_state(&mut self, d: &mut Decoder<'_>) -> Result<(), CodecError>;
 
     /// Concrete-type escape hatch for the hottest model: a streaming
     /// simulator consults this **once at construction** and, when it gets
