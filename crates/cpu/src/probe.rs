@@ -173,6 +173,38 @@ impl StallBreakdown {
         self.ranked().first().map(|&(c, _)| c)
     }
 
+    /// Build a breakdown from its parts: per-cause cycle counts in
+    /// [`StallCause::ALL`] order plus the total. Probe-produced breakdowns
+    /// always have components summing to the total; a breakdown built here
+    /// carries whatever the caller provides (tests use that freedom), and
+    /// [`ProbeReport::load_state`] is where the invariant is enforced.
+    pub fn from_parts(total_cycles: u64, components: [u64; StallCause::COUNT]) -> Self {
+        StallBreakdown { total_cycles, components }
+    }
+
+    /// Serialize the breakdown: total cycles, then every component in
+    /// [`StallCause::ALL`] order.
+    pub fn save_state(&self, e: &mut Encoder) {
+        e.u64(self.total_cycles);
+        for &cycles in &self.components {
+            e.u64(cycles);
+        }
+    }
+
+    /// Rebuild a breakdown written by [`StallBreakdown::save_state`].
+    ///
+    /// # Errors
+    ///
+    /// Fails if the stream is truncated.
+    pub fn load_state(d: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        let total_cycles = d.u64("breakdown total cycles")?;
+        let mut components = [0u64; StallCause::COUNT];
+        for cycles in &mut components {
+            *cycles = d.u64("breakdown component")?;
+        }
+        Ok(StallBreakdown { total_cycles, components })
+    }
+
     fn add(&mut self, cause: StallCause, cycles: u64) {
         self.components[cause.index()] += cycles;
     }
@@ -214,6 +246,47 @@ pub struct IntervalStats {
     pub window_cycles: u64,
     /// The windows, in time order. Trailing all-empty windows are trimmed.
     pub windows: Vec<IntervalWindow>,
+}
+
+impl IntervalStats {
+    /// Serialize the finished timeline: window width, count, then each
+    /// window's committed/cycles/top-cause triple.
+    pub fn save_state(&self, e: &mut Encoder) {
+        e.u64(self.window_cycles);
+        e.usize(self.windows.len());
+        for w in &self.windows {
+            e.u64(w.committed);
+            e.u64(w.cycles);
+            e.u8(w.top.index() as u8);
+        }
+    }
+
+    /// Rebuild a timeline written by [`IntervalStats::save_state`].
+    ///
+    /// # Errors
+    ///
+    /// Fails if the stream is truncated, carries an out-of-range stall
+    /// cause, a window width off the `1024·2^k` compaction schedule, or
+    /// more windows than the recorder ever keeps.
+    pub fn load_state(d: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        let window_cycles = d.u64("interval window width")?;
+        if !window_cycles.is_power_of_two() || window_cycles < INITIAL_WINDOW {
+            return Err(CodecError::Invalid { what: "interval window width" });
+        }
+        let n = d.usize("interval window count")?;
+        if n > MAX_WINDOWS {
+            return Err(CodecError::Invalid { what: "interval window count" });
+        }
+        let mut windows = Vec::with_capacity(n);
+        for _ in 0..n {
+            windows.push(IntervalWindow {
+                committed: d.u64("window committed")?,
+                cycles: d.u64("window cycles")?,
+                top: StallCause::from_index(d.u8("window top cause")? as usize)?,
+            });
+        }
+        Ok(IntervalStats { window_cycles, windows })
+    }
 }
 
 /// Accumulating form of one window (full per-cause counts, so merged windows
@@ -502,6 +575,30 @@ pub struct ProbeReport {
 impl Default for ProbeReport {
     fn default() -> Self {
         AttributionProbe::new().into_report()
+    }
+}
+
+impl ProbeReport {
+    /// Serialize the report: the breakdown, then the interval timeline.
+    pub fn save_state(&self, e: &mut Encoder) {
+        self.breakdown.save_state(e);
+        self.intervals.save_state(e);
+    }
+
+    /// Rebuild a report written by [`ProbeReport::save_state`].
+    ///
+    /// # Errors
+    ///
+    /// Fails if the stream is truncated, carries out-of-range values, or a
+    /// breakdown whose components do not sum to its total cycles — the
+    /// structural invariant every probe-produced report satisfies.
+    pub fn load_state(d: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        let breakdown = StallBreakdown::load_state(d)?;
+        if breakdown.attributed() != breakdown.total_cycles {
+            return Err(CodecError::Invalid { what: "probe report attribution sum" });
+        }
+        let intervals = IntervalStats::load_state(d)?;
+        Ok(ProbeReport { breakdown, intervals })
     }
 }
 

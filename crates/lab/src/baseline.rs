@@ -365,6 +365,15 @@ fn throughput_deltas(new: &Value, baseline: &Value, warnings: &mut Vec<String>) 
         let Some(new_entry) = new_index.get(key) else {
             continue;
         };
+        // A cell served from the persistent cache was never simulated, so its
+        // `insts_per_sec` measures a file read — a delta against (or from) it
+        // would be meaningless. Say so instead of printing a bogus ratio.
+        let cached =
+            |e: &Value| e.get("cached").and_then(Value::as_bool).unwrap_or(false);
+        if cached(base_entry) || cached(new_entry) {
+            out.push(format!("{key}: cached"));
+            continue;
+        }
         let ips = |e: &Value| e.get("insts_per_sec").and_then(Value::as_f64).unwrap_or(f64::NAN);
         let (old_ips, new_ips) = (ips(base_entry), ips(new_entry));
         if !old_ips.is_finite() || !new_ips.is_finite() || old_ips <= 0.0 {

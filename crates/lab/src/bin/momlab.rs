@@ -6,6 +6,7 @@
 //! momlab run <NAME>... | --all [options]
 //! momlab --all                      # shorthand for `momlab run --all`
 //! momlab diff <NEW.json> --baseline <OLD.json> [--tolerance F]
+//! momlab cache ls|verify|gc [--cache-dir DIR] [--max-bytes N]
 //! ```
 //!
 //! `momlab describe` prints the resolved machine grid of an experiment: one
@@ -69,7 +70,14 @@
 //! * `--tolerance F` — relative cycle tolerance for `--baseline` (default 0.02)
 //! * `--throughput-gate MINST` — exit 2 when an experiment's aggregate
 //!   simulator throughput lands below MINST million instructions per second
-//!   (full mode only; skipped with a stderr note under `MOM_BENCH_FAST=1`)
+//!   (full mode only; skipped with a stderr note under `MOM_BENCH_FAST=1`,
+//!   and cache-hit cells are exempt from the aggregate — an all-hit run
+//!   skips the gate with a note)
+//! * `--cache-dir DIR` — persistent content-addressed cell cache: store
+//!   every simulated cell as a binary record and serve identical cells from
+//!   disk on later runs, byte-identically, across all execution modes
+//!   (`MOM_LAB_CACHE=DIR` sets the same default; `--no-cache` disables both;
+//!   `meta.cache` in the document and a stderr summary report hit counts)
 //! * `--trace-out FILE` — write a Chrome trace-event JSON of the runner's
 //!   scheduler spans (one trace process per experiment, one track per worker;
 //!   load it in `chrome://tracing` or Perfetto)
@@ -93,6 +101,7 @@ use mom_apps::AppKind;
 use mom_isa::trace::IsaKind;
 use mom_kernels::KernelKind;
 use mom_lab::baseline::{diff_documents, DEFAULT_TOLERANCE};
+use mom_lab::cache::{CacheEntry, CellCache};
 use mom_lab::json::Value;
 use mom_lab::runner::ExecMode;
 use mom_lab::spec::{sweep_spec, ExperimentKind, ExperimentSpec, SweepDims, BUILTIN_EXPERIMENTS};
@@ -122,8 +131,10 @@ Usage:
              [--sweep-dims SPEC] [--json FILE] [--out-dir DIR] [--results-only]
              [--no-json] [--quiet] [--baseline FILE] [--compare FILE]
              [--tolerance F] [--trace-out FILE] [--throughput-gate MINST]
+             [--cache-dir DIR] [--no-cache]
   momlab --all
   momlab diff <NEW.json> --baseline <OLD.json> [--tolerance F]
+  momlab cache ls|verify|gc [--cache-dir DIR] [--max-bytes N] [--workers N]
 
 Built-in experiments: table1 table2 table3 isa_inventory figure5
                       latency_tolerance figure7 stress sweep
@@ -149,8 +160,25 @@ spans (one process per experiment; open in chrome://tracing or Perfetto).
 simulator throughput falls below MINST million instructions per second.
 Full-mode runs only: under MOM_BENCH_FAST=1 the gate is skipped (with a
 note on stderr), since reduced workloads measure nothing comparable.
+Cache hits skip simulation, so cached cells are exempt from the aggregate
+and an all-hit run skips the gate entirely (with a stderr note).
+
+--cache-dir DIR enables the persistent content-addressed cell cache: each
+grid cell's simulation result is stored as one binary record keyed by the
+experiment's config_hash, the cell identity and the engine fingerprint, so
+re-running an identical cell costs a file read instead of a simulation —
+byte-identical results, any execution mode can serve any other (sampled
+runs key separately per sampling knobs). MOM_LAB_CACHE=DIR sets the same
+default (--cache-dir wins); --no-cache disables both. Warm runs report
+hits on stderr and in the document's meta.cache section.
+
+momlab cache ls lists the records in a cache directory; cache verify
+re-simulates every record this binary can rebuild and diffs at tolerance 0
+(exit 2 on mismatch); cache gc --max-bytes N evicts least-recently-used
+records until the directory fits in N bytes.
 
 MOM_BENCH_FAST=1 selects the reduced fast-mode workload subsets.
+MOM_LAB_CACHE=DIR enables the persistent cell cache by default.
 MOM_LAB_STREAM=1 enables the fused per-cell streaming pipeline by default.
 MOM_LAB_WORKERS=N overrides the default worker cap (--workers still wins).
 MOM_LAB_BATCH=N / MOM_LAB_CHANNEL=N tune the pipelined fan-out's batch size
@@ -187,6 +215,9 @@ struct Options {
     tolerance: f64,
     trace_out: Option<PathBuf>,
     throughput_gate: Option<f64>,
+    cache_dir: Option<PathBuf>,
+    no_cache: bool,
+    max_bytes: Option<u64>,
 }
 
 fn parse_options(args: &[String]) -> Result<Options, String> {
@@ -278,6 +309,13 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             "--baseline" => opts.baseline = Some(PathBuf::from(value("--baseline")?)),
             "--compare" => opts.compare = Some(PathBuf::from(value("--compare")?)),
             "--trace-out" => opts.trace_out = Some(PathBuf::from(value("--trace-out")?)),
+            "--cache-dir" => opts.cache_dir = Some(PathBuf::from(value("--cache-dir")?)),
+            "--no-cache" => opts.no_cache = true,
+            "--max-bytes" => {
+                opts.max_bytes = Some(
+                    value("--max-bytes")?.parse().map_err(|e| format!("--max-bytes: {e}"))?,
+                )
+            }
             "--throughput-gate" => {
                 opts.throughput_gate = Some(
                     value("--throughput-gate")?
@@ -327,6 +365,7 @@ fn run_cli(args: &[String]) -> Result<ExitCode, String> {
         Some("describe") => cmd_describe(&parse_options(&args[1..])?),
         Some("run") => cmd_run(&parse_options(&args[1..])?),
         Some("diff") => cmd_diff(&parse_options(&args[1..])?),
+        Some("cache") => cmd_cache(&parse_options(&args[1..])?),
         // `momlab --all` is a shorthand for `momlab run --all`.
         Some(_) => cmd_run(&parse_options(args)?),
     }
@@ -563,6 +602,15 @@ fn cmd_run(opts: &Options) -> Result<ExitCode, String> {
         .checkpoint_dir
         .as_ref()
         .map(|dir| runner::CheckpointConfig { dir: dir.clone(), resume: opts.resume });
+    // --cache-dir wins over MOM_LAB_CACHE; --no-cache disables both.
+    let cache_dir =
+        if opts.no_cache { None } else { opts.cache_dir.clone().or_else(mom_lab::cache_env_dir) };
+    let cache = cache_dir
+        .map(|dir| {
+            CellCache::open(&dir)
+                .map_err(|e| format!("cannot open cache directory {}: {e}", dir.display()))
+        })
+        .transpose()?;
 
     let mut exit = ExitCode::SUCCESS;
     // The throughput gate compares against full-mode workloads; fast mode's
@@ -577,8 +625,20 @@ fn cmd_run(opts: &Options) -> Result<ExitCode, String> {
     });
     let mut trace_processes: Vec<(String, Vec<runner::SpanRec>)> = Vec::new();
     for (i, spec) in specs.iter().enumerate() {
-        let result =
-            runner::run_with_options(spec, workers, mode, !opts.quiet, checkpoints.as_ref());
+        let result = runner::run_cached(
+            spec,
+            workers,
+            mode,
+            !opts.quiet,
+            checkpoints.as_ref(),
+            cache.as_ref(),
+        );
+        if let Some(meta) = &result.cache {
+            eprintln!(
+                "cache: {} hit(s), {} miss(es), {} fill(s), {} bytes in {}",
+                meta.hits, meta.misses, meta.fills, meta.bytes, meta.dir
+            );
+        }
         if opts.trace_out.is_some() {
             trace_processes.push((spec.name.clone(), result.spans.clone()));
         }
@@ -648,6 +708,16 @@ fn cmd_run(opts: &Options) -> Result<ExitCode, String> {
         // must stay usable. A *grid* run with no measurement still fails:
         // a gate that silently passes unmeasured runs is no gate.
         if let Some(gate_minst) = gate.filter(|_| !matches!(spec.kind, ExperimentKind::Static(_))) {
+            // Cache hits skip simulation entirely, so an all-hit run measures
+            // cache I/O, not simulator throughput — exempt, like fast mode.
+            if result.all_cells_cached() {
+                eprintln!(
+                    "throughput gate: {}: skipped (all {} cell(s) served from cache)",
+                    spec.name,
+                    result.cells().map_or(0, <[runner::CellResult]>::len)
+                );
+                continue;
+            }
             match result.total_insts_per_sec() {
                 Some(ips) if ips >= gate_minst * 1e6 => {
                     eprintln!(
@@ -686,6 +756,150 @@ fn cmd_run(opts: &Options) -> Result<ExitCode, String> {
         eprintln!("wrote {} ({spans} span(s))", path.display());
     }
     Ok(exit)
+}
+
+/// `momlab cache <ls|verify|gc>` — inspect and maintain a persistent cell
+/// cache. The directory comes from `--cache-dir` or `MOM_LAB_CACHE`.
+fn cmd_cache(opts: &Options) -> Result<ExitCode, String> {
+    let verb = opts
+        .names
+        .first()
+        .map(String::as_str)
+        .ok_or_else(|| "cache takes a subcommand: ls, verify or gc".to_string())?;
+    let dir = opts
+        .cache_dir
+        .clone()
+        .or_else(mom_lab::cache_env_dir)
+        .ok_or_else(|| "cache needs --cache-dir DIR (or MOM_LAB_CACHE=DIR)".to_string())?;
+    let cache = CellCache::open(&dir)
+        .map_err(|e| format!("cannot open cache directory {}: {e}", dir.display()))?;
+    match verb {
+        "ls" => cmd_cache_ls(&cache),
+        "verify" => cmd_cache_verify(&cache, opts),
+        "gc" => {
+            let max = opts.max_bytes.ok_or("cache gc needs --max-bytes N")?;
+            let (evicted, evicted_bytes, remaining) = cache
+                .gc(max)
+                .map_err(|e| format!("cache gc in {}: {e}", cache.dir().display()))?;
+            eprintln!(
+                "evicted {evicted} record(s) ({evicted_bytes} bytes); {remaining} bytes remain in {}",
+                cache.dir().display()
+            );
+            Ok(ExitCode::SUCCESS)
+        }
+        other => Err(format!("unknown cache subcommand {other:?} (try: ls, verify, gc)")),
+    }
+}
+
+fn cmd_cache_ls(cache: &CellCache) -> Result<ExitCode, String> {
+    let entries = cache
+        .entries()
+        .map_err(|e| format!("cannot list cache {}: {e}", cache.dir().display()))?;
+    println!("{:<22} {:>8} key", "record", "bytes");
+    let mut total = 0u64;
+    for entry in &entries {
+        total += entry.bytes;
+        let name = entry.path.file_name().unwrap_or_default().to_string_lossy().into_owned();
+        match &entry.key {
+            Some(key) => println!("{name:<22} {:>8} {}", entry.bytes, key.canonical()),
+            None => println!("{name:<22} {:>8} (unreadable record)", entry.bytes),
+        }
+    }
+    println!("{} record(s), {total} bytes in {}", entries.len(), cache.dir().display());
+    Ok(ExitCode::SUCCESS)
+}
+
+/// `momlab cache verify` — re-simulate every verifiable record and diff at
+/// tolerance 0. Records are grouped by (experiment, fast, scale, seed,
+/// sampling, config_hash) so each group costs one run of its spec into a
+/// throwaway cache; the freshly filled record files are then compared
+/// byte-for-byte against the stored ones (records carry no timestamps, so
+/// equal bytes means equal results). Records from another engine fingerprint
+/// or a spec this binary cannot rebuild (custom `--sweep-dims`, filtered
+/// grids) are skipped with a note — they are unverifiable here, not wrong.
+fn cmd_cache_verify(cache: &CellCache, opts: &Options) -> Result<ExitCode, String> {
+    let entries = cache
+        .entries()
+        .map_err(|e| format!("cannot list cache {}: {e}", cache.dir().display()))?;
+    let engine = mom_lab::engine_fingerprint();
+    let workers = opts.workers.unwrap_or_else(runner::default_workers);
+    let mut groups: Vec<(String, Vec<&CacheEntry>)> = Vec::new();
+    let mut skipped = 0usize;
+    for entry in &entries {
+        let name = entry.path.file_name().unwrap_or_default().to_string_lossy().into_owned();
+        let Some(key) = &entry.key else {
+            eprintln!("skip {name}: unreadable record (a clean miss on the next run)");
+            skipped += 1;
+            continue;
+        };
+        if key.engine != engine {
+            eprintln!("skip {name}: engine {:?} (this binary is {engine:?})", key.engine);
+            skipped += 1;
+            continue;
+        }
+        let group_id = format!(
+            "{} fast:{} {} scale:{} seed:{} {:?}",
+            key.experiment, key.fast, key.config_hash, key.scale, key.seed, key.sampling
+        );
+        match groups.iter_mut().find(|(id, _)| *id == group_id) {
+            Some((_, members)) => members.push(entry),
+            None => groups.push((group_id, vec![entry])),
+        }
+    }
+    let tmp_dir = std::env::temp_dir().join(format!("momlab-verify-{}", std::process::id()));
+    let tmp = CellCache::open(&tmp_dir)
+        .map_err(|e| format!("cannot create scratch cache {}: {e}", tmp_dir.display()))?;
+    let mut verified = 0usize;
+    let mut mismatches = 0usize;
+    for (group_id, members) in &groups {
+        let key = members[0].key.as_ref().expect("grouped entries have keys");
+        let spec = ExperimentSpec::builtin(&key.experiment, key.scale as usize, key.fast)
+            .map(|mut spec| {
+                if let ExperimentKind::Grid(grid) = &mut spec.kind {
+                    grid.seed = key.seed;
+                }
+                spec
+            })
+            .filter(|spec| spec.config_hash() == key.config_hash);
+        let Some(spec) = spec else {
+            eprintln!(
+                "skip {} record(s) of [{group_id}]: cannot rebuild the spec \
+                 (filtered grid, custom --sweep-dims, or a renamed experiment)",
+                members.len()
+            );
+            skipped += members.len();
+            continue;
+        };
+        let mode = match key.sampling {
+            Some(s) => {
+                ExecMode::Sampled { unit_insts: s.unit, warmup_insts: s.warmup, period: s.period }
+            }
+            None => ExecMode::Streamed,
+        };
+        runner::run_cached(&spec, workers, mode, false, None, Some(&tmp));
+        for entry in members {
+            let key = entry.key.as_ref().expect("grouped entries have keys");
+            let stored = std::fs::read(&entry.path)
+                .map_err(|e| format!("cannot read {}: {e}", entry.path.display()))?;
+            let fresh = std::fs::read(tmp.record_path(key)).ok();
+            if fresh.as_deref() == Some(stored.as_slice()) {
+                verified += 1;
+            } else {
+                mismatches += 1;
+                eprintln!(
+                    "MISMATCH {}: re-simulation disagrees with the stored record ({})",
+                    entry.path.file_name().unwrap_or_default().to_string_lossy(),
+                    key.canonical()
+                );
+            }
+        }
+    }
+    let _ = std::fs::remove_dir_all(&tmp_dir);
+    eprintln!(
+        "verified {verified} record(s) across {} group(s); {skipped} skipped, {mismatches} mismatch(es)",
+        groups.len()
+    );
+    Ok(if mismatches > 0 { ExitCode::from(2) } else { ExitCode::SUCCESS })
 }
 
 fn cmd_diff(opts: &Options) -> Result<ExitCode, String> {

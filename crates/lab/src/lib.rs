@@ -38,6 +38,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod baseline;
+pub mod cache;
 pub mod json;
 pub mod report;
 pub mod runner;
@@ -45,13 +46,15 @@ pub mod spec;
 pub mod tables;
 pub mod trace;
 
+pub use cache::{engine_fingerprint, CacheMeta, CellCache, CellKey, CellRecord, SamplingKnobs};
 pub use runner::{
-    run, run_streamed, run_with, run_with_mode, run_with_mode_progress, run_with_options,
-    CellResult, CellSampling, CheckpointConfig, ExecMode, PoolStats, RunResult, SpanRec,
-    DEFAULT_SAMPLE_PERIOD, DEFAULT_SAMPLE_UNIT, DEFAULT_SAMPLE_WARMUP,
+    run, run_cached, run_streamed, run_with, run_with_mode, run_with_mode_progress,
+    run_with_options, CellResult, CellSampling, CheckpointConfig, ExecMode, PoolStats, RunResult,
+    SpanRec, DEFAULT_SAMPLE_PERIOD, DEFAULT_SAMPLE_UNIT, DEFAULT_SAMPLE_WARMUP,
 };
 pub use spec::{ExperimentSpec, GridSpec, SweepDims, Workload, BUILTIN_EXPERIMENTS};
 
+use std::path::PathBuf;
 use std::sync::OnceLock;
 
 /// Whether the `MOM_BENCH_FAST` environment variable requests reduced runs.
@@ -129,6 +132,21 @@ pub fn pipeline_channel_batches() -> usize {
     *CHANNEL.get_or_init(|| {
         env_positive_usize("MOM_LAB_CHANNEL").unwrap_or(mom_isa::pipe::DEFAULT_CHANNEL_BATCHES)
     })
+}
+
+/// The persistent cell-cache directory requested via `MOM_LAB_CACHE`.
+///
+/// `momlab run` enables the content-addressed result cache
+/// ([`cache::CellCache`]) when this variable names a directory — the same
+/// effect as `--cache-dir DIR`, which still wins when both are given;
+/// `--no-cache` disables both. An empty value means "no cache". Cached in a
+/// [`OnceLock`] like [`fast_mode`].
+pub fn cache_env_dir() -> Option<PathBuf> {
+    static DIR: OnceLock<Option<PathBuf>> = OnceLock::new();
+    DIR.get_or_init(|| {
+        std::env::var_os("MOM_LAB_CACHE").filter(|v| !v.is_empty()).map(PathBuf::from)
+    })
+    .clone()
 }
 
 /// Parse an environment variable as a positive integer, treating empty, `0`

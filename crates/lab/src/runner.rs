@@ -84,6 +84,7 @@ use mom_kernels::{build_kernel, BuiltKernel, KernelKind, KernelParams};
 use mom_mem::cache::CacheStats;
 use mom_mem::{MemModelKind, MemSystemStats};
 
+use crate::cache::{engine_fingerprint, CacheMeta, CellCache, CellKey, CellRecord, SamplingKnobs};
 use crate::json::Value;
 use crate::spec::{BaselinePolicy, Cell, ExperimentKind, ExperimentSpec, GridSpec, Workload};
 use crate::tables::{static_rows, StaticRows};
@@ -325,6 +326,15 @@ pub struct RunResult {
     /// run decoded, not on timing, but lives in `meta` because a warm
     /// machine pool can skip re-decoding.
     pub fused_pairs: u64,
+    /// Result-cache accounting when the run had a [`CellCache`]
+    /// (`meta.cache`): hits, misses, fills, store size and directory. `None`
+    /// when caching was disabled, so pre-cache documents stay byte-identical.
+    pub cache: Option<CacheMeta>,
+    /// Which grid cells were served from the cache, parallel to the cells
+    /// (empty when caching was disabled, and for static experiments). Cached
+    /// cells are exempt from throughput accounting — their wall-clock is
+    /// document assembly, not simulation.
+    pub cached_cells: Vec<bool>,
     /// The results.
     pub data: RunData,
 }
@@ -463,7 +473,7 @@ struct CkptContext {
 }
 
 /// Like [`run_with_mode_progress`], with optional checkpoint persistence for
-/// sampled runs. This is the full-signature entry point `momlab run` uses.
+/// sampled runs.
 ///
 /// # Panics
 ///
@@ -477,6 +487,77 @@ pub fn run_with_options(
     mode: ExecMode,
     progress: bool,
     checkpoints: Option<&CheckpointConfig>,
+) -> RunResult {
+    run_cached(spec, workers, mode, progress, checkpoints, None)
+}
+
+/// Resolved cache context of one grid run: the store plus the run-invariant
+/// key components (engine fingerprint, spec identity) every cell key is
+/// built from.
+struct CacheContext<'a> {
+    cache: &'a CellCache,
+    engine: String,
+    spec_name: String,
+    fast: bool,
+    config_hash: String,
+}
+
+impl CacheContext<'_> {
+    /// The content address of one cell under this run's mode. The three
+    /// exact modes (and the sampled rate-1 sentinel) share one key per cell;
+    /// estimated sampled runs key per `(unit, warmup, period)` triple.
+    fn key_for(&self, grid: &GridSpec, cell: &Cell, mode: ExecMode) -> CellKey {
+        let config = &grid.configs[cell.config];
+        CellKey {
+            engine: self.engine.clone(),
+            experiment: self.spec_name.clone(),
+            fast: self.fast,
+            config_hash: self.config_hash.clone(),
+            cell: cell_key(grid, cell),
+            isa: config.isa.label().to_string(),
+            mem: mem_label(config.mem),
+            rob: config.rob.map(|rob| rob as u64),
+            scale: grid.scale as u64,
+            seed: grid.seed,
+            sampling: match mode {
+                ExecMode::Sampled { unit_insts, warmup_insts, period } if period > 0 => {
+                    Some(SamplingKnobs { unit: unit_insts, warmup: warmup_insts, period })
+                }
+                _ => None,
+            },
+        }
+    }
+}
+
+/// Cache accounting of one grid run, before it is joined with the store-wide
+/// size into the [`CacheMeta`] of the result document.
+struct GridCacheOutcome {
+    hits: u64,
+    misses: u64,
+    fills: u64,
+    cached: Vec<bool>,
+}
+
+/// Like [`run_with_options`], with an optional persistent content-addressed
+/// cell result cache: hit cells skip interpretation and simulation entirely
+/// and are rebuilt from their stored [`CellRecord`]s; miss cells simulate as
+/// usual and fill the cache afterwards. The results document is byte-
+/// identical either way (speed-ups are re-derived at assembly, so records
+/// stay baseline-policy-agnostic), and `meta.cache` records the hit/miss/
+/// fill accounting. This is the full-signature entry point `momlab run`
+/// uses.
+///
+/// # Panics
+///
+/// Panics for the same reasons as [`run_with_options`], or when a cache
+/// record cannot be written.
+pub fn run_cached(
+    spec: &ExperimentSpec,
+    workers: usize,
+    mode: ExecMode,
+    progress: bool,
+    checkpoints: Option<&CheckpointConfig>,
+    cache: Option<&CellCache>,
 ) -> RunResult {
     if let ExecMode::Sampled { unit_insts, warmup_insts, period } = mode {
         assert!(unit_insts >= 1, "sampled mode needs a measurement unit of at least 1 instruction");
@@ -503,14 +584,47 @@ pub fn run_with_options(
     };
     let started = Instant::now();
     let fused_before = mom_core::fused_pairs_total();
-    let (data, timing) = match &spec.kind {
-        ExperimentKind::Static(kind) => (RunData::Static(static_rows(*kind)), GridTiming::default()),
+    let cache_ctx = cache.map(|store| CacheContext {
+        cache: store,
+        engine: engine_fingerprint(),
+        spec_name: spec.name.clone(),
+        fast: spec.fast,
+        config_hash: spec.config_hash(),
+    });
+    let (data, timing, outcome) = match &spec.kind {
+        ExperimentKind::Static(kind) => {
+            (RunData::Static(static_rows(*kind)), GridTiming::default(), None)
+        }
         ExperimentKind::Grid(grid) => {
-            let (cells, timing) = run_grid(grid, workers.max(1), mode, progress, ckpt.as_ref());
-            (RunData::Grid(cells), timing)
+            let (cells, timing, outcome) =
+                run_grid(grid, workers.max(1), mode, progress, ckpt.as_ref(), cache_ctx.as_ref());
+            (RunData::Grid(cells), timing, outcome)
         }
     };
     let fused_pairs = mom_core::fused_pairs_total().saturating_sub(fused_before);
+    // The `meta.cache` section: grid accounting (zeros for a cached static
+    // run — tables simulate nothing) plus the store-wide size after fills.
+    let (cache_meta, cached_cells) = match (cache, outcome) {
+        (Some(store), Some(outcome)) => (
+            Some(CacheMeta {
+                hits: outcome.hits,
+                misses: outcome.misses,
+                fills: outcome.fills,
+                bytes: store.bytes(),
+                dir: store.dir().display().to_string(),
+            }),
+            outcome.cached,
+        ),
+        (Some(store), None) => (
+            Some(CacheMeta {
+                bytes: store.bytes(),
+                dir: store.dir().display().to_string(),
+                ..CacheMeta::default()
+            }),
+            Vec::new(),
+        ),
+        (None, _) => (None, Vec::new()),
+    };
     RunResult {
         spec: spec.clone(),
         config_hash: spec.config_hash(),
@@ -525,6 +639,8 @@ pub fn run_with_options(
         spans: timing.spans,
         pool: timing.pool,
         fused_pairs,
+        cache: cache_meta,
+        cached_cells,
         data,
     }
 }
@@ -1741,9 +1857,57 @@ fn run_grid(
     mode: ExecMode,
     progress: bool,
     ckpt: Option<&CkptContext>,
-) -> (Vec<CellResult>, GridTiming) {
+    cache: Option<&CacheContext<'_>>,
+) -> (Vec<CellResult>, GridTiming, Option<GridCacheOutcome>) {
     let cells = grid.cells();
     let descriptor_of = |cell: &Cell| grid.configs[cell.config].descriptor(cell.way);
+
+    // Cache lookup stage: resolve every cell's content address and pull its
+    // record if one exists. Hit cells never reach the execution arms below —
+    // a fully-cached fan-out group forms no group at all, so a warm run
+    // performs zero interpretation and zero simulation. Any load failure
+    // (missing, truncated, corrupt, wrong version or key) is a clean miss.
+    let mut cached_sims: Vec<Option<CellSim>> = vec![None; cells.len()];
+    let mut keys: Vec<CellKey> = Vec::new();
+    if let Some(cc) = cache {
+        for (i, cell) in cells.iter().enumerate() {
+            let key = cc.key_for(grid, cell, mode);
+            match cc.cache.load(&key) {
+                Some(record) => {
+                    if progress {
+                        eprintln!("  {}: cache hit", key.cell);
+                    }
+                    cached_sims[i] = Some(CellSim {
+                        sim: record.sim,
+                        probe: record.probe,
+                        mem: record.mem,
+                        sampling: record.sampling,
+                    });
+                }
+                None => {
+                    if progress {
+                        eprintln!("  {}: cache miss", key.cell);
+                    }
+                }
+            }
+            keys.push(key);
+        }
+    }
+    // The miss subset the execution arms run over. Without a cache this is
+    // every cell; group membership indices below are positions into this
+    // vector, remapped to full-grid indices afterwards.
+    let active: Vec<Cell> = cells
+        .iter()
+        .zip(&cached_sims)
+        .filter(|(_, hit)| hit.is_none())
+        .map(|(&cell, _)| cell)
+        .collect();
+    let active_idx: Vec<usize> = cached_sims
+        .iter()
+        .enumerate()
+        .filter(|(_, hit)| hit.is_none())
+        .map(|(i, _)| i)
+        .collect();
 
     // Each simulation work unit is timed individually so the JSON `meta`
     // section can report simulator throughput (insts_per_sec) per cell. In
@@ -1753,9 +1917,12 @@ fn run_grid(
     // carries the same span — see EXPERIMENTS.md).
     let counters = PoolCounters::default();
     let mut timing = GridTiming::default();
-    let sims: Vec<CellSim> = match mode {
+    let active_sims: Vec<CellSim> = if active.is_empty() {
+        Vec::new()
+    } else {
+        match mode {
         ExecMode::Fanout => {
-            let groups = fanout_groups(grid, &cells);
+            let groups = fanout_groups(grid, &active);
             if workers <= 1 {
                 // One worker: the serial Broadcast path — each group's
                 // interpreter drives all member simulators on this thread,
@@ -1769,7 +1936,7 @@ fn run_grid(
                     |pool, group| {
                         let start_ns = epoch.elapsed().as_nanos() as u64;
                         let started = Instant::now();
-                        let mut lane_machines = take_lane_machines(grid, &cells, group, pool);
+                        let mut lane_machines = take_lane_machines(grid, &active, group, pool);
                         let (lane_sims, executed) =
                             run_fan_group_serial(grid, group, &mut lane_machines);
                         let ns = started.elapsed().as_nanos() as u64;
@@ -1777,8 +1944,8 @@ fn run_grid(
                         (lane_sims, ns, executed, start_ns)
                     },
                 );
-                let mut slots: Vec<Option<CellSim>> = vec![None; cells.len()];
-                timing.cell_wall_ns = vec![0; cells.len()];
+                let mut slots: Vec<Option<CellSim>> = vec![None; active.len()];
+                timing.cell_wall_ns = vec![0; active.len()];
                 for (group, (lane_sims, ns, executed, start_ns)) in groups.iter().zip(outcomes) {
                     timing.sim_wall_ns += ns;
                     timing.functional_passes += 1;
@@ -1801,7 +1968,7 @@ fn run_grid(
                 }
                 slots.into_iter().map(|s| s.expect("every cell belongs to one group")).collect()
             } else {
-                run_fanout_pipelined(grid, &cells, &groups, workers, &counters, progress, &mut timing)
+                run_fanout_pipelined(grid, &active, &groups, workers, &counters, progress, &mut timing)
             }
         }
         // The rate-1 sentinel routes through the *literal* streamed code
@@ -1811,7 +1978,7 @@ fn run_grid(
             // No stage 1 — every cell runs the fused pipeline, rebuilding its
             // workload on the fly.
             let outcomes = parallel_map_with(
-                &cells,
+                &active,
                 workers,
                 || MachinePool::new(&counters),
                 |cell| cell_label(grid, cell),
@@ -1831,8 +1998,8 @@ fn run_grid(
                     (CellSim { sim, probe: report, mem, sampling: None }, ns)
                 },
             );
-            timing.functional_passes = cells.len();
-            let mut sims = Vec::with_capacity(cells.len());
+            timing.functional_passes = active.len();
+            let mut sims = Vec::with_capacity(active.len());
             for (cs, ns) in outcomes {
                 timing.cell_wall_ns.push(ns);
                 timing.sim_wall_ns += ns;
@@ -1844,7 +2011,7 @@ fn run_grid(
         ExecMode::Materialized => {
             // Stage 1: build every distinct (workload, ISA) trace once, in parallel.
             let mut pairs: Vec<(Workload, IsaKind)> = Vec::new();
-            for cell in &cells {
+            for cell in &active {
                 let pair = (cell.workload, grid.configs[cell.config].isa);
                 if !pairs.contains(&pair) {
                     pairs.push(pair);
@@ -1867,7 +2034,7 @@ fn run_grid(
 
             // Stage 2: simulate every cell, in parallel.
             let outcomes = parallel_map_with(
-                &cells,
+                &active,
                 workers,
                 || MachinePool::new(&counters),
                 |cell| cell_label(grid, cell),
@@ -1883,7 +2050,7 @@ fn run_grid(
                     (CellSim { sim, probe: report, mem, sampling: None }, ns)
                 },
             );
-            let mut sims = Vec::with_capacity(cells.len());
+            let mut sims = Vec::with_capacity(active.len());
             for (cs, ns) in outcomes {
                 timing.cell_wall_ns.push(ns);
                 timing.sim_wall_ns += ns;
@@ -1897,7 +2064,7 @@ fn run_grid(
             // functional fast-forwarding, one cell per work item.
             let sp = SamplingParams { unit: unit_insts, warmup: warmup_insts, period };
             let outcomes = parallel_map_with(
-                &cells,
+                &active,
                 workers,
                 || MachinePool::new(&counters),
                 |cell| cell_label(grid, cell),
@@ -1923,8 +2090,8 @@ fn run_grid(
                     (cs, ns)
                 },
             );
-            timing.functional_passes = cells.len();
-            let mut sims = Vec::with_capacity(cells.len());
+            timing.functional_passes = active.len();
+            let mut sims = Vec::with_capacity(active.len());
             for (cs, ns) in outcomes {
                 timing.cell_wall_ns.push(ns);
                 timing.sim_wall_ns += ns;
@@ -1933,8 +2100,51 @@ fn run_grid(
             }
             sims
         }
+        }
     };
     timing.pool = counters.stats();
+
+    // Fill stage: persist every freshly simulated cell, then account for the
+    // run. Fills happen before assembly so a panic-free run always leaves
+    // the cache consistent with the document it produced.
+    let mut fills = 0u64;
+    if let Some(cc) = cache {
+        for (&i, cs) in active_idx.iter().zip(&active_sims) {
+            let record = CellRecord {
+                sim: cs.sim,
+                probe: cs.probe.clone(),
+                mem: cs.mem,
+                sampling: cs.sampling.clone(),
+            };
+            cc.cache.store(&keys[i], &record);
+            fills += 1;
+        }
+    }
+    let outcome = cache.map(|_| GridCacheOutcome {
+        hits: (cells.len() - active.len()) as u64,
+        misses: active.len() as u64,
+        fills,
+        cached: cached_sims.iter().map(Option::is_some).collect(),
+    });
+
+    // Remap the miss-subset wall-clock spans back to full-grid positions;
+    // cached cells keep a zero span (their cost is document assembly, and
+    // `meta.throughput` marks them `cached` instead of reporting a rate).
+    let mut full_wall = vec![0u64; cells.len()];
+    for (&i, &ns) in active_idx.iter().zip(&timing.cell_wall_ns) {
+        full_wall[i] = ns;
+    }
+    timing.cell_wall_ns = full_wall;
+
+    // Merge cache hits with fresh simulations, in grid order.
+    let mut fresh = active_sims.into_iter();
+    let sims: Vec<CellSim> = cached_sims
+        .into_iter()
+        .map(|hit| match hit {
+            Some(sim) => sim,
+            None => fresh.next().expect("one fresh sim per miss"),
+        })
+        .collect();
 
     // Stage 3 (serial, cheap): derive speed-ups against the baseline cells.
     let index_of = |workload: Workload, config: usize, way: usize| -> Option<usize> {
@@ -1972,7 +2182,7 @@ fn run_grid(
             }
         })
         .collect();
-    (results, timing)
+    (results, timing, outcome)
 }
 
 /// Map `f` over `items` on `workers` scoped threads with a shared atomic
@@ -2231,13 +2441,28 @@ impl RunResult {
                     cells
                         .iter()
                         .zip(&self.cell_wall_ns)
-                        .map(|(cell, &ns)| {
-                            Value::object(vec![
+                        .enumerate()
+                        .map(|(i, (cell, &ns))| {
+                            let mut fields = vec![
                                 ("workload", Value::Str(cell.workload.label().into())),
                                 ("config", Value::Str(cell.config_label.clone())),
                                 ("way", Value::Int(cell.way as i64)),
-                                ("insts_per_sec", Value::Float(insts_per_sec(cell.instructions, ns))),
-                            ])
+                            ];
+                            // A cached cell's span is document assembly, not
+                            // simulation — a rate computed from it would be
+                            // fabricated, so mark it instead. The extra field
+                            // appears only for cached cells, keeping
+                            // cache-free documents byte-identical.
+                            if self.cached_cells.get(i).copied().unwrap_or(false) {
+                                fields.push(("insts_per_sec", Value::Null));
+                                fields.push(("cached", Value::Bool(true)));
+                            } else {
+                                fields.push((
+                                    "insts_per_sec",
+                                    Value::Float(insts_per_sec(cell.instructions, ns)),
+                                ));
+                            }
+                            Value::object(fields)
                         })
                         .collect(),
                 )));
@@ -2249,6 +2474,20 @@ impl RunResult {
                 Value::object(vec![
                     ("hits", Value::Int(self.pool.hits as i64)),
                     ("builds", Value::Int(self.pool.builds as i64)),
+                ]),
+            ));
+        }
+        if let Some(cache) = &self.cache {
+            // Result-cache accounting: present exactly when the run had a
+            // cache, so cache-free documents stay byte-identical.
+            meta_members.push((
+                "cache",
+                Value::object(vec![
+                    ("hits", Value::Int(cache.hits as i64)),
+                    ("misses", Value::Int(cache.misses as i64)),
+                    ("fills", Value::Int(cache.fills as i64)),
+                    ("bytes", Value::Int(cache.bytes as i64)),
+                    ("dir", Value::Str(cache.dir.clone())),
                 ]),
             ));
         }
@@ -2272,13 +2511,41 @@ impl RunResult {
     /// when nothing was timed). The denominator is the sum of the *distinct*
     /// simulation spans ([`RunResult::sim_wall_ns`]), so a fan-out group's
     /// shared span is never counted once per member.
+    /// Cells served from the result cache contribute neither instructions
+    /// nor wall-clock (their spans are zero and their work was document
+    /// assembly), so a warm run can never fabricate a throughput figure;
+    /// when *every* cell was cached, nothing was measured and this returns
+    /// `None`.
     pub fn total_insts_per_sec(&self) -> Option<f64> {
         let cells = self.cells()?;
         if cells.is_empty() || cells.len() != self.cell_wall_ns.len() {
             return None;
         }
-        let insts: u64 = cells.iter().map(|c| c.instructions).sum();
+        let insts: u64 = cells
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !self.cached_cells.get(*i).copied().unwrap_or(false))
+            .map(|(_, c)| c.instructions)
+            .sum();
+        if insts == 0 && self.all_cells_cached() {
+            return None;
+        }
         Some(insts_per_sec(insts, self.sim_wall_ns))
+    }
+
+    /// Whether every grid cell of this run was served from the result cache
+    /// (`false` for static experiments, empty grids, or cache-free runs).
+    /// `momlab run --throughput-gate` skips a fully-cached run — there is no
+    /// simulation to measure — instead of failing it.
+    pub fn all_cells_cached(&self) -> bool {
+        match self.cells() {
+            Some(cells) => {
+                !cells.is_empty()
+                    && self.cached_cells.len() == cells.len()
+                    && self.cached_cells.iter().all(|&cached| cached)
+            }
+            None => false,
+        }
     }
 
     /// The instruction-weighted functional-sharing factor: dynamic
